@@ -1,0 +1,85 @@
+// Command sofclient submits requests to a TCP sofnode cluster: it derives
+// its identity from the shared dealer secret, signs each request and
+// multicasts it to every order process (clients "direct their requests to
+// all nodes", Section 3). Watch the sofnode logs for COMMIT lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/tcpnet"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+func main() {
+	var (
+		f        = flag.Int("f", 2, "fault-tolerance parameter (to size the identity set)")
+		protoStr = flag.String("protocol", "sc", "protocol of the target cluster")
+		suiteStr = flag.String("suite", string(crypto.HMACSHA256), "signature suite")
+		secret   = flag.String("secret", "streets-of-byzantium", "shared dealer secret")
+		peersStr = flag.String("peers", "", "comma-separated node addresses, index = node ID")
+		n        = flag.Int("n", 10, "number of requests to submit")
+		size     = flag.Int("size", 128, "request payload bytes")
+		client   = flag.Int("client", 0, "client index (identity 0..15)")
+		interval = flag.Duration("interval", 50*time.Millisecond, "gap between submissions")
+	)
+	flag.Parse()
+
+	var proto types.Protocol
+	switch strings.ToLower(*protoStr) {
+	case "sc":
+		proto = types.SC
+	case "scr":
+		proto = types.SCR
+	case "bft":
+		proto = types.BFT
+	case "ct":
+		proto = types.CT
+	default:
+		log.Fatalf("unknown protocol %q", *protoStr)
+	}
+	topo, err := types.NewTopology(proto, *f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs := strings.Split(*peersStr, ",")
+	if len(addrs) != topo.N() {
+		log.Fatalf("need %d peer addresses, got %d", topo.N(), len(addrs))
+	}
+	peers := make(map[types.NodeID]string, len(addrs))
+	for i, a := range addrs {
+		peers[types.NodeID(i)] = strings.TrimSpace(a)
+	}
+
+	suite, err := crypto.ByName(crypto.SuiteName(*suiteStr))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := topo.AllProcesses()
+	for k := 0; k < 16; k++ {
+		ids = append(ids, types.ClientID(k))
+	}
+	idents, _, err := crypto.NewDealer(suite, crypto.WithRand(crypto.NewDRBG(*secret))).Issue(ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	me := types.ClientID(*client)
+	cl := tcpnet.NewClient(me, idents[me], peers)
+	defer cl.Close()
+
+	for i := 0; i < *n; i++ {
+		payload := make([]byte, *size)
+		copy(payload, fmt.Sprintf("req-%d", i))
+		id, reached, err := cl.Submit(payload)
+		if err != nil {
+			log.Fatalf("submit %d: %v", i, err)
+		}
+		fmt.Printf("submitted %v to %d/%d processes\n", id, reached, topo.N())
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,166 @@
+// Command sofnode runs one order process of a signal-on-fail cluster over
+// real TCP, so a deployment can span OS processes (or machines) the way
+// the paper's LAN testbed did.
+//
+// All nodes must share -secret: a deterministic dealer derives identical
+// key material on every node, standing in for the paper's trusted dealer
+// (demo-grade key distribution; see internal/crypto.DRBG).
+//
+// Example 7-node SC cluster (f=2) on one machine:
+//
+//	for i in $(seq 0 6); do
+//	  sofnode -id $i -f 2 -protocol sc \
+//	    -peers 127.0.0.1:7000,127.0.0.1:7001,...,127.0.0.1:7006 &
+//	done
+//	sofclient -peers ... -n 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/sof-repro/sof/internal/bft"
+	"github.com/sof-repro/sof/internal/core"
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/ct"
+	"github.com/sof-repro/sof/internal/fsp"
+	"github.com/sof-repro/sof/internal/runtime"
+	"github.com/sof-repro/sof/internal/tcpnet"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "this node's process ID (0-based)")
+		f        = flag.Int("f", 2, "fault-tolerance parameter")
+		protoStr = flag.String("protocol", "sc", "protocol: sc, scr, bft or ct")
+		suiteStr = flag.String("suite", string(crypto.HMACSHA256), "signature suite")
+		secret   = flag.String("secret", "streets-of-byzantium", "shared dealer secret")
+		peersStr = flag.String("peers", "", "comma-separated node addresses, index = node ID")
+		batch    = flag.Duration("batch", 100*time.Millisecond, "batching interval")
+		delta    = flag.Duration("delta", 5*time.Second, "pair differential delay estimate")
+	)
+	flag.Parse()
+
+	proto, err := parseProtocol(*protoStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := types.NewTopology(proto, *f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs := strings.Split(*peersStr, ",")
+	if len(addrs) != topo.N() {
+		log.Fatalf("need %d peer addresses for %v f=%d, got %d", topo.N(), proto, *f, len(addrs))
+	}
+	peers := make(map[types.NodeID]string, len(addrs))
+	for i, a := range addrs {
+		peers[types.NodeID(i)] = strings.TrimSpace(a)
+	}
+	self := types.NodeID(*id)
+	if !topo.IsProcess(self) {
+		log.Fatalf("id %d is not a process of this topology", *id)
+	}
+
+	suite, err := crypto.ByName(crypto.SuiteName(*suiteStr))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Deterministic dealer: every node derives the same keys from the
+	// shared secret (processes first, then 16 client identities).
+	ids := topo.AllProcesses()
+	for k := 0; k < 16; k++ {
+		ids = append(ids, types.ClientID(k))
+	}
+	idents, _, err := crypto.NewDealer(suite, crypto.WithRand(crypto.NewDRBG(*secret))).Issue(ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	logger := log.New(os.Stderr, fmt.Sprintf("sofnode[%d] ", *id), log.Ltime|log.Lmicroseconds)
+	proc, err := buildProcess(self, topo, idents, proto, *batch, *delta, logger)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	host, err := tcpnet.NewHost(self, peers[self], idents[self], proc, peers, logger)
+	if err != nil {
+		log.Fatal(err)
+	}
+	host.Start()
+	logger.Printf("up: %v f=%d n=%d listening on %s", proto, *f, topo.N(), host.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	host.Stop()
+}
+
+func parseProtocol(s string) (types.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "sc":
+		return types.SC, nil
+	case "scr":
+		return types.SCR, nil
+	case "bft":
+		return types.BFT, nil
+	case "ct":
+		return types.CT, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", s)
+	}
+}
+
+func buildProcess(self types.NodeID, topo types.Topology,
+	idents map[types.NodeID]*crypto.Identity, proto types.Protocol,
+	batch, delta time.Duration, logger *log.Logger) (runtime.Process, error) {
+
+	onCommit := func(ev core.CommitEvent) {
+		logger.Printf("COMMIT view=%d seqs=[%d..%d] entries=%d", ev.View, ev.FirstSeq, ev.LastSeq, len(ev.Entries))
+	}
+	switch proto {
+	case types.SC, types.SCR:
+		cfg := core.Config{
+			Topo:             topo,
+			BatchInterval:    batch,
+			MaxBatchBytes:    1024,
+			Delta:            delta,
+			Mirror:           true,
+			DumbOptimization: proto == types.SC,
+			RecoveryInterval: delta,
+			OnCommit:         onCommit,
+			OnFailSignal: func(ev core.FailSignalEvent) {
+				logger.Printf("FAILSIGNAL pair=%d emitter=%v reason=%s", ev.Pair, ev.Emitter, ev.Reason)
+			},
+			OnInstalled: func(ev core.InstallEvent) {
+				logger.Printf("INSTALLED coordinator rank=%d start_o=%d", ev.Rank, ev.StartSeq)
+			},
+		}
+		if counterpart, paired := topo.PairOf(self); paired {
+			pre, err := fsp.PresignFor(idents[counterpart], types.Rank(topo.PairIndex(self)), 0, counterpart)
+			if err != nil {
+				return nil, err
+			}
+			cfg.PresignedFailSig = pre
+		}
+		return core.New(self, cfg)
+	case types.CT:
+		return ct.New(self, ct.Config{
+			Topo: topo, BatchInterval: batch, MaxBatchBytes: 1024, OnCommit: onCommit,
+		})
+	case types.BFT:
+		return bft.New(self, bft.Config{
+			Topo: topo, BatchInterval: batch, MaxBatchBytes: 1024,
+			ViewChangeTimeout: 10 * time.Second, OnCommit: onCommit,
+		})
+	default:
+		return nil, fmt.Errorf("protocol %v not supported", proto)
+	}
+}

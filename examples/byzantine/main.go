@@ -1,0 +1,83 @@
+// byzantine: the SCR (signal-on-crash and recovery) set-up under a false
+// timing suspicion — the scenario assumption 3(b)(i) admits. The pair link
+// of the acting coordinator is severed, so the (perfectly correct) shadow
+// suspects its counterpart and fail-signals; the system rotates to the
+// next pair; then the link heals, the pair exchanges fresh pre-signed
+// fail-signals in PairBeats, recovers (status up, next epoch) and becomes
+// eligible to coordinate again.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sof "github.com/sof-repro/sof"
+)
+
+func main() {
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SCR,
+		F:             2,
+		Simulated:     true,
+		BatchInterval: 20 * time.Millisecond,
+		Delta:         150 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Start()
+
+	h := cluster.Harness()
+	fmt.Printf("SCR cluster: n = %d (3f+2), %d coordinator-candidate pairs\n",
+		len(cluster.Processes()), h.Topo.NumCandidates())
+
+	// Work under pair 1.
+	id, err := cluster.Submit([]byte("before suspicion"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.AwaitCommit(id, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("phase 1: ordering under pair 1")
+
+	// Sever the pair link: a false suspicion follows.
+	p1, _ := h.Topo.ReplicaID(1)
+	s1, _ := h.Topo.ShadowID(1)
+	h.Fabric.Cut(p1, s1)
+	if _, err := cluster.Submit([]byte("during cut")); err != nil {
+		log.Fatal(err)
+	}
+	cluster.RunFor(2 * time.Second)
+	for _, fs := range h.Events.FailSignals() {
+		if fs.Emitter {
+			fmt.Printf("phase 2: false suspicion — %v fail-signalled pair %d (%s)\n",
+				fs.Node, fs.Pair, fs.Reason)
+			break
+		}
+	}
+
+	// The view moves to pair 2 and ordering continues.
+	id, err = cluster.Submit([]byte("under pair 2"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.AwaitCommit(id, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("phase 3: view rotated; ordering under pair 2")
+
+	// Heal the link: PairBeats flow again and the pair recovers.
+	h.Fabric.Heal(p1, s1)
+	cluster.RunFor(3 * time.Second)
+	recovered := map[sof.NodeID]bool{}
+	for _, ev := range h.Events.Recoveries() {
+		recovered[ev.Node] = true
+	}
+	fmt.Printf("phase 4: pair 1 recovered at %d member(s) — status up, epoch 1\n", len(recovered))
+	if len(recovered) < 2 {
+		log.Fatal("recovery incomplete")
+	}
+	fmt.Println("phase 5: pair 1 is again a willing coordinator candidate (Section 4.4)")
+}

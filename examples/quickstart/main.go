@@ -1,0 +1,41 @@
+// Quickstart: bring up an in-process SC cluster (f = 2, so 3f+1 = 7 order
+// processes: five replicas, two of them paired with shadow processes),
+// submit a few requests and watch them commit in total order.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sof "github.com/sof-repro/sof"
+)
+
+func main() {
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SC,
+		F:             2,
+		BatchInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	fmt.Printf("SC cluster up: %d order processes %v\n",
+		len(cluster.Processes()), cluster.Processes())
+
+	for i := 1; i <= 5; i++ {
+		payload := []byte(fmt.Sprintf("request #%d", i))
+		id, err := cluster.Submit(payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cluster.AwaitCommit(id, 5*time.Second); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("committed %v (%q)\n", id, payload)
+	}
+	fmt.Printf("order latency: %v\n", cluster.Latency())
+}

@@ -1,0 +1,205 @@
+package bft_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/sof-repro/sof/internal/harness"
+	"github.com/sof-repro/sof/internal/netsim"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+func bftCluster(t *testing.T, mutate func(*harness.Options)) *harness.Cluster {
+	t.Helper()
+	opts := harness.Options{
+		Protocol:          types.BFT,
+		F:                 2,
+		BatchInterval:     10 * time.Millisecond,
+		MaxBatchBytes:     1024,
+		ViewChangeTimeout: 300 * time.Millisecond,
+		Net:               netsim.LANDefaults(),
+		Seed:              1,
+		KeepCommits:       true,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	c, err := harness.New(opts)
+	if err != nil {
+		t.Fatalf("harness.New: %v", err)
+	}
+	c.Start()
+	return c
+}
+
+// sequences returns each node's delivery sequence as strings.
+func sequences(c *harness.Cluster) map[types.NodeID][]string {
+	out := make(map[types.NodeID][]string)
+	for _, ev := range c.Events.Commits() {
+		for i, e := range ev.Entries {
+			out[ev.Node] = append(out[ev.Node],
+				fmt.Sprintf("%d:%v", ev.FirstSeq+types.Seq(i), e.Req))
+		}
+	}
+	return out
+}
+
+func assertAgreement(t *testing.T, c *harness.Cluster, minFull, minLen int) {
+	t.Helper()
+	seqs := sequences(c)
+	var longest []string
+	for _, s := range seqs {
+		if len(s) > len(longest) {
+			longest = s
+		}
+	}
+	if len(longest) < minLen {
+		t.Fatalf("longest delivery %d < %d", len(longest), minLen)
+	}
+	full := 0
+	for node, s := range seqs {
+		for i := range s {
+			if s[i] != longest[i] {
+				t.Fatalf("node %v diverges at %d: %s vs %s", node, i, s[i], longest[i])
+			}
+		}
+		if len(s) == len(longest) {
+			full++
+		}
+	}
+	if full < minFull {
+		t.Fatalf("%d processes delivered everything, want >= %d", full, minFull)
+	}
+}
+
+func TestBFTFailFreeOrdering(t *testing.T) {
+	c := bftCluster(t, nil)
+	for i := 0; i < 15; i++ {
+		if _, err := c.Submit(0, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(3 * time.Millisecond)
+	}
+	c.RunFor(time.Second)
+	assertAgreement(t, c, 7, 15)
+	if s := c.Events.LatencySummary(); s.Count == 0 {
+		t.Error("no latency samples")
+	}
+}
+
+func TestBFTF1AndF3(t *testing.T) {
+	for _, f := range []int{1, 3} {
+		f := f
+		t.Run(fmt.Sprintf("f=%d", f), func(t *testing.T) {
+			c := bftCluster(t, func(o *harness.Options) { o.F = f })
+			for i := 0; i < 8; i++ {
+				if _, err := c.Submit(0, make([]byte, 64)); err != nil {
+					t.Fatal(err)
+				}
+				c.RunFor(3 * time.Millisecond)
+			}
+			c.RunFor(time.Second)
+			assertAgreement(t, c, 3*f+1, 8)
+		})
+	}
+}
+
+func TestBFTPrimaryCrashViewChange(t *testing.T) {
+	c := bftCluster(t, nil)
+	// Commit something in view 1 first.
+	for i := 0; i < 4; i++ {
+		if _, err := c.Submit(0, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(3 * time.Millisecond)
+	}
+	c.RunFor(300 * time.Millisecond)
+
+	// Crash the view-1 primary (CandidateForView(1) = rank 2 => node 1).
+	primary := types.NodeID(int(c.Topo.CandidateForView(1)) - 1)
+	c.Crash(primary)
+	// New request goes uncommitted => backups time out => view change.
+	if _, err := c.Submit(0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(3 * time.Second)
+
+	// The request eventually commits in a later view.
+	views := map[types.View]bool{}
+	total := 0
+	for _, ev := range c.Events.Commits() {
+		views[ev.View] = true
+		total += len(ev.Entries)
+	}
+	if len(views) < 2 {
+		t.Fatalf("no commit in a later view; views seen: %v", views)
+	}
+	assertAgreement(t, c, c.Topo.N()-1, 5)
+}
+
+func TestBFTSlowBackupStaysConsistent(t *testing.T) {
+	// Isolate one backup during ordering, then heal: committed prefixes
+	// must always agree.
+	c := bftCluster(t, nil)
+	victim, _ := c.Topo.ReplicaID(5)
+	c.Fabric.Isolate(victim)
+	for i := 0; i < 6; i++ {
+		if _, err := c.Submit(0, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(3 * time.Millisecond)
+	}
+	c.RunFor(300 * time.Millisecond)
+	c.Fabric.Rejoin(victim)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Submit(0, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(3 * time.Millisecond)
+	}
+	c.RunFor(time.Second)
+	assertAgreement(t, c, 1, 10)
+}
+
+func TestBFTMoreMessagesThanSC(t *testing.T) {
+	// Fig 3: BFT's fail-free phases are 1->n, n->n, n->n; SC's are 1->1,
+	// 2->n, n->n. For one batch, BFT must put substantially more protocol
+	// messages on the wire.
+	run := func(proto types.Protocol) int64 {
+		opts := harness.Options{
+			Protocol:      proto,
+			F:             2,
+			BatchInterval: 10 * time.Millisecond,
+			Net:           netsim.LANDefaults(),
+			Seed:          1,
+		}
+		if proto == types.SC {
+			opts.Mirror = false // count only order-protocol traffic
+		}
+		c, err := harness.New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		c.RunFor(50 * time.Millisecond)
+		c.Fabric.ResetCounters()
+		if _, err := c.Submit(0, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(300 * time.Millisecond)
+		total := c.Fabric.Totals()
+		return total.Messages
+	}
+	bftMsgs := run(types.BFT)
+	scMsgs := run(types.SC)
+	if bftMsgs <= scMsgs {
+		t.Errorf("BFT sent %d messages, SC %d; expected BFT > SC", bftMsgs, scMsgs)
+	}
+	// Rough shape check against Figure 3 at n=7: client request to all (7
+	// counted at the client) aside, SC ~ 1 + 2(n-1) + n(n-1) and BFT ~
+	// (n-1) + 2n(n-1); allow wide tolerance.
+	if bftMsgs < 70 || scMsgs > 75 {
+		t.Logf("message counts: BFT=%d SC=%d", bftMsgs, scMsgs)
+	}
+}

@@ -1,0 +1,224 @@
+// Package codec provides the canonical binary encoding used for every wire
+// message in this repository.
+//
+// Signatures are computed over canonical bytes, so the encoding must be
+// deterministic: fixed-width big-endian integers, length-prefixed byte
+// strings, and no map iteration anywhere. The Writer never fails; the
+// Reader accumulates a sticky error so call sites can decode a whole
+// message and check the error once, keeping protocol code linear.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated is returned when the input ends before a value is complete.
+var ErrTruncated = errors.New("codec: truncated input")
+
+// ErrOversize is returned when a length prefix exceeds MaxBytes.
+var ErrOversize = errors.New("codec: length prefix exceeds limit")
+
+// MaxBytes bounds any single length-prefixed byte string (16 MiB). A wire
+// peer that claims more is malformed or malicious.
+const MaxBytes = 16 << 20
+
+// Writer appends canonical binary values to a buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity hint.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The slice aliases the Writer's internal
+// storage; callers that keep it must not keep writing.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// I32 appends a big-endian int32 (two's complement).
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// I64 appends a big-endian int64 (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Bool appends 0x01 for true, 0x00 for false.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Bytes32 appends a 32-bit length prefix followed by the bytes.
+func (w *Writer) Bytes32(b []byte) {
+	if len(b) > MaxBytes {
+		// A write this large is a programming error on our side; clamp is
+		// not an option because it would corrupt the stream, so panic-free
+		// handling means encoding an empty value would be worse. Encode the
+		// true length: the reader enforces the limit, making the failure
+		// visible at the decode site, which is the trust boundary.
+		w.U32(uint32(len(b)))
+		w.buf = append(w.buf, b...)
+		return
+	}
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Raw appends bytes with no length prefix (for fixed-size digests whose
+// size is implied by the suite, or already-framed sub-messages).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Reader decodes canonical binary values and keeps a sticky error.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Finish returns an error if decoding failed or if unread bytes remain.
+// Trailing garbage after a signed message is rejected so that signature
+// checks cover every byte a peer sent.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("codec: %d trailing bytes after message", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I32 reads a big-endian int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// I64 reads a big-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Bool reads a boolean; any byte other than 0 or 1 is an error.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(errors.New("codec: invalid boolean byte"))
+		return false
+	}
+}
+
+// Bytes32 reads a 32-bit length-prefixed byte string. The returned slice
+// aliases the input buffer; callers that retain it must copy.
+func (r *Reader) Bytes32() []byte {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxBytes {
+		r.fail(ErrOversize)
+		return nil
+	}
+	if uint64(n) > uint64(math.MaxInt32) {
+		r.fail(ErrOversize)
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// String reads a length-prefixed UTF-8 string.
+func (r *Reader) String() string { return string(r.Bytes32()) }
+
+// Raw reads exactly n bytes with no length prefix.
+func (r *Reader) Raw(n int) []byte { return r.take(n) }

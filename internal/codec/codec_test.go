@@ -1,0 +1,184 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(0xAB)
+	w.U16(0xCDEF)
+	w.U32(0xDEADBEEF)
+	w.U64(0x0123456789ABCDEF)
+	w.I32(-42)
+	w.I64(-1 << 40)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes32([]byte("hello"))
+	w.String("world")
+	w.Raw([]byte{9, 9})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := r.U16(); got != 0xCDEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I32(); got != -42 {
+		t.Errorf("I32 = %d", got)
+	}
+	if got := r.I64(); got != -1<<40 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Bool(); got != true {
+		t.Errorf("Bool#1 = %v", got)
+	}
+	if got := r.Bool(); got != false {
+		t.Errorf("Bool#2 = %v", got)
+	}
+	if got := r.Bytes32(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Bytes32 = %q", got)
+	}
+	if got := r.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Raw(2); !bytes.Equal(got, []byte{9, 9}) {
+		t.Errorf("Raw = %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	w := NewWriter(8)
+	w.U64(7)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U64()
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Errorf("cut=%d: err = %v, want ErrTruncated", cut, r.Err())
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U32() // fails: truncated
+	if r.Err() == nil {
+		t.Fatal("expected error after truncated read")
+	}
+	// Subsequent reads return zero values and preserve the first error.
+	if got := r.U8(); got != 0 {
+		t.Errorf("U8 after error = %d, want 0", got)
+	}
+	if got := r.Bytes32(); got != nil {
+		t.Errorf("Bytes32 after error = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Errorf("sticky err = %v, want ErrTruncated", r.Err())
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	w := NewWriter(8)
+	w.U8(1)
+	w.U8(2)
+	r := NewReader(w.Bytes())
+	r.U8()
+	if err := r.Finish(); err == nil {
+		t.Error("Finish with trailing bytes: want error, got nil")
+	}
+}
+
+func TestInvalidBool(t *testing.T) {
+	r := NewReader([]byte{7})
+	r.Bool()
+	if r.Err() == nil {
+		t.Error("Bool(7): want error")
+	}
+}
+
+func TestOversizeLengthPrefix(t *testing.T) {
+	w := NewWriter(8)
+	w.U32(MaxBytes + 1)
+	r := NewReader(w.Bytes())
+	if got := r.Bytes32(); got != nil {
+		t.Errorf("oversize Bytes32 = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrOversize) {
+		t.Errorf("err = %v, want ErrOversize", r.Err())
+	}
+}
+
+func TestEmptyBytes32(t *testing.T) {
+	w := NewWriter(4)
+	w.Bytes32(nil)
+	r := NewReader(w.Bytes())
+	got := r.Bytes32()
+	if len(got) != 0 || r.Err() != nil {
+		t.Errorf("empty Bytes32 round trip: got %v err %v", got, r.Err())
+	}
+	if err := r.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+// Property: any sequence of byte strings round-trips and the encoding is
+// unambiguous (Finish succeeds exactly at the end).
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		w := NewWriter(64)
+		w.U32(uint32(len(chunks)))
+		for _, c := range chunks {
+			w.Bytes32(c)
+		}
+		r := NewReader(w.Bytes())
+		n := r.U32()
+		if int(n) != len(chunks) {
+			return false
+		}
+		for _, c := range chunks {
+			got := r.Bytes32()
+			if !bytes.Equal(got, c) {
+				return false
+			}
+		}
+		return r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integer round trips for arbitrary values.
+func TestQuickIntegers(t *testing.T) {
+	f := func(a uint64, b int64, c uint32, d int32, e uint16, g uint8, h bool) bool {
+		w := NewWriter(64)
+		w.U64(a)
+		w.I64(b)
+		w.U32(c)
+		w.I32(d)
+		w.U16(e)
+		w.U8(g)
+		w.Bool(h)
+		r := NewReader(w.Bytes())
+		ok := r.U64() == a && r.I64() == b && r.U32() == c && r.I32() == d &&
+			r.U16() == e && r.U8() == g && r.Bool() == h
+		return ok && r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package core implements the paper's primary contribution: the SC order
+// protocol of Section 4 — a coordinator-based Byzantine fault-tolerant
+// total-order protocol in which the coordinator is an abstract
+// signal-on-crash process built from a pair of mutually-checking processes
+// (internal/fsp). It also exports the request pool and quorum tracker that
+// the CT and BFT baselines reuse.
+package core
+
+import (
+	"github.com/sof-repro/sof/internal/message"
+)
+
+// RequestPool holds client requests awaiting ordering and execution.
+// Clients multicast requests to every order process, so each process
+// accumulates its own copy. The pool is driven from a single event loop
+// and needs no locking.
+type RequestPool struct {
+	reqs      map[message.ReqID]*message.Request
+	ordered   map[message.ReqID]bool
+	unordered []message.ReqID // FIFO arrival order, lazily compacted
+	inQueue   map[message.ReqID]bool
+	waiters   map[message.ReqID][]func(*message.Request)
+}
+
+// NewRequestPool returns an empty pool.
+func NewRequestPool() *RequestPool {
+	return &RequestPool{
+		reqs:    make(map[message.ReqID]*message.Request),
+		ordered: make(map[message.ReqID]bool),
+		inQueue: make(map[message.ReqID]bool),
+		waiters: make(map[message.ReqID][]func(*message.Request)),
+	}
+}
+
+// Add stores a request; duplicates are ignored. It reports whether the
+// request was new, and fires any WhenAvailable callbacks.
+func (p *RequestPool) Add(req *message.Request) bool {
+	id := req.ID()
+	if _, dup := p.reqs[id]; dup {
+		return false
+	}
+	p.reqs[id] = req
+	if !p.ordered[id] && !p.inQueue[id] {
+		p.unordered = append(p.unordered, id)
+		p.inQueue[id] = true
+	}
+	if ws := p.waiters[id]; len(ws) > 0 {
+		delete(p.waiters, id)
+		for _, fn := range ws {
+			fn(req)
+		}
+	}
+	return true
+}
+
+// Get returns a stored request.
+func (p *RequestPool) Get(id message.ReqID) (*message.Request, bool) {
+	r, ok := p.reqs[id]
+	return r, ok
+}
+
+// WhenAvailable calls fn immediately if the request is known, otherwise
+// when it arrives. The shadow coordinator uses this to defer value-domain
+// validation of an order whose request is still in flight.
+func (p *RequestPool) WhenAvailable(id message.ReqID, fn func(*message.Request)) {
+	if r, ok := p.reqs[id]; ok {
+		fn(r)
+		return
+	}
+	p.waiters[id] = append(p.waiters[id], fn)
+}
+
+// MarkOrdered records that a request has been assigned a sequence number.
+func (p *RequestPool) MarkOrdered(id message.ReqID) {
+	p.ordered[id] = true
+}
+
+// IsOrdered reports whether the request has been assigned a sequence
+// number (as far as this process knows).
+func (p *RequestPool) IsOrdered(id message.ReqID) bool { return p.ordered[id] }
+
+// UnmarkOrdered returns a request to the unordered queue; a new coordinator
+// uses this for orders dropped during fail-over.
+func (p *RequestPool) UnmarkOrdered(id message.ReqID) {
+	if !p.ordered[id] {
+		return
+	}
+	delete(p.ordered, id)
+	if _, known := p.reqs[id]; known && !p.inQueue[id] {
+		p.unordered = append(p.unordered, id)
+		p.inQueue[id] = true
+	}
+}
+
+// EntryOverhead approximates the wire bytes an order entry adds to a batch
+// beyond the request digest (identifiers and length prefixes).
+const EntryOverhead = 24
+
+// NextBatch pops unordered requests in arrival order until adding another
+// would exceed maxBytes (counting payload plus EntryOverhead plus digest
+// size per entry), marking them ordered. At least one request is returned
+// if any is available, so an oversized single request still gets ordered.
+func (p *RequestPool) NextBatch(maxBytes, digestSize int) []*message.Request {
+	var (
+		out   []*message.Request
+		total int
+	)
+	for len(p.unordered) > 0 {
+		id := p.unordered[0]
+		if p.ordered[id] || !p.inQueue[id] {
+			p.unordered = p.unordered[1:]
+			delete(p.inQueue, id)
+			continue
+		}
+		req := p.reqs[id]
+		cost := len(req.Payload) + EntryOverhead + digestSize
+		if len(out) > 0 && total+cost > maxBytes {
+			break
+		}
+		p.unordered = p.unordered[1:]
+		delete(p.inQueue, id)
+		p.ordered[id] = true
+		out = append(out, req)
+		total += cost
+		if total >= maxBytes {
+			break
+		}
+	}
+	return out
+}
+
+// PendingCount returns how many known requests await ordering.
+func (p *RequestPool) PendingCount() int {
+	n := 0
+	for _, id := range p.unordered {
+		if p.inQueue[id] && !p.ordered[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of stored requests.
+func (p *RequestPool) Len() int { return len(p.reqs) }

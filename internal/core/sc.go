@@ -1,0 +1,726 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/fsp"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/runtime"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// Config parameterises one SC order process.
+type Config struct {
+	// Topo is the SC topology (2f+1 replicas, f shadows, n = 3f+1).
+	Topo types.Topology
+	// BatchInterval is the paper's batching-interval: the coordinator
+	// proposes one batch per interval.
+	BatchInterval time.Duration
+	// MaxBatchBytes is the paper's batch_size (1 KB in the evaluation).
+	MaxBatchBytes int
+	// Delta is the differential delay estimate for intra-pair time-domain
+	// checks (assumption 3(a)(i)/3(b)(i)).
+	Delta time.Duration
+	// Mirror enables pair-link mirroring of asynchronous-network traffic
+	// (Section 3.1 collaboration (i)).
+	Mirror bool
+	// DumbOptimization mutes the processes of a replaced coordinator pair
+	// and shrinks (n, f) accordingly (Section 4.3, first optimization).
+	DumbOptimization bool
+	// PresignedFailSig is the counterpart's epoch-0 pre-signature (paired
+	// processes only).
+	PresignedFailSig crypto.Signature
+	// PadBacklogBytes pads BackLog messages, letting the Figure 6
+	// experiments control BackLog size.
+	PadBacklogBytes int
+
+	// OnBatched fires at the coordinator when a batch is formed — the
+	// paper's latency clock starts here.
+	OnBatched func(BatchEvent)
+	// OnCommit fires when this process commits a batch or Start.
+	OnCommit func(CommitEvent)
+	// OnFailSignal fires when a fail-signal is emitted (Emitter true) or
+	// first received (Emitter false).
+	OnFailSignal func(FailSignalEvent)
+	// OnInstalled fires when this process regards a new coordinator as
+	// installed (IN5).
+	OnInstalled func(InstallEvent)
+	// OnStartTuplesIssued fires at the new coordinator when it multicasts
+	// the identifier-signature tuples (IN4) — the paper's fail-over
+	// latency clock stops here.
+	OnStartTuplesIssued func(InstallEvent)
+	// OnPairRecovered fires when a down pair optimistically resumes (SCR).
+	OnPairRecovered func(InstallEvent)
+
+	// RecoveryInterval is the SCR pair-probe period (0 disables recovery;
+	// ignored in SC mode).
+	RecoveryInterval time.Duration
+}
+
+// BatchEvent reports batch formation at the coordinator.
+type BatchEvent struct {
+	Node     types.NodeID
+	View     types.View
+	FirstSeq types.Seq
+	Entries  []message.OrderEntry
+	At       time.Time
+}
+
+// CommitEvent reports a commit at one process.
+type CommitEvent struct {
+	Node     types.NodeID
+	View     types.View
+	Kind     message.SubjectKind
+	FirstSeq types.Seq
+	LastSeq  types.Seq
+	Entries  []message.OrderEntry
+	At       time.Time
+}
+
+// FailSignalEvent reports fail-signal activity.
+type FailSignalEvent struct {
+	Node    types.NodeID
+	Pair    types.Rank
+	Emitter bool
+	Reason  string
+	At      time.Time
+}
+
+// InstallEvent reports coordinator installation progress.
+type InstallEvent struct {
+	Node     types.NodeID
+	Rank     types.Rank
+	StartSeq types.Seq
+	At       time.Time
+}
+
+// Process is one SC order process (pi or p'i). It is a single-threaded
+// reactor driven by a runtime environment.
+type Process struct {
+	cfg  Config
+	topo types.Topology
+	id   types.NodeID
+	all  []types.NodeID
+
+	pair    *fsp.Pair // nil for unpaired processes
+	pairIdx int
+
+	rank      types.Rank
+	view      types.View
+	installed bool
+
+	failSignalled map[types.Rank]*message.FailSignal
+	dumb          map[types.NodeID]bool
+	dumbPairs     int
+
+	pool       *RequestPool
+	digestSize int
+
+	// Receiver-side ordering state.
+	nextExpected  types.Seq
+	future        map[types.Seq]*message.OrderBatch
+	trackers      map[types.Seq]*Tracker
+	deliveredUpTo types.Seq
+	committedLog  map[types.Seq]*Tracker // committed trackers by FirstSeq
+	lastProof     *message.CommitProof
+
+	// Coordinator-primary state.
+	nextSeq    types.Seq
+	batchTimer runtime.Timer
+	proposals  map[types.Seq]*message.OrderBatch
+
+	// Coordinator-shadow state.
+	shadowNextPropose types.Seq
+	deferredProposals map[types.Seq]int // FirstSeq -> unresolved request count
+
+	// Install state (install.go).
+	installing      bool
+	backlogs        map[types.NodeID]*message.BackLog
+	myStart         *message.Start
+	startMsg        *message.Start
+	startDigest     []byte
+	startSigs       map[types.NodeID]crypto.Signature
+	tuplesSent      bool
+	pendingTuples   *message.StartTuples
+	pendingStartSig []*message.StartSig // tuples racing ahead of the Start
+	pendingAcks     map[types.Seq][]*message.Ack
+	droppedInstall  int // batches truncated during installs (observability)
+
+	// SCR state (scr.go).
+	pairEpochs    map[types.Rank]uint64
+	unwillingSeen map[types.View]bool
+	unwillingSent map[types.View]bool
+	beatTimer     runtime.Timer
+	beatSeq       uint64
+	myBeatPresig  map[uint64]crypto.Signature
+}
+
+var _ runtime.Process = (*Process)(nil)
+
+// New validates the configuration and returns a process for id.
+func New(id types.NodeID, cfg Config) (*Process, error) {
+	if cfg.Topo.Protocol != types.SC && cfg.Topo.Protocol != types.SCR {
+		return nil, fmt.Errorf("core: topology protocol %v is not SC/SCR", cfg.Topo.Protocol)
+	}
+	if !cfg.Topo.IsProcess(id) {
+		return nil, fmt.Errorf("core: %v is not an order process of the topology", id)
+	}
+	if cfg.BatchInterval <= 0 {
+		return nil, errors.New("core: BatchInterval must be positive")
+	}
+	if cfg.MaxBatchBytes <= 0 {
+		return nil, errors.New("core: MaxBatchBytes must be positive")
+	}
+	if cfg.Delta <= 0 {
+		return nil, errors.New("core: Delta must be positive")
+	}
+	if cfg.Topo.Protocol == types.SCR && cfg.DumbOptimization {
+		// The dumb optimization depends on property SC2, which does not
+		// hold under the recovery semantics (Section 4.4).
+		return nil, errors.New("core: the dumb-process optimization is unsound under SCR")
+	}
+	p := &Process{
+		cfg:               cfg,
+		topo:              cfg.Topo,
+		id:                id,
+		all:               cfg.Topo.AllProcesses(),
+		pairIdx:           cfg.Topo.PairIndex(id),
+		rank:              1,
+		view:              1,
+		installed:         true,
+		failSignalled:     make(map[types.Rank]*message.FailSignal),
+		dumb:              make(map[types.NodeID]bool),
+		pool:              NewRequestPool(),
+		nextExpected:      1,
+		future:            make(map[types.Seq]*message.OrderBatch),
+		trackers:          make(map[types.Seq]*Tracker),
+		committedLog:      make(map[types.Seq]*Tracker),
+		nextSeq:           1,
+		proposals:         make(map[types.Seq]*message.OrderBatch),
+		shadowNextPropose: 1,
+		deferredProposals: make(map[types.Seq]int),
+		backlogs:          make(map[types.NodeID]*message.BackLog),
+		startSigs:         make(map[types.NodeID]crypto.Signature),
+		pendingAcks:       make(map[types.Seq][]*message.Ack),
+		pairEpochs:        make(map[types.Rank]uint64),
+		unwillingSeen:     make(map[types.View]bool),
+		unwillingSent:     make(map[types.View]bool),
+		myBeatPresig:      make(map[uint64]crypto.Signature),
+	}
+	if p.pairIdx > 0 {
+		counterpart, _ := cfg.Topo.PairOf(id)
+		p.pair = fsp.New(fsp.Config{
+			Self:             id,
+			Counterpart:      counterpart,
+			Rank:             types.Rank(p.pairIdx),
+			Delta:            cfg.Delta,
+			PresignedFailSig: cfg.PresignedFailSig,
+			MirrorTraffic:    cfg.Mirror,
+			Broadcast:        func(env runtime.Env, m message.Message) { env.Multicast(p.all, m) },
+			OnDown:           p.onPairDown,
+		})
+	}
+	return p, nil
+}
+
+// Pool exposes the request pool (the replica execution layer reads request
+// payloads from it).
+func (p *Process) Pool() *RequestPool { return p.pool }
+
+// Rank returns the current coordinator candidate rank (the paper's c).
+func (p *Process) Rank() types.Rank { return p.rank }
+
+// Installed reports whether the current coordinator is installed.
+func (p *Process) Installed() bool { return p.installed }
+
+// MaxDelivered returns the highest contiguously delivered sequence number.
+func (p *Process) MaxDelivered() types.Seq { return p.deliveredUpTo }
+
+// Pair returns the fail-signal pair half, or nil for unpaired processes.
+func (p *Process) Pair() *fsp.Pair { return p.pair }
+
+// DroppedInstallBatches reports how many acked-but-uncommitted batches were
+// truncated away across installs (their requests were re-ordered).
+func (p *Process) DroppedInstallBatches() int { return p.droppedInstall }
+
+// candidate returns the pair of rank r.
+func (p *Process) candidate(r types.Rank) (primary, shadow types.NodeID, paired bool) {
+	primary, shadow, paired, err := p.topo.Candidate(r)
+	if err != nil {
+		return types.Nil, types.Nil, false
+	}
+	return primary, shadow, paired
+}
+
+// isPrimaryNow reports whether this process is the installed coordinator's
+// deciding member.
+func (p *Process) isPrimaryNow() bool {
+	primary, _, _ := p.candidate(p.rank)
+	return p.installed && primary == p.id
+}
+
+// isShadowNow reports whether this process is the installed coordinator's
+// endorsing member.
+func (p *Process) isShadowNow() bool {
+	_, shadow, paired := p.candidate(p.rank)
+	return p.installed && paired && shadow == p.id
+}
+
+// quorumEff returns the commit quorum under the dumb-process optimization:
+// n and f shrink by 2 and 1 per muted pair, so the quorum n-f shrinks by
+// one per muted pair.
+func (p *Process) quorumEff() int { return p.topo.Quorum() - p.dumbPairs }
+
+// fEff returns the effective fault bound after the dumb optimization.
+func (p *Process) fEff() int { return p.topo.F - p.dumbPairs }
+
+// mayCount reports whether a process's contributions count toward quorums
+// (dumb processes cannot transmit).
+func (p *Process) mayCount(id types.NodeID) bool { return !p.dumb[id] }
+
+// muted reports whether this process itself must not transmit.
+func (p *Process) muted() bool { return p.dumb[p.id] }
+
+// send/multicast wrappers enforcing the dumb-process muting.
+func (p *Process) send(env runtime.Env, to types.NodeID, m message.Message) {
+	if p.muted() {
+		return
+	}
+	env.Send(to, m)
+}
+
+func (p *Process) multicastAll(env runtime.Env, m message.Message) {
+	if p.muted() {
+		return
+	}
+	env.Multicast(p.all, m)
+}
+
+// Init implements runtime.Process.
+func (p *Process) Init(env runtime.Env) {
+	p.digestSize = len(env.Digest(nil))
+	if p.isPrimaryNow() {
+		p.armBatchTimer(env)
+	}
+}
+
+// Receive implements runtime.Process.
+func (p *Process) Receive(env runtime.Env, from types.NodeID, m message.Message) {
+	p.mirrorIncoming(env, from, m)
+	switch m := m.(type) {
+	case *message.Request:
+		p.onRequest(env, m)
+	case *message.OrderBatch:
+		p.onOrderBatch(env, from, m)
+	case *message.Ack:
+		p.onAck(env, from, m)
+	case *message.FailSignal:
+		p.onFailSignal(env, from, m)
+	case *message.BackLog:
+		p.onBackLog(env, from, m)
+	case *message.PairStart:
+		p.onPairStart(env, from, m)
+	case *message.Start:
+		p.onStart(env, from, m)
+	case *message.StartSig:
+		p.onStartSig(env, from, m)
+	case *message.StartTuples:
+		p.onStartTuples(env, from, m)
+	case *message.Unwilling:
+		p.onUnwilling(env, from, m)
+	case *message.PairBeat:
+		p.onPairBeat(env, from, m)
+	case *message.Mirror:
+		p.onMirror(env, from, m)
+	default:
+		env.Logf("core: ignoring %v from %v", m.Type(), from)
+	}
+}
+
+// --- batching (coordinator primary) ---
+
+func (p *Process) armBatchTimer(env runtime.Env) {
+	if p.batchTimer != nil {
+		p.batchTimer.Stop()
+	}
+	p.batchTimer = env.SetTimer(p.cfg.BatchInterval, func() { p.batchTick(env) })
+}
+
+func (p *Process) batchTick(env runtime.Env) {
+	if !p.isPrimaryNow() || p.muted() {
+		return // deposed; do not re-arm
+	}
+	if p.pair != nil && !p.pair.Active() {
+		return
+	}
+	defer p.armBatchTimer(env)
+	reqs := p.pool.NextBatch(p.cfg.MaxBatchBytes, p.digestSize)
+	if len(reqs) == 0 {
+		return
+	}
+	batch := &message.OrderBatch{
+		Coord:    p.rank,
+		View:     p.view,
+		FirstSeq: p.nextSeq,
+	}
+	primary, shadow, paired := p.candidate(p.rank)
+	batch.Primary = primary
+	batch.Shadow = types.Nil
+	if paired {
+		batch.Shadow = shadow
+	}
+	for _, r := range reqs {
+		batch.Entries = append(batch.Entries, message.OrderEntry{
+			Req:       r.ID(),
+			ReqDigest: env.Digest(r.SignedBody()),
+		})
+	}
+	sig1, err := message.SignSingle(env, batch.SignedBody())
+	if err != nil {
+		env.Logf("core: signing batch: %v", err)
+		return
+	}
+	batch.Sig1 = sig1
+	p.nextSeq = batch.LastSeq() + 1
+	if p.cfg.OnBatched != nil {
+		p.cfg.OnBatched(BatchEvent{
+			Node: p.id, View: p.view, FirstSeq: batch.FirstSeq,
+			Entries: batch.Entries, At: env.Now(),
+		})
+	}
+	if paired {
+		// Figure 2: pi forwards its signed decision only to its shadow.
+		p.proposals[batch.FirstSeq] = batch
+		p.send(env, shadow, batch)
+		p.pair.Expect(env, endorseKey(batch.FirstSeq), 0,
+			fmt.Sprintf("endorsement of batch %d", batch.FirstSeq))
+	} else {
+		// The (f+1)th, unpaired coordinator multicasts directly; its
+		// decisions are readily accepted.
+		p.multicastAll(env, batch)
+	}
+}
+
+func endorseKey(s types.Seq) string { return fmt.Sprintf("endorse-%d", s) }
+func orderKey(id message.ReqID) string {
+	return fmt.Sprintf("order-%v-%d", id.Client, id.ClientSeq)
+}
+func ackKey(v types.View, s types.Seq) string { return fmt.Sprintf("ack-%d-%d", v, s) }
+
+// --- requests ---
+
+func (p *Process) onRequest(env runtime.Env, req *message.Request) {
+	if !p.pool.Add(req) {
+		return
+	}
+	// Shadow of the acting coordinator: monitor that the primary decides
+	// an order for every request (time-domain check, Section 3.1).
+	if p.isShadowNow() && p.pair != nil && p.pair.Active() && !p.pool.IsOrdered(req.ID()) {
+		p.pair.Expect(env, orderKey(req.ID()), p.cfg.BatchInterval,
+			fmt.Sprintf("order decision for %v", req.ID()))
+	}
+}
+
+// --- normal part: order batches ---
+
+func (p *Process) onOrderBatch(env runtime.Env, from types.NodeID, b *message.OrderBatch) {
+	// A 1-signed batch arriving on the pair link is the primary's proposal
+	// to its shadow (Figure 2).
+	if len(b.Sig2) == 0 && p.pair != nil && from == p.pair.Counterpart() && b.Shadow == p.id {
+		p.onProposal(env, b)
+		return
+	}
+	p.acceptEndorsedBatch(env, from, b)
+}
+
+// acceptEndorsedBatch runs the receiving side of the 2-to-n phase plus N1.
+func (p *Process) acceptEndorsedBatch(env runtime.Env, from types.NodeID, b *message.OrderBatch) {
+	if p.installing {
+		return // IN1: ignore order messages until the new coordinator is installed
+	}
+	if b.View != p.view || b.Coord != p.rank {
+		p.maybeCatchupBatch(env, b)
+		return
+	}
+	primary, shadow, paired := p.candidate(p.rank)
+	wantShadow := types.Nil
+	if paired {
+		wantShadow = shadow
+	}
+	if b.Primary != primary || b.Shadow != wantShadow {
+		env.Logf("core: batch %d claims wrong coordinator %v/%v", b.FirstSeq, b.Primary, b.Shadow)
+		return
+	}
+	if t, dup := p.trackers[b.FirstSeq]; dup && t.Kind == message.SubjectBatch {
+		p.primaryObserveEndorsed(env, b, t.Digest)
+		return
+	}
+	switch {
+	case b.FirstSeq == p.nextExpected:
+		if p.startBatchTracking(env, b) {
+			p.drainFuture(env)
+		}
+	case b.FirstSeq > p.nextExpected:
+		p.future[b.FirstSeq] = b
+	default:
+		p.maybeCatchupBatch(env, b)
+	}
+}
+
+// startBatchTracking validates an in-sequence endorsed batch and performs
+// N1 (multicast signed ack to all, including itself).
+func (p *Process) startBatchTracking(env runtime.Env, b *message.OrderBatch) bool {
+	if err := b.VerifySigs(env); err != nil {
+		env.Logf("core: rejecting batch %d: %v", b.FirstSeq, err)
+		return false
+	}
+	digest := b.BodyDigest(env)
+	t := NewBatchTracker(b, digest)
+	p.trackers[b.FirstSeq] = t
+	p.nextExpected = b.LastSeq() + 1
+	for _, e := range b.Entries {
+		p.pool.MarkOrdered(e.Req)
+		if p.pair != nil {
+			p.pair.Met(orderKey(e.Req))
+		}
+	}
+	p.primaryObserveEndorsed(env, b, digest)
+	p.sendAck(env, t)
+	p.replayPendingAcks(env, t)
+	p.checkQuorum(env, t)
+	return true
+}
+
+// replayPendingAcks credits buffered acks that arrived before the subject.
+func (p *Process) replayPendingAcks(env runtime.Env, t *Tracker) {
+	pending := p.pendingAcks[t.FirstSeq]
+	if len(pending) == 0 {
+		return
+	}
+	delete(p.pendingAcks, t.FirstSeq)
+	for _, a := range pending {
+		if t.Matches(a) {
+			t.Credit(a.From, a.Sig)
+		}
+	}
+}
+
+func (p *Process) drainFuture(env runtime.Env) {
+	for {
+		b, ok := p.future[p.nextExpected]
+		if !ok {
+			return
+		}
+		delete(p.future, b.FirstSeq)
+		if !p.startBatchTracking(env, b) {
+			return
+		}
+	}
+}
+
+// sendAck performs N1 for a tracker's subject.
+func (p *Process) sendAck(env runtime.Env, t *Tracker) {
+	if t.AckSent {
+		return
+	}
+	t.AckSent = true
+	var subject []byte
+	if t.Batch != nil {
+		subject = t.Batch.Marshal()
+	} else if t.StartMsg != nil {
+		subject = t.StartMsg.Marshal()
+	}
+	ack := &message.Ack{
+		From: p.id, Kind: t.Kind, View: t.View, FirstSeq: t.FirstSeq,
+		SubjectDigest: t.Digest, Subject: subject,
+	}
+	sig, err := message.SignSingle(env, ack.SignedBody())
+	if err != nil {
+		env.Logf("core: signing ack: %v", err)
+		return
+	}
+	ack.Sig = sig
+	p.multicastAll(env, ack)
+	// Mutual checking between non-coordinator pair members: expect the
+	// counterpart's matching ack within Delta.
+	if p.pair != nil && p.pair.Active() && !p.isPrimaryNow() && !p.isShadowNow() {
+		p.pair.Expect(env, ackKey(t.View, t.FirstSeq), 0,
+			fmt.Sprintf("counterpart ack for seq %d", t.FirstSeq))
+	}
+}
+
+// --- normal part: acks and commit ---
+
+func (p *Process) onAck(env runtime.Env, from types.NodeID, a *message.Ack) {
+	if a.From != from {
+		// Acks are not relayed in SC (self-delivery carries from == p.id),
+		// so a mismatched sender is spoofing.
+		env.Logf("core: ack claims sender %v but came from %v", a.From, from)
+		return
+	}
+	if err := a.VerifySig(env); err != nil {
+		env.Logf("core: bad ack from %v: %v", from, err)
+		return
+	}
+	t := p.trackers[a.FirstSeq]
+	if t == nil || !t.Matches(a) {
+		// The ack "also contains the received order": learn the subject
+		// from it if we have not seen the order yet.
+		p.learnFromAckSubject(env, a)
+		t = p.trackers[a.FirstSeq]
+	}
+	if t == nil || !t.Matches(a) {
+		// Remember acks that outran their subject (e.g. a Start we are
+		// still installing); replayPendingAcks picks them up.
+		if len(p.pendingAcks[a.FirstSeq]) < 64 {
+			p.pendingAcks[a.FirstSeq] = append(p.pendingAcks[a.FirstSeq], a)
+		}
+		p.crossCheckCounterpartAck(env, a, nil)
+		return
+	}
+	t.Credit(a.From, a.Sig)
+	p.crossCheckCounterpartAck(env, a, t)
+	p.checkQuorum(env, t)
+}
+
+// learnFromAckSubject processes the order embedded in an ack.
+func (p *Process) learnFromAckSubject(env runtime.Env, a *message.Ack) {
+	if len(a.Subject) == 0 {
+		return
+	}
+	inner, err := message.Decode(a.Subject)
+	if err != nil {
+		return
+	}
+	switch inner := inner.(type) {
+	case *message.OrderBatch:
+		if a.Kind == message.SubjectBatch {
+			p.acceptEndorsedBatch(env, a.From, inner)
+		}
+	case *message.Start:
+		if a.Kind == message.SubjectStart {
+			p.onStart(env, a.From, inner)
+		}
+	}
+}
+
+// crossCheckCounterpartAck performs the value-domain comparison of the
+// counterpart's ack against our own for the same subject.
+func (p *Process) crossCheckCounterpartAck(env runtime.Env, a *message.Ack, t *Tracker) {
+	if p.pair == nil || !p.pair.Active() || a.From != p.pair.Counterpart() {
+		return
+	}
+	p.pair.Met(ackKey(a.View, a.FirstSeq))
+	if t == nil {
+		// We track this (view, seq) under a different digest: the
+		// counterpart endorsed a conflicting order.
+		if our, ok := p.trackers[a.FirstSeq]; ok && our.View == a.View && our.Kind == a.Kind && !our.Matches(a) {
+			p.pair.Fail(env, fmt.Sprintf("value-domain: counterpart acked conflicting order at seq %d", a.FirstSeq))
+			if p.pair.Status() != fsp.PermanentlyDown {
+				p.pair.MarkPermanentlyDown()
+			}
+		}
+	}
+}
+
+func (p *Process) checkQuorum(env runtime.Env, t *Tracker) {
+	if t.Committed {
+		return
+	}
+	// N2 follows N1: commit only after sending our own ack — unless we are
+	// muted (dumb processes cannot transmit but still execute the protocol).
+	if !t.AckSent && !p.muted() {
+		return
+	}
+	if t.Count(p.mayCount) < p.quorumEff() {
+		return
+	}
+	t.Committed = true
+	p.committedLog[t.FirstSeq] = t
+	if t.Batch != nil {
+		if proof := t.Proof(); proof != nil {
+			p.lastProof = proof
+		}
+	}
+	p.advanceDelivery(env)
+}
+
+// advanceDelivery delivers committed subjects contiguously.
+func (p *Process) advanceDelivery(env runtime.Env) {
+	for {
+		t, ok := p.committedLog[p.deliveredUpTo+1]
+		if !ok || !t.Committed {
+			return
+		}
+		p.deliver(env, t)
+	}
+}
+
+func (p *Process) deliver(env runtime.Env, t *Tracker) {
+	var last types.Seq
+	var entries []message.OrderEntry
+	switch {
+	case t.Batch != nil:
+		last = t.Batch.LastSeq()
+		entries = t.Batch.Entries
+	case t.StartMsg != nil:
+		last = t.StartMsg.StartSeq
+	}
+	p.deliveredUpTo = last
+	if p.cfg.OnCommit != nil {
+		p.cfg.OnCommit(CommitEvent{
+			Node: p.id, View: t.View, Kind: t.Kind,
+			FirstSeq: t.FirstSeq, LastSeq: last,
+			Entries: entries, At: env.Now(),
+		})
+	}
+}
+
+// maybeCatchupBatch accepts a late batch below the committed watermark
+// established by a committed Start: its sequence range was already
+// committed wholesale, so a valid pair endorsement suffices (assumption
+// 3(a)(ii)/3(b)(ii) exclude pair equivocation by two simultaneous faults).
+func (p *Process) maybeCatchupBatch(env runtime.Env, b *message.OrderBatch) {
+	if b.LastSeq() > p.deliveredUpTo || b.FirstSeq <= p.deliveredUpTo {
+		return
+	}
+	// Already delivered range; nothing to do.
+}
+
+// --- mirroring ---
+
+// mirrorIncoming forwards a copy of every asynchronous-network message to
+// the counterpart (Section 3.1(i)). Pair-link traffic (anything from the
+// counterpart) is not itself mirrored back.
+func (p *Process) mirrorIncoming(env runtime.Env, from types.NodeID, m message.Message) {
+	if p.pair == nil || !p.cfg.Mirror || p.muted() {
+		return
+	}
+	if from == p.id || from == p.pair.Counterpart() {
+		return
+	}
+	if m.Type() == message.TMirror {
+		return
+	}
+	p.pair.Mirror(env, message.MirrorRecv, from, m.Marshal())
+}
+
+// onMirror consumes a counterpart's mirrored message: requests are added
+// to the pool (the shadow may learn a request from the mirror before the
+// client's own copy arrives); other mirrored traffic needs no action
+// beyond its transfer cost.
+func (p *Process) onMirror(env runtime.Env, from types.NodeID, m *message.Mirror) {
+	if p.pair == nil || from != p.pair.Counterpart() {
+		return
+	}
+	inner, err := m.InnerMessage()
+	if err != nil {
+		return
+	}
+	if req, ok := inner.(*message.Request); ok {
+		p.onRequest(env, req)
+	}
+}

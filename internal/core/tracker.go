@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// Tracker accumulates the N2 evidence for one orderable subject (an
+// OrderBatch, or a Start during coordinator installation): the distinct
+// processes whose ack or order transmission supports it. At quorum the
+// subject commits (N3) and the tracker's contents become the proof of
+// commitment.
+type Tracker struct {
+	Kind     message.SubjectKind
+	View     types.View
+	FirstSeq types.Seq
+	Digest   []byte
+
+	// Batch is set for SubjectBatch, StartMsg for SubjectStart.
+	Batch    *message.OrderBatch
+	StartMsg *message.Start
+
+	contributors map[types.NodeID]crypto.Signature // acker -> ack signature
+	implicit     map[types.NodeID]bool             // pair members credited via the order itself
+
+	AckSent   bool
+	Committed bool
+}
+
+// NewBatchTracker starts tracking an order batch, crediting the
+// coordinator pair (their transmission of the order is their
+// contribution).
+func NewBatchTracker(b *message.OrderBatch, digest []byte) *Tracker {
+	t := &Tracker{
+		Kind:         message.SubjectBatch,
+		View:         b.View,
+		FirstSeq:     b.FirstSeq,
+		Digest:       digest,
+		Batch:        b,
+		contributors: make(map[types.NodeID]crypto.Signature),
+		implicit:     make(map[types.NodeID]bool),
+	}
+	t.implicit[b.Primary] = true
+	if b.Shadow != types.Nil {
+		t.implicit[b.Shadow] = true
+	}
+	return t
+}
+
+// NewStartTracker starts tracking a Start message committed through the
+// normal part (IN5).
+func NewStartTracker(s *message.Start, digest []byte) *Tracker {
+	t := &Tracker{
+		Kind:         message.SubjectStart,
+		View:         s.View,
+		FirstSeq:     s.StartSeq,
+		Digest:       digest,
+		StartMsg:     s,
+		contributors: make(map[types.NodeID]crypto.Signature),
+		implicit:     make(map[types.NodeID]bool),
+	}
+	t.implicit[s.Primary] = true
+	if s.Shadow != types.Nil {
+		t.implicit[s.Shadow] = true
+	}
+	return t
+}
+
+// Matches reports whether an ack refers to this subject.
+func (t *Tracker) Matches(a *message.Ack) bool {
+	return a.Kind == t.Kind && a.View == t.View && a.FirstSeq == t.FirstSeq &&
+		bytes.Equal(a.SubjectDigest, t.Digest)
+}
+
+// Credit records an acker's signed contribution. Duplicate credits are
+// no-ops.
+func (t *Tracker) Credit(from types.NodeID, sig crypto.Signature) {
+	if t.implicit[from] {
+		return
+	}
+	if _, dup := t.contributors[from]; dup {
+		return
+	}
+	t.contributors[from] = sig
+}
+
+// Count returns the number of distinct contributors, counting ackers whose
+// transmit capability is allowed by mayCount (dumb processes cannot
+// transmit, so their stale contributions are excluded; pass nil to count
+// everyone).
+func (t *Tracker) Count(mayCount func(types.NodeID) bool) int {
+	n := 0
+	for id := range t.implicit {
+		if mayCount == nil || mayCount(id) {
+			n++
+		}
+	}
+	for id := range t.contributors {
+		if mayCount == nil || mayCount(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// Proof assembles the retained (n-f) distinct ack/order evidence (N3).
+// Only meaningful for batch subjects.
+func (t *Tracker) Proof() *message.CommitProof {
+	if t.Batch == nil {
+		return nil
+	}
+	p := &message.CommitProof{Batch: t.Batch}
+	for id, sig := range t.contributors {
+		p.Ackers = append(p.Ackers, id)
+		p.Sigs = append(p.Sigs, sig)
+	}
+	return p
+}

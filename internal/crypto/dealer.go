@@ -1,0 +1,109 @@
+package crypto
+
+import (
+	cryptorand "crypto/rand"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// Dealer is the trusted dealer of Assumption 2: it "initializes the system
+// and the nodes with cryptographic keys and hash functions". Issue creates
+// one identity per process and a keyring holding everyone's public keys.
+type Dealer struct {
+	suite Suite
+	rng   io.Reader
+	cache *KeyCache
+}
+
+// DealerOption configures a Dealer.
+type DealerOption func(*Dealer)
+
+// WithRand sets the dealer's entropy source (default crypto/rand.Reader).
+func WithRand(rng io.Reader) DealerOption {
+	return func(d *Dealer) { d.rng = rng }
+}
+
+// WithKeyCache makes the dealer reuse previously generated keys for the
+// same (suite, position) so that tests do not pay RSA/DSA key generation on
+// every cluster construction. Production deployments should not use it.
+func WithKeyCache(c *KeyCache) DealerOption {
+	return func(d *Dealer) { d.cache = c }
+}
+
+// NewDealer returns a dealer for the suite.
+func NewDealer(suite Suite, opts ...DealerOption) *Dealer {
+	d := &Dealer{suite: suite, rng: cryptorand.Reader}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Issue generates (or fetches from the cache) a key pair for every id, in
+// order, and returns the identities plus the fully populated keyring.
+func (d *Dealer) Issue(ids []types.NodeID) (map[types.NodeID]*Identity, *Keyring, error) {
+	ring := NewKeyring(d.suite)
+	idents := make(map[types.NodeID]*Identity, len(ids))
+	for pos, id := range ids {
+		if _, dup := idents[id]; dup {
+			return nil, nil, fmt.Errorf("crypto: duplicate id %v in Issue", id)
+		}
+		priv, pub, err := d.keyAt(pos)
+		if err != nil {
+			return nil, nil, fmt.Errorf("crypto: issuing key for %v: %w", id, err)
+		}
+		ring.Add(id, pub)
+		idents[id] = NewIdentity(id, priv, ring, d.rng)
+	}
+	return idents, ring, nil
+}
+
+func (d *Dealer) keyAt(pos int) (PrivateKey, PublicKey, error) {
+	if d.cache != nil {
+		return d.cache.keyAt(d.suite, pos, d.rng)
+	}
+	return d.suite.GenerateKey(d.rng)
+}
+
+// KeyCache memoises generated key pairs per (suite name, position index).
+// It exists purely to keep test and benchmark setup fast; reusing private
+// keys across runs would be unacceptable in a real deployment.
+type KeyCache struct {
+	mu   sync.Mutex
+	keys map[SuiteName][]cachedKey
+}
+
+type cachedKey struct {
+	priv PrivateKey
+	pub  PublicKey
+}
+
+// NewKeyCache returns an empty cache.
+func NewKeyCache() *KeyCache { return &KeyCache{keys: make(map[SuiteName][]cachedKey)} }
+
+var sharedKeyCacheOnce sync.Once
+var sharedKeyCache *KeyCache
+
+// SharedKeyCache returns a process-wide cache used by tests and benches.
+func SharedKeyCache() *KeyCache {
+	sharedKeyCacheOnce.Do(func() { sharedKeyCache = NewKeyCache() })
+	return sharedKeyCache
+}
+
+func (c *KeyCache) keyAt(suite Suite, pos int, rng io.Reader) (PrivateKey, PublicKey, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := suite.Name()
+	for len(c.keys[name]) <= pos {
+		priv, pub, err := suite.GenerateKey(rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.keys[name] = append(c.keys[name], cachedKey{priv, pub})
+	}
+	k := c.keys[name][pos]
+	return k.priv, k.pub, nil
+}

@@ -1,0 +1,44 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+)
+
+// DRBG is a deterministic byte stream derived from a seed string by
+// SHA-256 in counter mode. It exists so that the TCP demo deployment
+// (cmd/sofnode) and deterministic tests can derive identical key material
+// on every node from a shared secret, standing in for the paper's trusted
+// dealer; it is NOT a production key-distribution mechanism.
+type DRBG struct {
+	seed    [32]byte
+	counter uint64
+	buf     []byte
+}
+
+var _ io.Reader = (*DRBG)(nil)
+
+// NewDRBG returns a deterministic reader for the seed.
+func NewDRBG(seed string) *DRBG {
+	return &DRBG{seed: sha256.Sum256([]byte(seed))}
+}
+
+// Read implements io.Reader and never fails.
+func (d *DRBG) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(d.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], d.seed[:])
+			binary.BigEndian.PutUint64(block[32:], d.counter)
+			d.counter++
+			sum := sha256.Sum256(block[:])
+			d.buf = sum[:]
+		}
+		c := copy(p[n:], d.buf)
+		d.buf = d.buf[c:]
+		n += c
+	}
+	return n, nil
+}

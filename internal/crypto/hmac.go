@@ -1,0 +1,72 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// hmacSuite is a symmetric authentication suite used to keep tests fast:
+// SHA-256 digests and HMAC-SHA256 "signatures".
+//
+// The "public key" of a node is its HMAC secret, distributed to every
+// process by the trusted dealer, so any process can verify (and forge!)
+// any other's MAC. That weakens non-repudiation, which the paper's
+// double-signing relies on against *Byzantine* signers; therefore tests
+// that exercise adversarial signature checking use the RSA suites, and this
+// suite is reserved for failure-free logic and plumbing tests.
+type hmacSuite struct{}
+
+var _ Suite = (*hmacSuite)(nil)
+
+// NewHMACSuite returns the HMAC-SHA256 test suite.
+func NewHMACSuite() Suite { return &hmacSuite{} }
+
+func (s *hmacSuite) Name() SuiteName { return HMACSHA256 }
+
+func (s *hmacSuite) Digest(data []byte) []byte {
+	d := sha256.Sum256(data)
+	return d[:]
+}
+
+func (s *hmacSuite) DigestSize() int { return sha256.Size }
+
+// hmacKey is the shared secret; it serves as both the private and the
+// public key.
+type hmacKey []byte
+
+func (s *hmacSuite) GenerateKey(rng io.Reader) (PrivateKey, PublicKey, error) {
+	k := make(hmacKey, 32)
+	if _, err := io.ReadFull(rng, k); err != nil {
+		return nil, nil, fmt.Errorf("crypto: HMAC key generation: %w", err)
+	}
+	return k, k, nil
+}
+
+func (s *hmacSuite) Sign(_ io.Reader, priv PrivateKey, digest []byte) (Signature, error) {
+	k, ok := priv.(hmacKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: want hmac key, got %T", ErrWrongKeyType, priv)
+	}
+	m := hmac.New(sha256.New, k)
+	m.Write(digest)
+	return m.Sum(nil), nil
+}
+
+func (s *hmacSuite) Verify(pub PublicKey, digest []byte, sig Signature) error {
+	k, ok := pub.(hmacKey)
+	if !ok {
+		return fmt.Errorf("%w: want hmac key, got %T", ErrWrongKeyType, pub)
+	}
+	m := hmac.New(sha256.New, k)
+	m.Write(digest)
+	if !hmac.Equal(m.Sum(nil), sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+func (s *hmacSuite) SignatureSize() int { return sha256.Size }
+
+func (s *hmacSuite) Costs() CostModel { return CostModel{} }

@@ -1,0 +1,108 @@
+package ct_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/harness"
+	"github.com/sof-repro/sof/internal/netsim"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+func ctCluster(t *testing.T, mutate func(*harness.Options)) *harness.Cluster {
+	t.Helper()
+	opts := harness.Options{
+		Protocol:      types.CT,
+		F:             2,
+		Suite:         crypto.NoneSuite, // CT uses no cryptography
+		BatchInterval: 10 * time.Millisecond,
+		MaxBatchBytes: 1024,
+		Net:           netsim.LANDefaults(),
+		Seed:          1,
+		KeepCommits:   true,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	c, err := harness.New(opts)
+	if err != nil {
+		t.Fatalf("harness.New: %v", err)
+	}
+	c.Start()
+	return c
+}
+
+func TestCTFailFreeOrdering(t *testing.T) {
+	c := ctCluster(t, nil)
+	for i := 0; i < 15; i++ {
+		if _, err := c.Submit(0, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(3 * time.Millisecond)
+	}
+	c.RunFor(500 * time.Millisecond)
+
+	// Every one of the 2f+1 processes delivers all 15 entries in the same
+	// order.
+	perNode := make(map[types.NodeID]int)
+	var first []string
+	for _, ev := range c.Events.Commits() {
+		for i, e := range ev.Entries {
+			idx := perNode[ev.Node]
+			key := e.Req.String()
+			_ = i
+			if len(first) == idx {
+				first = append(first, key)
+			} else if first[idx] != key {
+				t.Fatalf("node %v diverges at %d", ev.Node, idx)
+			}
+			perNode[ev.Node]++
+		}
+	}
+	if len(perNode) != c.Topo.N() {
+		t.Errorf("%d of %d processes committed", len(perNode), c.Topo.N())
+	}
+	for node, n := range perNode {
+		if n != 15 {
+			t.Errorf("node %v delivered %d entries, want 15", node, n)
+		}
+	}
+	if s := c.Events.LatencySummary(); s.Count == 0 {
+		t.Error("no latency samples")
+	}
+}
+
+func TestCTTopologyHasNoShadows(t *testing.T) {
+	c := ctCluster(t, nil)
+	if c.Topo.N() != 5 || c.Topo.NumShadows() != 0 {
+		t.Errorf("CT topology: n=%d shadows=%d, want 5/0", c.Topo.N(), c.Topo.NumShadows())
+	}
+}
+
+func TestCTFasterThanByzantineQuorum(t *testing.T) {
+	// CT's quorum is n-f = f+1 = 3 of 5; check commits happen with only
+	// the quorum reachable (two nodes isolated).
+	c := ctCluster(t, nil)
+	n4, _ := c.Topo.ReplicaID(4)
+	n5, _ := c.Topo.ReplicaID(5)
+	c.Fabric.Isolate(n4)
+	c.Fabric.Isolate(n5)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit(0, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(3 * time.Millisecond)
+	}
+	c.RunFor(500 * time.Millisecond)
+	if got := c.Events.BatchCount(); got == 0 {
+		t.Error("no commits with f crash-style failures")
+	}
+}
+
+func TestCTRejectsWrongTopology(t *testing.T) {
+	_, err := harness.New(harness.Options{Protocol: types.CT, F: 0})
+	if err != nil {
+		t.Skip("defaulted f; construct directly instead")
+	}
+}

@@ -1,0 +1,178 @@
+// Package des implements the discrete-event scheduler that drives the
+// virtual-time simulation substrate.
+//
+// The simulator regenerates the paper's figures: protocol code runs
+// unmodified against a virtual clock, per-node CPU costs are charged from
+// the calibrated cost tables, and the network model delays deliveries.
+// Events with equal timestamps run in schedule order, so a run is fully
+// deterministic given deterministic event handlers.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	at       time.Time
+	seq      uint64 // tie-break: FIFO among equal timestamps
+	fn       func()
+	index    int // heap index; -1 when not queued
+	canceled bool
+}
+
+// At returns the event's scheduled time.
+func (e *Event) At() time.Time { return e.at }
+
+// Cancel prevents the event from running. It reports whether the event had
+// not yet run (and was therefore actually canceled).
+func (e *Event) Cancel() bool {
+	if e == nil || e.canceled || e.index == -2 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -2 // popped
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; the simulation harness drives it from one goroutine.
+type Scheduler struct {
+	now    time.Time
+	queue  eventHeap
+	seq    uint64
+	nSteps uint64
+}
+
+// Epoch is the conventional virtual start time of simulations.
+var Epoch = time.Date(2006, time.June, 1, 0, 0, 0, 0, time.UTC)
+
+// New returns a scheduler whose clock starts at start (use Epoch for the
+// conventional origin).
+func New(start time.Time) *Scheduler {
+	return &Scheduler{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Len returns the number of queued events (including canceled ones not yet
+// discarded).
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Steps returns the number of events executed so far.
+func (s *Scheduler) Steps() uint64 { return s.nSteps }
+
+// At schedules fn at time t. Times in the past run "now" (the scheduler
+// clock never moves backwards).
+func (s *Scheduler) At(t time.Time, fn func()) *Event {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn after a virtual delay d.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step runs the next event, advancing the clock to its timestamp. It
+// reports whether an event ran (false means the queue is empty).
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.nSteps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is exhausted or the next event
+// is after t; the clock finishes at exactly t (or later if an event at t
+// scheduled nothing further). It returns the number of events executed.
+func (s *Scheduler) RunUntil(t time.Time) int {
+	ran := 0
+	for {
+		e := s.peek()
+		if e == nil || e.at.After(t) {
+			break
+		}
+		s.Step()
+		ran++
+	}
+	if s.now.Before(t) {
+		s.now = t
+	}
+	return ran
+}
+
+// RunFor executes events for a virtual duration d from the current time.
+func (s *Scheduler) RunFor(d time.Duration) int {
+	return s.RunUntil(s.now.Add(d))
+}
+
+// Drain runs events until the queue empties or limit events have run
+// (limit <= 0 means no limit). It returns the number executed. Protocols
+// with periodic timers never drain; use RunUntil for those.
+func (s *Scheduler) Drain(limit int) int {
+	ran := 0
+	for limit <= 0 || ran < limit {
+		if !s.Step() {
+			break
+		}
+		ran++
+	}
+	return ran
+}
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}

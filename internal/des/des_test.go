@@ -1,0 +1,168 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New(Epoch)
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	if n := s.Drain(0); n != 3 {
+		t.Fatalf("Drain ran %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if want := Epoch.Add(30 * time.Millisecond); !s.Now().Equal(want) {
+		t.Errorf("Now() = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	s := New(Epoch)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Drain(0)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(Epoch)
+	ran := false
+	e := s.After(time.Millisecond, func() { ran = true })
+	if !e.Cancel() {
+		t.Error("Cancel() = false for pending event")
+	}
+	if e.Cancel() {
+		t.Error("second Cancel() = true")
+	}
+	s.Drain(0)
+	if ran {
+		t.Error("canceled event ran")
+	}
+
+	// Cancel after the event has run reports false.
+	var e2 *Event
+	e2 = s.After(time.Millisecond, func() {})
+	s.Drain(0)
+	if e2.Cancel() {
+		t.Error("Cancel() after run = true")
+	}
+	if (*Event)(nil).Cancel() {
+		t.Error("nil Cancel() = true")
+	}
+}
+
+func TestEventsScheduledDuringEvents(t *testing.T) {
+	s := New(Epoch)
+	var got []string
+	s.After(10*time.Millisecond, func() {
+		got = append(got, "a")
+		s.After(5*time.Millisecond, func() { got = append(got, "c") })
+		s.After(0, func() { got = append(got, "b") })
+	})
+	s.Drain(0)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPastSchedulingClampsToNow(t *testing.T) {
+	s := New(Epoch)
+	s.RunUntil(Epoch.Add(time.Second))
+	ran := false
+	s.At(Epoch, func() { ran = true }) // in the past
+	s.Step()
+	if !ran {
+		t.Fatal("past event did not run")
+	}
+	if s.Now().Before(Epoch.Add(time.Second)) {
+		t.Errorf("clock moved backwards: %v", s.Now())
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	s := New(Epoch)
+	var got []int
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(30*time.Millisecond, func() { got = append(got, 2) })
+	n := s.RunUntil(Epoch.Add(20 * time.Millisecond))
+	if n != 1 || len(got) != 1 {
+		t.Fatalf("RunUntil ran %d events (%v), want 1", n, got)
+	}
+	if want := Epoch.Add(20 * time.Millisecond); !s.Now().Equal(want) {
+		t.Errorf("Now() = %v, want %v", s.Now(), want)
+	}
+	// An event exactly at the boundary runs.
+	s.At(Epoch.Add(25*time.Millisecond), func() { got = append(got, 3) })
+	s.RunUntil(Epoch.Add(25 * time.Millisecond))
+	if len(got) != 2 || got[1] != 3 {
+		t.Errorf("boundary event did not run: %v", got)
+	}
+}
+
+func TestRunForAdvancesClock(t *testing.T) {
+	s := New(Epoch)
+	s.RunFor(42 * time.Millisecond)
+	if want := Epoch.Add(42 * time.Millisecond); !s.Now().Equal(want) {
+		t.Errorf("Now() = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestDrainLimit(t *testing.T) {
+	s := New(Epoch)
+	count := 0
+	// A self-perpetuating timer chain would run forever without a limit.
+	var tick func()
+	tick = func() {
+		count++
+		s.After(time.Millisecond, tick)
+	}
+	s.After(time.Millisecond, tick)
+	if n := s.Drain(100); n != 100 {
+		t.Errorf("Drain(100) ran %d", n)
+	}
+	if count != 100 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	s := New(Epoch)
+	ran := false
+	s.After(-time.Second, func() { ran = true })
+	s.Step()
+	if !ran || !s.Now().Equal(Epoch) {
+		t.Errorf("negative delay: ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	s := New(Epoch)
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Drain(0)
+	if s.Steps() != 5 {
+		t.Errorf("Steps() = %d, want 5", s.Steps())
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", s.Len())
+	}
+}

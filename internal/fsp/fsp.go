@@ -1,0 +1,266 @@
+// Package fsp implements the signal-on-crash (fail-signal) process-pair
+// mechanism of Section 3 of the paper.
+//
+// Two Byzantine-prone processes p and p' are paired. Each mirrors to its
+// counterpart every message it exchanges over the asynchronous network,
+// checks the counterpart's outputs in the value and time domains, endorses
+// correct outputs by double-signing, and — on detecting a failure —
+// double-signs the fail-signal message pre-signed by the counterpart at
+// initialisation and broadcasts it. The resulting abstract process either
+// emits verifiably endorsed, correct outputs or crashes after signalling
+// (properties SC1-SC3).
+//
+// This package provides the mechanism (fail-signal state machine,
+// expectation timers, mirroring); the value-domain checks themselves are
+// protocol knowledge and live with the protocols, which call Fail when a
+// check fires.
+package fsp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/runtime"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// Status is the operative status of the pair as seen by one member.
+// The SC protocol uses Up and Down only; the SCR extension adds recovery
+// (Down pairs may come back Up) and PermanentlyDown for value-domain
+// failures (Section 4.4).
+type Status int
+
+// Pair statuses.
+const (
+	Up Status = iota
+	Down
+	PermanentlyDown
+)
+
+// String returns the paper's name for the status.
+func (s Status) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	case PermanentlyDown:
+		return "permanently_down"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Config configures one member's half of a pair.
+type Config struct {
+	// Self and Counterpart are the pair members ({pi, p'i}).
+	Self, Counterpart types.NodeID
+	// Rank is the pair's coordinator-candidate rank (pair index i).
+	Rank types.Rank
+	// Delta is the differential delay estimate used for time-domain
+	// checks: an expected counterpart output missing Delta after it became
+	// due is a time-domain failure (accurate under assumption 3(a)(i),
+	// eventually accurate under 3(b)(i)).
+	Delta time.Duration
+	// PresignedFailSig is the counterpart's signature over
+	// message.FailSignalBody(Rank, 0, Counterpart), supplied by the
+	// trusted dealer at initialisation.
+	PresignedFailSig crypto.Signature
+	// Broadcast multicasts a message to every order process; supplied by
+	// the protocol embedding the pair.
+	Broadcast func(env runtime.Env, m message.Message)
+	// OnDown is invoked (once per transition) when this member stops
+	// collaborating, either because it emitted a fail-signal or because it
+	// received its counterpart's.
+	OnDown func(env runtime.Env, fs *message.FailSignal, reason string)
+	// MirrorTraffic controls whether Mirror copies are actually sent on
+	// the pair link (on by default in the protocols; an ablation can turn
+	// it off).
+	MirrorTraffic bool
+}
+
+// Pair is one member's view of the signal-on-crash pair. It is driven
+// entirely from its process's event loop and needs no locking.
+type Pair struct {
+	cfg    Config
+	status Status
+	epoch  uint64
+
+	// presigned is the counterpart's pre-signature for the current epoch.
+	presigned crypto.Signature
+	// emitted is the fail-signal this member emitted for the current
+	// epoch, if any.
+	emitted *message.FailSignal
+
+	expectations map[string]expectation
+}
+
+type expectation struct {
+	timer runtime.Timer
+}
+
+// New returns a pair member in the Up state.
+func New(cfg Config) *Pair {
+	return &Pair{
+		cfg:          cfg,
+		status:       Up,
+		presigned:    cfg.PresignedFailSig,
+		expectations: make(map[string]expectation),
+	}
+}
+
+// Status returns the member's current view of the pair status.
+func (p *Pair) Status() Status { return p.status }
+
+// Active reports whether the pair collaboration is operating (status up).
+func (p *Pair) Active() bool { return p.status == Up }
+
+// Epoch returns the pair's fail-signal incarnation counter (0 initially;
+// incremented on each SCR recovery).
+func (p *Pair) Epoch() uint64 { return p.epoch }
+
+// Rank returns the pair's candidate rank.
+func (p *Pair) Rank() types.Rank { return p.cfg.Rank }
+
+// Counterpart returns the other member.
+func (p *Pair) Counterpart() types.NodeID { return p.cfg.Counterpart }
+
+// Emitted returns the fail-signal this member emitted in the current
+// epoch, or nil.
+func (p *Pair) Emitted() *message.FailSignal { return p.emitted }
+
+// Mirror forwards a copy of an asynchronous-network message to the
+// counterpart (Section 3.1 normal-form collaboration (i)).
+func (p *Pair) Mirror(env runtime.Env, dir message.MirrorDir, peer types.NodeID, raw []byte) {
+	if !p.Active() || !p.cfg.MirrorTraffic {
+		return
+	}
+	env.Send(p.cfg.Counterpart, &message.Mirror{Dir: dir, Peer: peer, Inner: raw})
+}
+
+// Expect registers a time-domain expectation: unless Met(key) is called
+// within extra+Delta, the member declares a time-domain failure of its
+// counterpart and fail-signals. Re-registering a live key is a no-op.
+func (p *Pair) Expect(env runtime.Env, key string, extra time.Duration, desc string) {
+	if !p.Active() {
+		return
+	}
+	if _, live := p.expectations[key]; live {
+		return
+	}
+	k := key
+	d := desc
+	timer := env.SetTimer(extra+p.cfg.Delta, func() {
+		if _, live := p.expectations[k]; !live || !p.Active() {
+			return
+		}
+		delete(p.expectations, k)
+		p.Fail(env, fmt.Sprintf("time-domain: %s", d))
+	})
+	p.expectations[key] = expectation{timer: timer}
+}
+
+// Met discharges a time-domain expectation.
+func (p *Pair) Met(key string) {
+	if e, ok := p.expectations[key]; ok {
+		e.timer.Stop()
+		delete(p.expectations, key)
+	}
+}
+
+// Fail records a detected counterpart failure: the member double-signs the
+// pre-supplied fail-signal and broadcasts it (Section 3.2), then stops
+// collaborating. It is idempotent per epoch.
+func (p *Pair) Fail(env runtime.Env, reason string) *message.FailSignal {
+	if !p.Active() {
+		return p.emitted
+	}
+	fs := &message.FailSignal{
+		Pair:   p.cfg.Rank,
+		Epoch:  p.epoch,
+		First:  p.cfg.Counterpart,
+		Second: p.cfg.Self,
+		Sig1:   p.presigned,
+	}
+	sig2, err := message.SignSecond(env, fs.SignedBody(), fs.Sig1)
+	if err != nil {
+		env.Logf("fsp: signing fail-signal: %v", err)
+		return nil
+	}
+	fs.Sig2 = sig2
+	p.emitted = fs
+	p.transitionDown(env, fs, reason)
+	if p.cfg.Broadcast != nil {
+		p.cfg.Broadcast(env, fs)
+	}
+	return fs
+}
+
+// HandleFailSignal processes an authentic doubly-signed fail-signal for
+// this pair arriving from anywhere (the counterpart's own emission or an
+// echo relayed by a third process). Per Section 3.2, a member that
+// receives its counterpart's fail-signal also double-signs its own and
+// broadcasts it, then stops collaborating.
+func (p *Pair) HandleFailSignal(env runtime.Env, fs *message.FailSignal) {
+	if fs.Pair != p.cfg.Rank || fs.Epoch != p.epoch {
+		return
+	}
+	if !p.Active() {
+		return
+	}
+	if fs.Second == p.cfg.Self {
+		// Our own emission echoed back.
+		return
+	}
+	// Counterpart (or a relayer) delivered the counterpart's fail-signal:
+	// emit ours too, then stop.
+	p.Fail(env, fmt.Sprintf("counterpart fail-signalled (%v)", fs.Second))
+}
+
+// MarkPermanentlyDown records a value-domain failure (SCR semantics: the
+// status variable is irreversibly set to permanently_down).
+func (p *Pair) MarkPermanentlyDown() { p.status = PermanentlyDown }
+
+// transitionDown cancels expectations and notifies the protocol once.
+func (p *Pair) transitionDown(env runtime.Env, fs *message.FailSignal, reason string) {
+	if p.status != Up {
+		return
+	}
+	p.status = Down
+	for k, e := range p.expectations {
+		e.timer.Stop()
+		delete(p.expectations, k)
+	}
+	if p.cfg.OnDown != nil {
+		p.cfg.OnDown(env, fs, reason)
+	}
+}
+
+// Recover restarts the pair collaboration in a new epoch (SCR semantics
+// under assumption 3(b): after a false timing suspicion, members that find
+// each other timely again resume as a pair). The caller supplies the
+// counterpart's fresh pre-signature for the new epoch, exchanged via
+// PairBeat messages. Recovery from PermanentlyDown is refused.
+func (p *Pair) Recover(epoch uint64, presigned crypto.Signature) bool {
+	if p.status == PermanentlyDown {
+		return false
+	}
+	if epoch <= p.epoch && p.status == Up {
+		return false
+	}
+	p.epoch = epoch
+	p.presigned = presigned
+	p.emitted = nil
+	p.status = Up
+	return true
+}
+
+// PresignFor produces this member's pre-signature that the counterpart
+// needs for the given epoch: a signature over
+// FailSignalBody(rank, epoch, Self). The dealer calls it for epoch 0 at
+// system initialisation; SCR recovery exchanges fresh ones in PairBeats.
+func PresignFor(signer message.Signer, rank types.Rank, epoch uint64, self types.NodeID) (crypto.Signature, error) {
+	return message.SignSingle(signer, message.FailSignalBody(rank, epoch, self))
+}

@@ -1,0 +1,337 @@
+package fsp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/runtime"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// fakeEnv is a minimal single-threaded Env for driving a Pair directly.
+type fakeEnv struct {
+	id     types.NodeID
+	ident  *crypto.Identity
+	now    time.Time
+	sent   []fakeSend
+	timers []*fakeTimer
+}
+
+type fakeSend struct {
+	to types.NodeID
+	m  message.Message
+}
+
+type fakeTimer struct {
+	at      time.Time
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+func (t *fakeTimer) Stop() bool {
+	if t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+var _ runtime.Env = (*fakeEnv)(nil)
+
+func (e *fakeEnv) ID() types.NodeID { return e.id }
+func (e *fakeEnv) Now() time.Time   { return e.now }
+func (e *fakeEnv) Send(to types.NodeID, m message.Message) {
+	e.sent = append(e.sent, fakeSend{to: to, m: m})
+}
+func (e *fakeEnv) Multicast(tos []types.NodeID, m message.Message) {
+	for _, to := range tos {
+		e.Send(to, m)
+	}
+}
+func (e *fakeEnv) SetTimer(d time.Duration, fn func()) runtime.Timer {
+	t := &fakeTimer{at: e.now.Add(d), fn: fn}
+	e.timers = append(e.timers, t)
+	return t
+}
+func (e *fakeEnv) Charge(time.Duration)                    {}
+func (e *fakeEnv) Digest(b []byte) []byte                  { return e.ident.Digest(b) }
+func (e *fakeEnv) Sign(d []byte) (crypto.Signature, error) { return e.ident.Sign(d) }
+func (e *fakeEnv) Verify(s types.NodeID, d []byte, sig crypto.Signature) error {
+	return e.ident.Verify(s, d, sig)
+}
+func (e *fakeEnv) Logf(string, ...any) {}
+
+// advance fires every timer due by d from now.
+func (e *fakeEnv) advance(d time.Duration) {
+	e.now = e.now.Add(d)
+	for _, t := range e.timers {
+		if !t.stopped && !t.fired && !t.at.After(e.now) {
+			t.fired = true
+			t.fn()
+		}
+	}
+}
+
+// pairFixture builds both members of pair rank 1 ({p1=0, p'1=5}) with
+// HMAC identities and cross-supplied pre-signatures.
+type pairFixture struct {
+	envP, envS   *fakeEnv
+	pairP, pairS *Pair
+	downs        []string
+	broadcasts   int
+}
+
+func newFixture(t *testing.T, delta time.Duration) *pairFixture {
+	t.Helper()
+	ids := []types.NodeID{0, 1, 2, 3, 4, 5, 6}
+	idents, _, err := crypto.NewDealer(crypto.NewHMACSuite()).Issue(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &pairFixture{
+		envP: &fakeEnv{id: 0, ident: idents[0]},
+		envS: &fakeEnv{id: 5, ident: idents[5]},
+	}
+	preP, err := PresignFor(idents[0], 1, 0, 0) // p's signature, held by p'
+	if err != nil {
+		t.Fatal(err)
+	}
+	preS, err := PresignFor(idents[5], 1, 0, 5) // p''s signature, held by p
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(self, cp types.NodeID, pre crypto.Signature) *Pair {
+		return New(Config{
+			Self: self, Counterpart: cp, Rank: 1, Delta: delta,
+			PresignedFailSig: pre,
+			MirrorTraffic:    true,
+			Broadcast: func(env runtime.Env, m message.Message) {
+				fx.broadcasts++
+				env.Multicast(ids, m)
+			},
+			OnDown: func(_ runtime.Env, _ *message.FailSignal, reason string) {
+				fx.downs = append(fx.downs, reason)
+			},
+		})
+	}
+	fx.pairP = mk(0, 5, preS)
+	fx.pairS = mk(5, 0, preP)
+	return fx
+}
+
+func TestFailEmitsVerifiableFailSignal(t *testing.T) {
+	fx := newFixture(t, 10*time.Millisecond)
+	fs := fx.pairP.Fail(fx.envP, "value-domain: conflicting order")
+	if fs == nil {
+		t.Fatal("Fail returned nil")
+	}
+	if fs.First != 5 || fs.Second != 0 || fs.Pair != 1 {
+		t.Errorf("fail-signal signatories = %v/%v pair %d", fs.First, fs.Second, fs.Pair)
+	}
+	// SC2: the fail-signal verifies as doubly-signed by the pair.
+	if err := fs.Verify(fx.envS, 0, 5); err != nil {
+		t.Errorf("fail-signal does not verify: %v", err)
+	}
+	if fx.pairP.Status() != Down {
+		t.Errorf("status = %v, want down", fx.pairP.Status())
+	}
+	if fx.broadcasts != 1 {
+		t.Errorf("broadcasts = %d, want 1", fx.broadcasts)
+	}
+	if len(fx.downs) != 1 || !strings.Contains(fx.downs[0], "value-domain") {
+		t.Errorf("downs = %v", fx.downs)
+	}
+	// Idempotent: a second detection does not re-broadcast.
+	fs2 := fx.pairP.Fail(fx.envP, "again")
+	if fs2 != fs || fx.broadcasts != 1 {
+		t.Error("Fail not idempotent")
+	}
+}
+
+func TestExpectationTimeout(t *testing.T) {
+	fx := newFixture(t, 10*time.Millisecond)
+	fx.pairS.Expect(fx.envS, "order-for-req-1", 5*time.Millisecond, "p1 must order req 1")
+	fx.envS.advance(14 * time.Millisecond) // < 5+10
+	if !fx.pairS.Active() {
+		t.Fatal("expectation fired early")
+	}
+	fx.envS.advance(2 * time.Millisecond) // total 16 > 15
+	if fx.pairS.Active() {
+		t.Fatal("expectation did not fire")
+	}
+	if len(fx.downs) != 1 || !strings.Contains(fx.downs[0], "time-domain") {
+		t.Errorf("downs = %v", fx.downs)
+	}
+}
+
+func TestExpectationMet(t *testing.T) {
+	fx := newFixture(t, 10*time.Millisecond)
+	fx.pairS.Expect(fx.envS, "k", 0, "desc")
+	fx.pairS.Met("k")
+	fx.envS.advance(time.Hour)
+	if !fx.pairS.Active() {
+		t.Error("met expectation still fired")
+	}
+	// Met on an unknown key is harmless.
+	fx.pairS.Met("unknown")
+	// Re-registering after Met arms a fresh expectation.
+	fx.pairS.Expect(fx.envS, "k", 0, "desc")
+	fx.envS.advance(time.Hour)
+	if fx.pairS.Active() {
+		t.Error("re-registered expectation did not fire")
+	}
+}
+
+func TestDuplicateExpectationKeepsFirstDeadline(t *testing.T) {
+	fx := newFixture(t, 10*time.Millisecond)
+	fx.pairS.Expect(fx.envS, "k", 0, "first")
+	fx.pairS.Expect(fx.envS, "k", time.Hour, "second") // ignored
+	fx.envS.advance(11 * time.Millisecond)
+	if fx.pairS.Active() {
+		t.Error("first deadline did not fire")
+	}
+}
+
+func TestHandleCounterpartFailSignal(t *testing.T) {
+	fx := newFixture(t, 10*time.Millisecond)
+	fs := fx.pairP.Fail(fx.envP, "detected")
+	// p' receives p's fail-signal: it must emit its own and go down.
+	fx.pairS.HandleFailSignal(fx.envS, fs)
+	if fx.pairS.Active() {
+		t.Fatal("counterpart fail-signal did not stop collaboration")
+	}
+	if fx.broadcasts != 2 {
+		t.Errorf("broadcasts = %d, want 2 (one per member)", fx.broadcasts)
+	}
+	own := fx.pairS.Emitted()
+	if own == nil || own.Second != 5 || own.First != 0 {
+		t.Errorf("p' emitted %+v", own)
+	}
+	if err := own.Verify(fx.envP, 0, 5); err != nil {
+		t.Errorf("p''s echo fail-signal does not verify: %v", err)
+	}
+	// Receiving our own emission back is a no-op.
+	before := fx.broadcasts
+	fx.pairP.HandleFailSignal(fx.envP, fs)
+	if fx.broadcasts != before {
+		t.Error("own fail-signal echo caused re-broadcast")
+	}
+}
+
+func TestHandleFailSignalWrongPairOrEpoch(t *testing.T) {
+	fx := newFixture(t, 10*time.Millisecond)
+	fs := fx.pairP.Fail(fx.envP, "x")
+	other := *fs
+	other.Pair = 2
+	fx.pairS.HandleFailSignal(fx.envS, &other)
+	if !fx.pairS.Active() {
+		t.Error("fail-signal for another pair affected this pair")
+	}
+	stale := *fs
+	stale.Epoch = 7
+	fx.pairS.HandleFailSignal(fx.envS, &stale)
+	if !fx.pairS.Active() {
+		t.Error("fail-signal for wrong epoch affected this pair")
+	}
+}
+
+func TestFailSignalCannotBeForgedByOutsider(t *testing.T) {
+	// Use real RSA so HMAC's shared-secret weakness does not mask forgery.
+	ids := []types.NodeID{0, 1, 5}
+	suite, err := crypto.NewRSASuite(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idents, _, err := crypto.NewDealer(suite, crypto.WithKeyCache(crypto.SharedKeyCache())).Issue(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outsider := &fakeEnv{id: 1, ident: idents[1]}
+	// The outsider fabricates a fail-signal for pair 1 without p's
+	// pre-signature: it can only sign as itself, so verification fails.
+	body := message.FailSignalBody(1, 0, 0)
+	sig1, err := message.SignSingle(idents[1], body) // forged "p" signature
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := message.SignSecond(idents[1], body, sig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &message.FailSignal{Pair: 1, Epoch: 0, First: 0, Second: 5, Sig1: sig1, Sig2: sig2}
+	if err := forged.Verify(outsider, 0, 5); err == nil {
+		t.Error("forged fail-signal verified (SC2 violated)")
+	}
+}
+
+func TestRecover(t *testing.T) {
+	fx := newFixture(t, 10*time.Millisecond)
+	fx.pairP.Fail(fx.envP, "false suspicion")
+	if fx.pairP.Active() {
+		t.Fatal("not down")
+	}
+	// Fresh epoch-1 pre-signature from the counterpart.
+	pre, err := PresignFor(fx.envS.ident, 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fx.pairP.Recover(1, pre) {
+		t.Fatal("Recover refused")
+	}
+	if !fx.pairP.Active() || fx.pairP.Epoch() != 1 {
+		t.Errorf("after recover: status=%v epoch=%d", fx.pairP.Status(), fx.pairP.Epoch())
+	}
+	// The recovered pair can fail-signal again in the new epoch.
+	fs := fx.pairP.Fail(fx.envP, "again")
+	if fs == nil || fs.Epoch != 1 {
+		t.Fatalf("epoch-1 fail-signal = %+v", fs)
+	}
+	if err := fs.Verify(fx.envS, 0, 5); err != nil {
+		t.Errorf("epoch-1 fail-signal does not verify: %v", err)
+	}
+}
+
+func TestNoRecoveryFromPermanentlyDown(t *testing.T) {
+	fx := newFixture(t, 10*time.Millisecond)
+	fx.pairP.Fail(fx.envP, "value-domain")
+	fx.pairP.MarkPermanentlyDown()
+	if fx.pairP.Recover(1, crypto.Signature{1}) {
+		t.Error("recovered from permanently_down")
+	}
+	if fx.pairP.Status() != PermanentlyDown {
+		t.Errorf("status = %v", fx.pairP.Status())
+	}
+}
+
+func TestMirror(t *testing.T) {
+	fx := newFixture(t, 10*time.Millisecond)
+	fx.pairP.Mirror(fx.envP, message.MirrorRecv, 3, []byte{1, 2, 3})
+	if len(fx.envP.sent) != 1 {
+		t.Fatalf("sent %d messages, want 1", len(fx.envP.sent))
+	}
+	if fx.envP.sent[0].to != 5 {
+		t.Errorf("mirror sent to %v, want counterpart 5", fx.envP.sent[0].to)
+	}
+	if fx.envP.sent[0].m.Type() != message.TMirror {
+		t.Errorf("mirror type = %v", fx.envP.sent[0].m.Type())
+	}
+	// No mirroring once down.
+	fx.pairP.Fail(fx.envP, "down")
+	n := len(fx.envP.sent)
+	fx.pairP.Mirror(fx.envP, message.MirrorRecv, 3, []byte{1})
+	if len(fx.envP.sent) != n {
+		t.Error("mirrored while down")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{Up: "up", Down: "down", PermanentlyDown: "permanently_down"} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

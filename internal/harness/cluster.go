@@ -1,0 +1,415 @@
+package harness
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/sof-repro/sof/internal/bft"
+	"github.com/sof-repro/sof/internal/core"
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/ct"
+	"github.com/sof-repro/sof/internal/des"
+	"github.com/sof-repro/sof/internal/fsp"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/netsim"
+	"github.com/sof-repro/sof/internal/runtime"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// LoadSpec describes the open-loop client workload: each client submits a
+// RequestBytes-sized request every Interval (Count 0 means unlimited).
+type LoadSpec struct {
+	RequestBytes int
+	Interval     time.Duration
+	Count        int
+}
+
+// Options configures a cluster.
+type Options struct {
+	Protocol types.Protocol
+	F        int
+	Suite    crypto.SuiteName
+	// SuiteImpl, when non-nil, overrides Suite with a concrete suite
+	// instance (e.g. a model suite with a custom cost table for
+	// calibration sweeps).
+	SuiteImpl crypto.Suite
+
+	BatchInterval     time.Duration
+	MaxBatchBytes     int
+	Delta             time.Duration
+	ViewChangeTimeout time.Duration // BFT only
+
+	Mirror           bool
+	DumbOptimization bool
+	PadBacklogBytes  int
+	RecoveryInterval time.Duration // SCR pair-probe period
+
+	Net  netsim.Params
+	Seed int64
+
+	// Live selects the real-time goroutine substrate instead of the
+	// virtual-time simulator.
+	Live bool
+
+	NumClients  int
+	Load        *LoadSpec
+	KeepCommits bool
+	Logger      *log.Logger
+}
+
+// withDefaults fills unset fields with study defaults (f=2, 1 KB batches,
+// 100 ms batching interval, HMAC suite for plumbing tests).
+func (o Options) withDefaults() Options {
+	if o.F == 0 {
+		o.F = 2
+	}
+	if o.Suite == "" {
+		o.Suite = crypto.HMACSHA256
+	}
+	if o.BatchInterval == 0 {
+		o.BatchInterval = 100 * time.Millisecond
+	}
+	if o.MaxBatchBytes == 0 {
+		o.MaxBatchBytes = 1024
+	}
+	if o.Delta == 0 {
+		o.Delta = 5 * time.Second
+	}
+	if o.NumClients == 0 {
+		o.NumClients = 1
+	}
+	if o.Protocol == types.SCR && o.RecoveryInterval == 0 {
+		o.RecoveryInterval = o.Delta
+	}
+	return o
+}
+
+// Cluster is a fully wired order-protocol deployment.
+type Cluster struct {
+	Opts   Options
+	Topo   types.Topology
+	Fabric *netsim.Fabric
+	Events *Recorder
+
+	sim   *runtime.SimCluster
+	live  *runtime.LiveCluster
+	sched *des.Scheduler
+
+	idents  map[types.NodeID]*crypto.Identity
+	SC      map[types.NodeID]*core.Process
+	CT      map[types.NodeID]*ct.Process
+	BFT     map[types.NodeID]*bft.Process
+	clients map[types.NodeID]*clientProc
+}
+
+// New builds (but does not start) a cluster.
+func New(opts Options) (*Cluster, error) {
+	opts = opts.withDefaults()
+	topo, err := types.NewTopology(opts.Protocol, opts.F)
+	if err != nil {
+		return nil, err
+	}
+	suite := opts.SuiteImpl
+	if suite == nil {
+		var err error
+		suite, err = crypto.ByName(opts.Suite)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &Cluster{
+		Opts:    opts,
+		Topo:    topo,
+		Events:  NewRecorder(opts.KeepCommits),
+		SC:      make(map[types.NodeID]*core.Process),
+		CT:      make(map[types.NodeID]*ct.Process),
+		BFT:     make(map[types.NodeID]*bft.Process),
+		clients: make(map[types.NodeID]*clientProc),
+	}
+	// Identities for every order process and client, from the trusted
+	// dealer; the shared cache keeps RSA/DSA setup fast across runs.
+	ids := topo.AllProcesses()
+	for k := 0; k < opts.NumClients; k++ {
+		ids = append(ids, types.ClientID(k))
+	}
+	dealer := crypto.NewDealer(suite, crypto.WithKeyCache(crypto.SharedKeyCache()))
+	idents, _, err := dealer.Issue(ids)
+	if err != nil {
+		return nil, err
+	}
+	c.idents = idents
+
+	c.Fabric = netsim.New(opts.Net, topo, opts.Seed)
+	if opts.Live {
+		c.live = runtime.NewLiveCluster(c.Fabric)
+		if opts.Logger != nil {
+			c.live.SetLogger(opts.Logger)
+		}
+	} else {
+		c.sched = des.New(des.Epoch)
+		c.sim = runtime.NewSimCluster(c.sched, c.Fabric)
+		if opts.Logger != nil {
+			c.sim.SetLogger(opts.Logger)
+		}
+	}
+
+	// Order processes.
+	for _, id := range topo.AllProcesses() {
+		proc, err := c.buildProcess(id)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.addNode(id, proc); err != nil {
+			return nil, err
+		}
+	}
+	// Clients.
+	for k := 0; k < opts.NumClients; k++ {
+		id := types.ClientID(k)
+		cp := &clientProc{
+			id:      id,
+			targets: topo.AllProcesses(),
+			load:    opts.Load,
+			seed:    opts.Seed + int64(k),
+		}
+		c.clients[id] = cp
+		if err := c.addNode(id, cp); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
+	switch c.Opts.Protocol {
+	case types.SC, types.SCR:
+		cfg := core.Config{
+			Topo:                c.Topo,
+			BatchInterval:       c.Opts.BatchInterval,
+			MaxBatchBytes:       c.Opts.MaxBatchBytes,
+			Delta:               c.Opts.Delta,
+			Mirror:              c.Opts.Mirror,
+			DumbOptimization:    c.Opts.DumbOptimization && c.Opts.Protocol == types.SC,
+			PadBacklogBytes:     c.Opts.PadBacklogBytes,
+			RecoveryInterval:    c.Opts.RecoveryInterval,
+			OnBatched:           c.Events.OnBatched,
+			OnCommit:            c.Events.OnCommit,
+			OnFailSignal:        c.Events.OnFailSignal,
+			OnInstalled:         c.Events.OnInstalled,
+			OnStartTuplesIssued: c.Events.OnStartTuplesIssued,
+			OnPairRecovered:     c.Events.OnPairRecovered,
+		}
+		if counterpart, paired := c.Topo.PairOf(id); paired {
+			pre, err := fsp.PresignFor(c.idents[counterpart],
+				types.Rank(c.Topo.PairIndex(id)), 0, counterpart)
+			if err != nil {
+				return nil, err
+			}
+			cfg.PresignedFailSig = pre
+		}
+		proc, err := core.New(id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.SC[id] = proc
+		return proc, nil
+	case types.CT:
+		proc, err := ct.New(id, ct.Config{
+			Topo:          c.Topo,
+			BatchInterval: c.Opts.BatchInterval,
+			MaxBatchBytes: c.Opts.MaxBatchBytes,
+			OnBatched:     c.Events.OnBatched,
+			OnCommit:      c.Events.OnCommit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.CT[id] = proc
+		return proc, nil
+	case types.BFT:
+		proc, err := bft.New(id, bft.Config{
+			Topo:              c.Topo,
+			BatchInterval:     c.Opts.BatchInterval,
+			MaxBatchBytes:     c.Opts.MaxBatchBytes,
+			ViewChangeTimeout: c.Opts.ViewChangeTimeout,
+			OnBatched:         c.Events.OnBatched,
+			OnCommit:          c.Events.OnCommit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.BFT[id] = proc
+		return proc, nil
+	default:
+		return nil, fmt.Errorf("harness: protocol %v not wired yet", c.Opts.Protocol)
+	}
+}
+
+func (c *Cluster) addNode(id types.NodeID, proc runtime.Process) error {
+	if c.sim != nil {
+		return c.sim.AddNode(id, c.idents[id], proc)
+	}
+	return c.live.AddNode(id, c.idents[id], proc)
+}
+
+// Start launches the cluster.
+func (c *Cluster) Start() {
+	if c.sim != nil {
+		c.sim.Start()
+		return
+	}
+	c.live.Start()
+}
+
+// Stop shuts the cluster down (live substrate only; the simulator simply
+// stops being driven).
+func (c *Cluster) Stop() {
+	if c.live != nil {
+		c.live.Stop()
+	}
+}
+
+// RunFor advances the cluster by d: virtual time on the simulator, wall
+// time live.
+func (c *Cluster) RunFor(d time.Duration) {
+	if c.sched != nil {
+		c.sched.RunFor(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Now returns cluster time (virtual or wall).
+func (c *Cluster) Now() time.Time {
+	if c.sched != nil {
+		return c.sched.Now()
+	}
+	return time.Now()
+}
+
+// Scheduler exposes the simulator scheduler (nil live).
+func (c *Cluster) Scheduler() *des.Scheduler { return c.sched }
+
+// Inject runs fn inside a node's event loop.
+func (c *Cluster) Inject(id types.NodeID, fn func(env runtime.Env)) error {
+	if c.sim != nil {
+		return c.sim.Inject(id, fn)
+	}
+	return c.live.Inject(id, fn)
+}
+
+// Crash stops a node entirely.
+func (c *Cluster) Crash(id types.NodeID) {
+	if c.sim != nil {
+		c.sim.Crash(id)
+		return
+	}
+	c.live.Crash(id)
+}
+
+// Submit sends one request from client k to every order process and
+// returns its ID.
+func (c *Cluster) Submit(k int, payload []byte) (message.ReqID, error) {
+	id := types.ClientID(k)
+	cp, ok := c.clients[id]
+	if !ok {
+		return message.ReqID{}, fmt.Errorf("harness: no client %d", k)
+	}
+	rid := cp.nextID()
+	err := c.Inject(id, func(env runtime.Env) { cp.submit(env, rid.ClientSeq, payload) })
+	return rid, err
+}
+
+// InjectCoordinatorValueFault makes the acting primary behave in a
+// Byzantine way: it sends its shadow an out-of-sequence signed order
+// proposal, which the shadow's value-domain check rejects, producing a
+// fail-signal (the Figure 6 experiment's single value-domain fault).
+func (c *Cluster) InjectCoordinatorValueFault() error {
+	return c.InjectValueFaultAt(1, 1)
+}
+
+// InjectValueFaultAt injects the out-of-sequence proposal at the primary
+// of the given candidate rank, stamped with the given view.
+func (c *Cluster) InjectValueFaultAt(rank types.Rank, view types.View) error {
+	primary, shadow, paired, err := c.Topo.Candidate(rank)
+	if err != nil || !paired {
+		return fmt.Errorf("harness: candidate %d is not a pair: %v", rank, err)
+	}
+	return c.Inject(primary, func(env runtime.Env) {
+		bogus := &message.OrderBatch{
+			Coord:    rank,
+			View:     view,
+			FirstSeq: 1 << 40, // grossly out of sequence
+			Primary:  primary,
+			Shadow:   shadow,
+			Entries: []message.OrderEntry{{
+				Req:       message.ReqID{Client: types.ClientID(0), ClientSeq: 999999},
+				ReqDigest: env.Digest([]byte("bogus")),
+			}},
+		}
+		sig, err := message.SignSingle(env, bogus.SignedBody())
+		if err != nil {
+			return
+		}
+		bogus.Sig1 = sig
+		env.Send(shadow, bogus)
+	})
+}
+
+// clientProc is a client endpoint: it signs requests and multicasts them
+// to every order process; with a LoadSpec it generates an open-loop
+// workload on a timer.
+type clientProc struct {
+	id      types.NodeID
+	targets []types.NodeID
+	load    *LoadSpec
+	seed    int64
+
+	seq  uint64
+	sent int
+}
+
+var _ runtime.Process = (*clientProc)(nil)
+
+func (c *clientProc) nextID() message.ReqID {
+	c.seq++
+	return message.ReqID{Client: c.id, ClientSeq: c.seq}
+}
+
+// Init implements runtime.Process.
+func (c *clientProc) Init(env runtime.Env) {
+	if c.load != nil && c.load.Interval > 0 {
+		c.scheduleNext(env)
+	}
+}
+
+func (c *clientProc) scheduleNext(env runtime.Env) {
+	env.SetTimer(c.load.Interval, func() { c.tick(env) })
+}
+
+func (c *clientProc) tick(env runtime.Env) {
+	if c.load.Count > 0 && c.sent >= c.load.Count {
+		return
+	}
+	payload := make([]byte, c.load.RequestBytes)
+	id := c.nextID()
+	c.submit(env, id.ClientSeq, payload)
+	c.sent++
+	c.scheduleNext(env)
+}
+
+func (c *clientProc) submit(env runtime.Env, seq uint64, payload []byte) {
+	req := &message.Request{Client: c.id, ClientSeq: seq, Payload: payload}
+	sig, err := message.SignSingle(env, req.SignedBody())
+	if err != nil {
+		env.Logf("client: signing request: %v", err)
+		return
+	}
+	req.Sig = sig
+	env.Multicast(c.targets, req)
+}
+
+// Receive implements runtime.Process (replies are consumed by the replica
+// layer's client library; the harness client ignores inbound traffic).
+func (c *clientProc) Receive(runtime.Env, types.NodeID, message.Message) {}

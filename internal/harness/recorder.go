@@ -1,0 +1,219 @@
+// Package harness assembles whole clusters — order processes, clients,
+// network, measurement — on either substrate (virtual-time simulation or
+// real-time goroutines) and exposes the measurements the paper reports:
+// order latency (batched -> first commit), throughput (requests committed
+// per second at an order process), and fail-over latency (fail-signal
+// issued -> Start tuples issued).
+package harness
+
+import (
+	"sync"
+	"time"
+
+	"github.com/sof-repro/sof/internal/core"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/stats"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// batchKey identifies one ordered subject across processes.
+type batchKey struct {
+	view  types.View
+	first types.Seq
+}
+
+// Recorder is the thread-safe event sink shared by every process's hooks.
+type Recorder struct {
+	mu sync.Mutex
+
+	batchedAt   map[batchKey]time.Time
+	batchSizes  map[batchKey]int
+	firstCommit map[batchKey]time.Time
+	latencies   []time.Duration
+
+	// commitsPerNode counts committed request entries per process,
+	// within [windowStart, windowEnd] when set.
+	commitsPerNode map[types.NodeID]int
+	windowStart    time.Time
+	windowSet      bool
+
+	failSignals []core.FailSignalEvent
+	installs    []core.InstallEvent
+	tuples      []core.InstallEvent
+	recoveries  []core.InstallEvent
+	commits     []core.CommitEvent
+	keepCommits bool
+}
+
+// NewRecorder returns an empty recorder. keepCommits retains every commit
+// event (tests use it; long benchmark runs should not).
+func NewRecorder(keepCommits bool) *Recorder {
+	return &Recorder{
+		batchedAt:      make(map[batchKey]time.Time),
+		batchSizes:     make(map[batchKey]int),
+		firstCommit:    make(map[batchKey]time.Time),
+		commitsPerNode: make(map[types.NodeID]int),
+		keepCommits:    keepCommits,
+	}
+}
+
+// StartWindow begins the measurement window for throughput counting and
+// latency sampling (events before it are warm-up and are discarded).
+func (r *Recorder) StartWindow(at time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.windowStart = at
+	r.windowSet = true
+	r.commitsPerNode = make(map[types.NodeID]int)
+	r.latencies = nil
+}
+
+// OnBatched records batch formation at the coordinator (the latency clock
+// start: "the instance the request is batched by the coordinator").
+func (r *Recorder) OnBatched(ev core.BatchEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := batchKey{ev.View, ev.FirstSeq}
+	if _, dup := r.batchedAt[k]; !dup {
+		r.batchedAt[k] = ev.At
+		r.batchSizes[k] = len(ev.Entries)
+	}
+}
+
+// OnCommit records a commit at one process; the first process to commit a
+// batch stops that batch's latency clock.
+func (r *Recorder) OnCommit(ev core.CommitEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.keepCommits {
+		r.commits = append(r.commits, ev)
+	}
+	if !r.windowSet || !ev.At.Before(r.windowStart) {
+		r.commitsPerNode[ev.Node] += len(ev.Entries)
+	}
+	if ev.Kind != message.SubjectBatch {
+		return
+	}
+	k := batchKey{ev.View, ev.FirstSeq}
+	if _, done := r.firstCommit[k]; done {
+		return
+	}
+	start, known := r.batchedAt[k]
+	if !known {
+		return
+	}
+	r.firstCommit[k] = ev.At
+	if !r.windowSet || !start.Before(r.windowStart) {
+		r.latencies = append(r.latencies, ev.At.Sub(start))
+	}
+}
+
+// OnFailSignal records fail-signal emission/receipt.
+func (r *Recorder) OnFailSignal(ev core.FailSignalEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failSignals = append(r.failSignals, ev)
+}
+
+// OnInstalled records IN5 completion at one process.
+func (r *Recorder) OnInstalled(ev core.InstallEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.installs = append(r.installs, ev)
+}
+
+// OnStartTuplesIssued records IN4 at the new coordinator (the fail-over
+// latency clock stop).
+func (r *Recorder) OnStartTuplesIssued(ev core.InstallEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tuples = append(r.tuples, ev)
+}
+
+// OnPairRecovered records an SCR pair recovery.
+func (r *Recorder) OnPairRecovered(ev core.InstallEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recoveries = append(r.recoveries, ev)
+}
+
+// Recoveries returns recorded pair recoveries.
+func (r *Recorder) Recoveries() []core.InstallEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.InstallEvent, len(r.recoveries))
+	copy(out, r.recoveries)
+	return out
+}
+
+// LatencySummary summarises order latencies in the measurement window.
+func (r *Recorder) LatencySummary() stats.Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return stats.Summarize(r.latencies)
+}
+
+// CommittedEntries returns the committed-request count at a process within
+// the window.
+func (r *Recorder) CommittedEntries(node types.NodeID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.commitsPerNode[node]
+}
+
+// Commits returns retained commit events (keepCommits mode).
+func (r *Recorder) Commits() []core.CommitEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.CommitEvent, len(r.commits))
+	copy(out, r.commits)
+	return out
+}
+
+// FailSignals returns recorded fail-signal events.
+func (r *Recorder) FailSignals() []core.FailSignalEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.FailSignalEvent, len(r.failSignals))
+	copy(out, r.failSignals)
+	return out
+}
+
+// Installs returns recorded installation events.
+func (r *Recorder) Installs() []core.InstallEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.InstallEvent, len(r.installs))
+	copy(out, r.installs)
+	return out
+}
+
+// FailOverLatency returns the paper's fail-over measure: the interval from
+// the first fail-signal *emission* to the first Start-tuples issuance at
+// the new coordinator. ok is false until both endpoints were observed.
+func (r *Recorder) FailOverLatency() (time.Duration, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var start, end time.Time
+	for _, ev := range r.failSignals {
+		if ev.Emitter && (start.IsZero() || ev.At.Before(start)) {
+			start = ev.At
+		}
+	}
+	for _, ev := range r.tuples {
+		if end.IsZero() || ev.At.Before(end) {
+			end = ev.At
+		}
+	}
+	if start.IsZero() || end.IsZero() || end.Before(start) {
+		return 0, false
+	}
+	return end.Sub(start), true
+}
+
+// BatchCount returns how many batches got their first commit.
+func (r *Recorder) BatchCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.firstCommit)
+}

@@ -1,0 +1,434 @@
+package message
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sof-repro/sof/internal/codec"
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// PrePrepare is the first phase of the Castro-Liskov baseline: the primary
+// assigns sequence numbers to a batch of requests and multicasts the signed
+// assignment (1-to-n).
+type PrePrepare struct {
+	View     types.View
+	FirstSeq types.Seq
+	Entries  []OrderEntry
+	Primary  types.NodeID
+	Sig      crypto.Signature
+}
+
+var _ Message = (*PrePrepare)(nil)
+
+// Type implements Message.
+func (m *PrePrepare) Type() Type { return TPrePrepare }
+
+// LastSeq returns the sequence number of the final entry.
+func (m *PrePrepare) LastSeq() types.Seq {
+	return m.FirstSeq + types.Seq(len(m.Entries)) - 1
+}
+
+func (m *PrePrepare) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TPrePrepare))
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.FirstSeq))
+	w.I32(int32(m.Primary))
+	w.U32(uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.I32(int32(e.Req.Client))
+		w.U64(e.Req.ClientSeq)
+		w.Bytes32(e.ReqDigest)
+	}
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *PrePrepare) SignedBody() []byte {
+	w := codec.NewWriter(32 + 40*len(m.Entries))
+	m.encodeBody(w)
+	return w.Bytes()
+}
+
+// BodyDigest identifies the batch in prepare/commit messages.
+func (m *PrePrepare) BodyDigest(v interface{ Digest([]byte) []byte }) []byte {
+	return v.Digest(m.SignedBody())
+}
+
+// Marshal implements Message.
+func (m *PrePrepare) Marshal() []byte {
+	w := codec.NewWriter(64 + 40*len(m.Entries) + len(m.Sig))
+	m.encodeBody(w)
+	w.Bytes32(m.Sig)
+	return w.Bytes()
+}
+
+func decodePrePrepare(r *codec.Reader) (*PrePrepare, error) {
+	m := &PrePrepare{
+		View:     types.View(r.U64()),
+		FirstSeq: types.Seq(r.U64()),
+		Primary:  types.NodeID(r.I32()),
+	}
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<20 {
+		return nil, errors.New("implausible entry count")
+	}
+	m.Entries = make([]OrderEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		m.Entries = append(m.Entries, OrderEntry{
+			Req:       ReqID{Client: types.NodeID(r.I32()), ClientSeq: r.U64()},
+			ReqDigest: r.Bytes32(),
+		})
+	}
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the primary's signature.
+func (m *PrePrepare) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.Primary, m.SignedBody(), m.Sig)
+}
+
+// Prepare is the second BFT phase (n-to-n): a backup that accepted a
+// pre-prepare multicasts a signed prepare for it.
+type Prepare struct {
+	From        types.NodeID
+	View        types.View
+	FirstSeq    types.Seq
+	BatchDigest []byte
+	Sig         crypto.Signature
+}
+
+var _ Message = (*Prepare)(nil)
+
+// Type implements Message.
+func (m *Prepare) Type() Type { return TPrepare }
+
+// prepareBody builds the canonical body shared by Prepare and Commit,
+// distinguished by the type tag.
+func phaseBody(t Type, from types.NodeID, view types.View, firstSeq types.Seq, digest []byte) []byte {
+	w := codec.NewWriter(32 + len(digest))
+	w.U8(uint8(t))
+	w.I32(int32(from))
+	w.U64(uint64(view))
+	w.U64(uint64(firstSeq))
+	w.Bytes32(digest)
+	return w.Bytes()
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *Prepare) SignedBody() []byte {
+	return phaseBody(TPrepare, m.From, m.View, m.FirstSeq, m.BatchDigest)
+}
+
+// Marshal implements Message.
+func (m *Prepare) Marshal() []byte {
+	w := codec.NewWriter(48 + len(m.BatchDigest) + len(m.Sig))
+	w.U8(uint8(TPrepare))
+	w.I32(int32(m.From))
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.FirstSeq))
+	w.Bytes32(m.BatchDigest)
+	w.Bytes32(m.Sig)
+	return w.Bytes()
+}
+
+func decodePrepare(r *codec.Reader) (*Prepare, error) {
+	m := &Prepare{
+		From:     types.NodeID(r.I32()),
+		View:     types.View(r.U64()),
+		FirstSeq: types.Seq(r.U64()),
+	}
+	m.BatchDigest = r.Bytes32()
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the sender's signature.
+func (m *Prepare) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.From, m.SignedBody(), m.Sig)
+}
+
+// Commit is the third BFT phase (n-to-n).
+type Commit struct {
+	From        types.NodeID
+	View        types.View
+	FirstSeq    types.Seq
+	BatchDigest []byte
+	Sig         crypto.Signature
+}
+
+var _ Message = (*Commit)(nil)
+
+// Type implements Message.
+func (m *Commit) Type() Type { return TCommit }
+
+// SignedBody returns the bytes covered by Sig.
+func (m *Commit) SignedBody() []byte {
+	return phaseBody(TCommit, m.From, m.View, m.FirstSeq, m.BatchDigest)
+}
+
+// Marshal implements Message.
+func (m *Commit) Marshal() []byte {
+	w := codec.NewWriter(48 + len(m.BatchDigest) + len(m.Sig))
+	w.U8(uint8(TCommit))
+	w.I32(int32(m.From))
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.FirstSeq))
+	w.Bytes32(m.BatchDigest)
+	w.Bytes32(m.Sig)
+	return w.Bytes()
+}
+
+func decodeCommit(r *codec.Reader) (*Commit, error) {
+	m := &Commit{
+		From:     types.NodeID(r.I32()),
+		View:     types.View(r.U64()),
+		FirstSeq: types.Seq(r.U64()),
+	}
+	m.BatchDigest = r.Bytes32()
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the sender's signature.
+func (m *Commit) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.From, m.SignedBody(), m.Sig)
+}
+
+// PreparedCert certifies that a batch prepared at a replica: the
+// pre-prepare plus 2f matching prepare signatures from distinct backups.
+// Carried inside BFT view-change messages.
+type PreparedCert struct {
+	PrePrepare *PrePrepare
+	Preparers  []types.NodeID
+	Sigs       []crypto.Signature
+}
+
+func (c *PreparedCert) encode(w *codec.Writer) {
+	w.Bytes32(c.PrePrepare.Marshal())
+	w.U32(uint32(len(c.Preparers)))
+	for i, p := range c.Preparers {
+		w.I32(int32(p))
+		w.Bytes32(c.Sigs[i])
+	}
+}
+
+func decodePreparedCert(r *codec.Reader) (*PreparedCert, error) {
+	raw := r.Bytes32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	inner, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("prepared cert pre-prepare: %w", err)
+	}
+	pp, ok := inner.(*PrePrepare)
+	if !ok {
+		return nil, fmt.Errorf("prepared cert pre-prepare has type %v", inner.Type())
+	}
+	c := &PreparedCert{PrePrepare: pp}
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<16 {
+		return nil, errors.New("implausible prepared cert size")
+	}
+	for i := uint32(0); i < n; i++ {
+		c.Preparers = append(c.Preparers, types.NodeID(r.I32()))
+		c.Sigs = append(c.Sigs, r.Bytes32())
+	}
+	return c, r.Err()
+}
+
+// Verify checks the pre-prepare signature and at least need distinct
+// prepare signatures from processes other than the primary.
+func (c *PreparedCert) Verify(v Verifier, need int) error {
+	if c == nil || c.PrePrepare == nil || len(c.Preparers) != len(c.Sigs) {
+		return errors.New("message: malformed prepared cert")
+	}
+	if err := c.PrePrepare.VerifySig(v); err != nil {
+		return err
+	}
+	digest := c.PrePrepare.BodyDigest(v)
+	distinct := make(map[types.NodeID]bool)
+	for i, from := range c.Preparers {
+		if from == c.PrePrepare.Primary {
+			continue
+		}
+		body := phaseBody(TPrepare, from, c.PrePrepare.View, c.PrePrepare.FirstSeq, digest)
+		if err := VerifySingle(v, from, body, c.Sigs[i]); err != nil {
+			return fmt.Errorf("message: prepared cert prepare from %v: %w", from, err)
+		}
+		distinct[from] = true
+	}
+	if len(distinct) < need {
+		return fmt.Errorf("message: prepared cert has %d prepares, need %d", len(distinct), need)
+	}
+	return nil
+}
+
+// BFTViewChange is a replica's vote to move to NewView, carrying its
+// prepared certificates above the last stable sequence number.
+type BFTViewChange struct {
+	From       types.NodeID
+	NewView    types.View
+	LastStable types.Seq
+	Prepared   []*PreparedCert
+	Sig        crypto.Signature
+}
+
+var _ Message = (*BFTViewChange)(nil)
+
+// Type implements Message.
+func (m *BFTViewChange) Type() Type { return TBFTViewChange }
+
+func (m *BFTViewChange) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TBFTViewChange))
+	w.I32(int32(m.From))
+	w.U64(uint64(m.NewView))
+	w.U64(uint64(m.LastStable))
+	w.U32(uint32(len(m.Prepared)))
+	for _, c := range m.Prepared {
+		c.encode(w)
+	}
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *BFTViewChange) SignedBody() []byte {
+	w := codec.NewWriter(256)
+	m.encodeBody(w)
+	return w.Bytes()
+}
+
+// Marshal implements Message.
+func (m *BFTViewChange) Marshal() []byte {
+	w := codec.NewWriter(256)
+	m.encodeBody(w)
+	w.Bytes32(m.Sig)
+	return w.Bytes()
+}
+
+func decodeBFTViewChange(r *codec.Reader) (*BFTViewChange, error) {
+	m := &BFTViewChange{
+		From:       types.NodeID(r.I32()),
+		NewView:    types.View(r.U64()),
+		LastStable: types.Seq(r.U64()),
+	}
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<16 {
+		return nil, errors.New("implausible view-change size")
+	}
+	for i := uint32(0); i < n; i++ {
+		c, err := decodePreparedCert(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Prepared = append(m.Prepared, c)
+	}
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the sender's signature (certificates are verified
+// separately with the quorum parameter).
+func (m *BFTViewChange) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.From, m.SignedBody(), m.Sig)
+}
+
+// BFTNewView announces the new view: the 2f+1 view-change messages that
+// justify it and the pre-prepares the new primary re-issues.
+type BFTNewView struct {
+	View        types.View
+	Primary     types.NodeID
+	ViewChanges [][]byte // marshalled BFTViewChange messages
+	PrePrepares []*PrePrepare
+	Sig         crypto.Signature
+}
+
+var _ Message = (*BFTNewView)(nil)
+
+// Type implements Message.
+func (m *BFTNewView) Type() Type { return TBFTNewView }
+
+func (m *BFTNewView) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TBFTNewView))
+	w.U64(uint64(m.View))
+	w.I32(int32(m.Primary))
+	w.U32(uint32(len(m.ViewChanges)))
+	for _, vc := range m.ViewChanges {
+		w.Bytes32(vc)
+	}
+	w.U32(uint32(len(m.PrePrepares)))
+	for _, pp := range m.PrePrepares {
+		w.Bytes32(pp.Marshal())
+	}
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *BFTNewView) SignedBody() []byte {
+	w := codec.NewWriter(512)
+	m.encodeBody(w)
+	return w.Bytes()
+}
+
+// Marshal implements Message.
+func (m *BFTNewView) Marshal() []byte {
+	w := codec.NewWriter(512)
+	m.encodeBody(w)
+	w.Bytes32(m.Sig)
+	return w.Bytes()
+}
+
+func decodeBFTNewView(r *codec.Reader) (*BFTNewView, error) {
+	m := &BFTNewView{
+		View:    types.View(r.U64()),
+		Primary: types.NodeID(r.I32()),
+	}
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<16 {
+		return nil, errors.New("implausible new-view size")
+	}
+	for i := uint32(0); i < n; i++ {
+		m.ViewChanges = append(m.ViewChanges, cloneBytes(r.Bytes32()))
+	}
+	k := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if k > 1<<16 {
+		return nil, errors.New("implausible new-view pre-prepare count")
+	}
+	for i := uint32(0); i < k; i++ {
+		raw := r.Bytes32()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		inner, err := Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("new-view pre-prepare %d: %w", i, err)
+		}
+		pp, ok := inner.(*PrePrepare)
+		if !ok {
+			return nil, fmt.Errorf("new-view pre-prepare %d has type %v", i, inner.Type())
+		}
+		m.PrePrepares = append(m.PrePrepares, pp)
+	}
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the new primary's signature.
+func (m *BFTNewView) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.Primary, m.SignedBody(), m.Sig)
+}

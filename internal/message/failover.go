@@ -1,0 +1,558 @@
+package message
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sof-repro/sof/internal/codec"
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// FailSignal announces the 'crash' of a signal-on-crash process pair
+// (Section 3.2). At initialisation each paired process holds a fail-signal
+// body pre-signed by its counterpart; on detecting a value- or time-domain
+// failure it double-signs that message and broadcasts it. First is the
+// pre-supplied signatory (the suspected counterpart); Second is the
+// emitting detector.
+type FailSignal struct {
+	Pair   types.Rank // pair index (coordinator candidate rank)
+	Epoch  uint64     // distinguishes successive fail-signals of the same SCR pair
+	First  types.NodeID
+	Second types.NodeID
+	Sig1   crypto.Signature
+	Sig2   crypto.Signature
+}
+
+var _ Message = (*FailSignal)(nil)
+
+// Type implements Message.
+func (m *FailSignal) Type() Type { return TFailSignal }
+
+// FailSignalBody returns the canonical pre-signed body for pair/epoch with
+// first signatory first. It is what the trusted dealer (or the pair itself,
+// on SCR recovery) pre-signs and exchanges.
+func FailSignalBody(pair types.Rank, epoch uint64, first types.NodeID) []byte {
+	w := codec.NewWriter(24)
+	w.U8(uint8(TFailSignal))
+	w.U32(uint32(pair))
+	w.U64(epoch)
+	w.I32(int32(first))
+	return w.Bytes()
+}
+
+// SignedBody returns the bytes covered by Sig1.
+func (m *FailSignal) SignedBody() []byte { return FailSignalBody(m.Pair, m.Epoch, m.First) }
+
+// Marshal implements Message.
+func (m *FailSignal) Marshal() []byte {
+	w := codec.NewWriter(48 + len(m.Sig1) + len(m.Sig2))
+	w.U8(uint8(TFailSignal))
+	w.U32(uint32(m.Pair))
+	w.U64(m.Epoch)
+	w.I32(int32(m.First))
+	w.I32(int32(m.Second))
+	w.Bytes32(m.Sig1)
+	w.Bytes32(m.Sig2)
+	return w.Bytes()
+}
+
+func decodeFailSignal(r *codec.Reader) (*FailSignal, error) {
+	m := &FailSignal{
+		Pair:  types.Rank(r.U32()),
+		Epoch: r.U64(),
+		First: types.NodeID(r.I32()),
+	}
+	m.Second = types.NodeID(r.I32())
+	m.Sig1 = r.Bytes32()
+	m.Sig2 = r.Bytes32()
+	return m, r.Err()
+}
+
+// Verify checks both signatures: Sig1 by First over the body, Sig2 by
+// Second over body||Sig1. The two signatories must be the two processes of
+// the pair (the caller supplies them from the topology).
+func (m *FailSignal) Verify(v Verifier, pc, ps types.NodeID) error {
+	if !((m.First == pc && m.Second == ps) || (m.First == ps && m.Second == pc)) {
+		return fmt.Errorf("message: fail-signal signatories %v,%v are not pair {%v,%v}", m.First, m.Second, pc, ps)
+	}
+	if err := VerifyDouble(v, m.First, m.Second, m.SignedBody(), m.Sig1, m.Sig2); err != nil {
+		return fmt.Errorf("message: fail-signal pair %d: %w", m.Pair, err)
+	}
+	return nil
+}
+
+// BackLog is the IN1 message: on receiving a fail-signal from the current
+// coordinator, every process multicasts its backlog — the fail-signal, the
+// committed order with the largest sequence number together with its proof
+// of commitment, and all acked-but-uncommitted orders. Padding lets the
+// fail-over experiments (Figure 6) control the BackLog size directly.
+type BackLog struct {
+	From         types.NodeID
+	NewCoord     types.Rank
+	View         types.View
+	FailSig      *FailSignal
+	MaxCommitted *CommitProof // nil when nothing has committed yet
+	Uncommitted  []*OrderBatch
+	Padding      []byte
+	Sig          crypto.Signature
+}
+
+var _ Message = (*BackLog)(nil)
+
+// Type implements Message.
+func (m *BackLog) Type() Type { return TBackLog }
+
+func (m *BackLog) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TBackLog))
+	w.I32(int32(m.From))
+	w.U32(uint32(m.NewCoord))
+	w.U64(uint64(m.View))
+	if m.FailSig != nil {
+		w.Bool(true)
+		w.Bytes32(m.FailSig.Marshal())
+	} else {
+		w.Bool(false)
+	}
+	if m.MaxCommitted != nil {
+		w.Bool(true)
+		m.MaxCommitted.encode(w)
+	} else {
+		w.Bool(false)
+	}
+	w.U32(uint32(len(m.Uncommitted)))
+	for _, b := range m.Uncommitted {
+		w.Bytes32(b.Marshal())
+	}
+	w.Bytes32(m.Padding)
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *BackLog) SignedBody() []byte {
+	w := codec.NewWriter(256)
+	m.encodeBody(w)
+	return w.Bytes()
+}
+
+// Marshal implements Message.
+func (m *BackLog) Marshal() []byte {
+	w := codec.NewWriter(256)
+	m.encodeBody(w)
+	w.Bytes32(m.Sig)
+	return w.Bytes()
+}
+
+func decodeBackLog(r *codec.Reader) (*BackLog, error) {
+	m := &BackLog{
+		From:     types.NodeID(r.I32()),
+		NewCoord: types.Rank(r.U32()),
+		View:     types.View(r.U64()),
+	}
+	if r.Bool() {
+		raw := r.Bytes32()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		inner, err := Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("backlog fail-signal: %w", err)
+		}
+		fs, ok := inner.(*FailSignal)
+		if !ok {
+			return nil, fmt.Errorf("backlog fail-signal has type %v", inner.Type())
+		}
+		m.FailSig = fs
+	}
+	if r.Bool() {
+		p, err := decodeCommitProof(r)
+		if err != nil {
+			return nil, err
+		}
+		m.MaxCommitted = p
+	}
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<16 {
+		return nil, errors.New("implausible uncommitted count")
+	}
+	for i := uint32(0); i < n; i++ {
+		raw := r.Bytes32()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		inner, err := Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("backlog order %d: %w", i, err)
+		}
+		b, ok := inner.(*OrderBatch)
+		if !ok {
+			return nil, fmt.Errorf("backlog order %d has type %v", i, inner.Type())
+		}
+		m.Uncommitted = append(m.Uncommitted, b)
+	}
+	m.Padding = r.Bytes32()
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the sender's signature.
+func (m *BackLog) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.From, m.SignedBody(), m.Sig)
+}
+
+// Start is the IN2 message: the new coordinator's NewBackLog and start_o,
+// pair-endorsed when the coordinator is a pair. It is committed through the
+// normal part (IN5) like an order message with sequence number StartSeq.
+type Start struct {
+	Coord           types.Rank
+	View            types.View
+	StartSeq        types.Seq // start_o
+	MaxCommittedSeq types.Seq // max{max_committed} over the n-f backlogs
+	NewBackLog      []*OrderBatch
+	Primary         types.NodeID
+	Shadow          types.NodeID
+	Sig1            crypto.Signature
+	Sig2            crypto.Signature
+}
+
+var _ Message = (*Start)(nil)
+
+// Type implements Message.
+func (m *Start) Type() Type { return TStart }
+
+func (m *Start) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TStart))
+	w.U32(uint32(m.Coord))
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.StartSeq))
+	w.U64(uint64(m.MaxCommittedSeq))
+	w.I32(int32(m.Primary))
+	w.I32(int32(m.Shadow))
+	w.U32(uint32(len(m.NewBackLog)))
+	for _, b := range m.NewBackLog {
+		w.Bytes32(b.Marshal())
+	}
+}
+
+// SignedBody returns the bytes covered by Sig1 (Sig2 covers body||Sig1).
+func (m *Start) SignedBody() []byte {
+	w := codec.NewWriter(256)
+	m.encodeBody(w)
+	return w.Bytes()
+}
+
+// BodyDigest identifies the Start in acks and counter-signatures.
+func (m *Start) BodyDigest(v interface{ Digest([]byte) []byte }) []byte {
+	return v.Digest(m.SignedBody())
+}
+
+// Marshal implements Message.
+func (m *Start) Marshal() []byte {
+	w := codec.NewWriter(256)
+	m.encodeBody(w)
+	w.Bytes32(m.Sig1)
+	w.Bytes32(m.Sig2)
+	return w.Bytes()
+}
+
+func decodeStart(r *codec.Reader) (*Start, error) {
+	m := &Start{
+		Coord:           types.Rank(r.U32()),
+		View:            types.View(r.U64()),
+		StartSeq:        types.Seq(r.U64()),
+		MaxCommittedSeq: types.Seq(r.U64()),
+		Primary:         types.NodeID(r.I32()),
+		Shadow:          types.NodeID(r.I32()),
+	}
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<16 {
+		return nil, errors.New("implausible NewBackLog size")
+	}
+	for i := uint32(0); i < n; i++ {
+		raw := r.Bytes32()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		inner, err := Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("start order %d: %w", i, err)
+		}
+		b, ok := inner.(*OrderBatch)
+		if !ok {
+			return nil, fmt.Errorf("start order %d has type %v", i, inner.Type())
+		}
+		m.NewBackLog = append(m.NewBackLog, b)
+	}
+	m.Sig1 = r.Bytes32()
+	m.Sig2 = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySigs checks the Start's (possibly pair-endorsed) signatures.
+func (m *Start) VerifySigs(v Verifier) error {
+	return VerifyDouble(v, m.Primary, m.Shadow, m.SignedBody(), m.Sig1, m.Sig2)
+}
+
+// StartSig is the IN3 counter-signature: a process that receives an
+// authentic doubly-signed Start "generates its signature for the received
+// and sends its unique identifier and the signature to pc and p'c".
+type StartSig struct {
+	From        types.NodeID
+	Coord       types.Rank
+	View        types.View
+	StartDigest []byte
+	Sig         crypto.Signature
+}
+
+var _ Message = (*StartSig)(nil)
+
+// Type implements Message.
+func (m *StartSig) Type() Type { return TStartSig }
+
+// StartSigBody returns the canonical counter-signed bytes, reconstructible
+// by verifiers of StartTuples.
+func StartSigBody(from types.NodeID, coord types.Rank, view types.View, startDigest []byte) []byte {
+	w := codec.NewWriter(32 + len(startDigest))
+	w.U8(uint8(TStartSig))
+	w.I32(int32(from))
+	w.U32(uint32(coord))
+	w.U64(uint64(view))
+	w.Bytes32(startDigest)
+	return w.Bytes()
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *StartSig) SignedBody() []byte {
+	return StartSigBody(m.From, m.Coord, m.View, m.StartDigest)
+}
+
+// Marshal implements Message.
+func (m *StartSig) Marshal() []byte {
+	w := codec.NewWriter(48 + len(m.StartDigest) + len(m.Sig))
+	w.U8(uint8(TStartSig))
+	w.I32(int32(m.From))
+	w.U32(uint32(m.Coord))
+	w.U64(uint64(m.View))
+	w.Bytes32(m.StartDigest)
+	w.Bytes32(m.Sig)
+	return w.Bytes()
+}
+
+func decodeStartSig(r *codec.Reader) (*StartSig, error) {
+	m := &StartSig{
+		From:  types.NodeID(r.I32()),
+		Coord: types.Rank(r.U32()),
+		View:  types.View(r.U64()),
+	}
+	m.StartDigest = r.Bytes32()
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the counter-signature.
+func (m *StartSig) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.From, m.SignedBody(), m.Sig)
+}
+
+// StartTuples is the IN4 message: the coordinator pair multicasts the f-1
+// identifier-signature tuples it collected, completing the installation
+// evidence.
+type StartTuples struct {
+	From        types.NodeID
+	Coord       types.Rank
+	View        types.View
+	StartDigest []byte
+	Froms       []types.NodeID
+	Sigs        []crypto.Signature
+	Sig         crypto.Signature
+}
+
+var _ Message = (*StartTuples)(nil)
+
+// Type implements Message.
+func (m *StartTuples) Type() Type { return TStartTuples }
+
+func (m *StartTuples) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TStartTuples))
+	w.I32(int32(m.From))
+	w.U32(uint32(m.Coord))
+	w.U64(uint64(m.View))
+	w.Bytes32(m.StartDigest)
+	w.U32(uint32(len(m.Froms)))
+	for i, f := range m.Froms {
+		w.I32(int32(f))
+		w.Bytes32(m.Sigs[i])
+	}
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *StartTuples) SignedBody() []byte {
+	w := codec.NewWriter(128)
+	m.encodeBody(w)
+	return w.Bytes()
+}
+
+// Marshal implements Message.
+func (m *StartTuples) Marshal() []byte {
+	w := codec.NewWriter(128)
+	m.encodeBody(w)
+	w.Bytes32(m.Sig)
+	return w.Bytes()
+}
+
+func decodeStartTuples(r *codec.Reader) (*StartTuples, error) {
+	m := &StartTuples{
+		From:  types.NodeID(r.I32()),
+		Coord: types.Rank(r.U32()),
+		View:  types.View(r.U64()),
+	}
+	m.StartDigest = r.Bytes32()
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<16 {
+		return nil, errors.New("implausible tuple count")
+	}
+	for i := uint32(0); i < n; i++ {
+		m.Froms = append(m.Froms, types.NodeID(r.I32()))
+		m.Sigs = append(m.Sigs, r.Bytes32())
+	}
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// Verify checks the outer signature and every embedded tuple signature.
+func (m *StartTuples) Verify(v Verifier) error {
+	if len(m.Froms) != len(m.Sigs) {
+		return errors.New("message: malformed start tuples")
+	}
+	if err := VerifySingle(v, m.From, m.SignedBody(), m.Sig); err != nil {
+		return fmt.Errorf("message: start tuples from %v: %w", m.From, err)
+	}
+	for i, f := range m.Froms {
+		body := StartSigBody(f, m.Coord, m.View, m.StartDigest)
+		if err := VerifySingle(v, f, body, m.Sigs[i]); err != nil {
+			return fmt.Errorf("message: start tuple of %v: %w", f, err)
+		}
+	}
+	return nil
+}
+
+// PairStart is the IN2 pair-link message: pc sends its 1-signed Start
+// together with the n-f BackLogs it computed it from, so that p'c can
+// verify the computation before endorsing ("p'c verifies if pc computed
+// properly the Start as per the (n-f) BackLogs received with it").
+type PairStart struct {
+	Start    *Start // Sig1 set, Sig2 empty
+	BackLogs []*BackLog
+}
+
+var _ Message = (*PairStart)(nil)
+
+// Type implements Message.
+func (m *PairStart) Type() Type { return TPairStart }
+
+// Marshal implements Message.
+func (m *PairStart) Marshal() []byte {
+	w := codec.NewWriter(512)
+	w.U8(uint8(TPairStart))
+	w.Bytes32(m.Start.Marshal())
+	w.U32(uint32(len(m.BackLogs)))
+	for _, b := range m.BackLogs {
+		w.Bytes32(b.Marshal())
+	}
+	return w.Bytes()
+}
+
+func decodePairStart(r *codec.Reader) (*PairStart, error) {
+	raw := r.Bytes32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	inner, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("pair-start start: %w", err)
+	}
+	st, ok := inner.(*Start)
+	if !ok {
+		return nil, fmt.Errorf("pair-start start has type %v", inner.Type())
+	}
+	m := &PairStart{Start: st}
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<16 {
+		return nil, errors.New("implausible backlog count")
+	}
+	for i := uint32(0); i < n; i++ {
+		raw := r.Bytes32()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		inner, err := Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("pair-start backlog %d: %w", i, err)
+		}
+		b, ok := inner.(*BackLog)
+		if !ok {
+			return nil, fmt.Errorf("pair-start backlog %d has type %v", i, inner.Type())
+		}
+		m.BackLogs = append(m.BackLogs, b)
+	}
+	return m, r.Err()
+}
+
+// MirrorDir distinguishes mirrored receptions from mirrored transmissions.
+type MirrorDir uint8
+
+// Mirror directions.
+const (
+	MirrorRecv MirrorDir = 1
+	MirrorSent MirrorDir = 2
+)
+
+// Mirror is the pair-link envelope of Section 3.1: each paired process
+// forwards "to its counterpart process a copy of every message it receives
+// and sends over the asynchronous network". Peer is the original sender
+// (MirrorRecv) or types.Nil for multicasts (MirrorSent). Mirrors travel
+// only on the private pair link, whose endpoint authenticity comes from
+// the link itself; the mirrored inner message carries its own signatures.
+type Mirror struct {
+	Dir   MirrorDir
+	Peer  types.NodeID
+	Inner []byte
+}
+
+var _ Message = (*Mirror)(nil)
+
+// Type implements Message.
+func (m *Mirror) Type() Type { return TMirror }
+
+// Marshal implements Message.
+func (m *Mirror) Marshal() []byte {
+	w := codec.NewWriter(16 + len(m.Inner))
+	w.U8(uint8(TMirror))
+	w.U8(uint8(m.Dir))
+	w.I32(int32(m.Peer))
+	w.Bytes32(m.Inner)
+	return w.Bytes()
+}
+
+func decodeMirror(r *codec.Reader) (*Mirror, error) {
+	m := &Mirror{
+		Dir:  MirrorDir(r.U8()),
+		Peer: types.NodeID(r.I32()),
+	}
+	m.Inner = r.Bytes32()
+	return m, r.Err()
+}
+
+// InnerMessage decodes the mirrored message.
+func (m *Mirror) InnerMessage() (Message, error) { return Decode(m.Inner) }

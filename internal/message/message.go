@@ -1,0 +1,209 @@
+// Package message defines every wire message of the four order protocols
+// (SC, SCR, BFT, CT) together with their canonical binary encodings and
+// signature helpers.
+//
+// Encoding convention: each message has a signable *body* (its type tag and
+// fields) followed by its signature(s). Double-signed messages follow the
+// paper's Section 3 definition — "the second process considers the
+// signature of the first as a part of the contents it signs for" — so
+// Sig1 = Sign(D(body)) and Sig2 = Sign(D(body || Sig1)).
+//
+// Decoded messages alias the buffer they were decoded from; buffers must
+// not be reused. Messages are treated as immutable after construction.
+package message
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sof-repro/sof/internal/codec"
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// Type tags every wire message.
+type Type uint8
+
+// Wire message types.
+const (
+	TRequest Type = iota + 1
+	TOrderBatch
+	TAck
+	TFailSignal
+	TBackLog
+	TStart
+	TStartSig
+	TStartTuples
+	TPairStart
+	TMirror
+	TPrePrepare
+	TPrepare
+	TCommit
+	TBFTViewChange
+	TBFTNewView
+	TUnwilling
+	TReply
+	TPairBeat
+)
+
+var typeNames = map[Type]string{
+	TRequest: "Request", TOrderBatch: "OrderBatch", TAck: "Ack",
+	TFailSignal: "FailSignal", TBackLog: "BackLog", TStart: "Start",
+	TStartSig: "StartSig", TStartTuples: "StartTuples", TPairStart: "PairStart",
+	TMirror: "Mirror", TPrePrepare: "PrePrepare", TPrepare: "Prepare",
+	TCommit: "Commit", TBFTViewChange: "BFTViewChange", TBFTNewView: "BFTNewView",
+	TUnwilling: "Unwilling", TReply: "Reply", TPairBeat: "PairBeat",
+}
+
+// String returns the message type name.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Message is any wire message.
+type Message interface {
+	// Type returns the wire type tag.
+	Type() Type
+	// Marshal returns the full wire encoding, signatures included.
+	Marshal() []byte
+}
+
+// Signer produces signatures for one process; *crypto.Identity satisfies
+// it, as do the runtime environments (which additionally charge modelled
+// CPU costs in simulation).
+type Signer interface {
+	Digest(data []byte) []byte
+	Sign(digest []byte) (crypto.Signature, error)
+}
+
+// Verifier checks other processes' signatures.
+type Verifier interface {
+	Digest(data []byte) []byte
+	Verify(signer types.NodeID, digest []byte, sig crypto.Signature) error
+}
+
+// SignerVerifier combines both roles.
+type SignerVerifier interface {
+	Signer
+	Verifier
+}
+
+// ErrUnknownType is returned by Decode for an unrecognised type tag.
+var ErrUnknownType = errors.New("message: unknown message type")
+
+// Decode parses a wire message. The returned message aliases b.
+func Decode(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, errors.New("message: empty buffer")
+	}
+	r := codec.NewReader(b)
+	t := Type(r.U8())
+	var (
+		m   Message
+		err error
+	)
+	switch t {
+	case TRequest:
+		m, err = decodeRequest(r)
+	case TOrderBatch:
+		m, err = decodeOrderBatch(r)
+	case TAck:
+		m, err = decodeAck(r)
+	case TFailSignal:
+		m, err = decodeFailSignal(r)
+	case TBackLog:
+		m, err = decodeBackLog(r)
+	case TStart:
+		m, err = decodeStart(r)
+	case TStartSig:
+		m, err = decodeStartSig(r)
+	case TStartTuples:
+		m, err = decodeStartTuples(r)
+	case TPairStart:
+		m, err = decodePairStart(r)
+	case TMirror:
+		m, err = decodeMirror(r)
+	case TPrePrepare:
+		m, err = decodePrePrepare(r)
+	case TPrepare:
+		m, err = decodePrepare(r)
+	case TCommit:
+		m, err = decodeCommit(r)
+	case TBFTViewChange:
+		m, err = decodeBFTViewChange(r)
+	case TBFTNewView:
+		m, err = decodeBFTNewView(r)
+	case TUnwilling:
+		m, err = decodeUnwilling(r)
+	case TReply:
+		m, err = decodeReply(r)
+	case TPairBeat:
+		m, err = decodePairBeat(r)
+	default:
+		return nil, fmt.Errorf("%w: tag %d", ErrUnknownType, uint8(t))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("message: decoding %v: %w", t, err)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("message: decoding %v: %w", t, err)
+	}
+	return m, nil
+}
+
+// SignSingle signs body as s and returns the signature.
+func SignSingle(s Signer, body []byte) (crypto.Signature, error) {
+	return s.Sign(s.Digest(body))
+}
+
+// VerifySingle checks a single signature over body.
+func VerifySingle(v Verifier, signer types.NodeID, body []byte, sig crypto.Signature) error {
+	return v.Verify(signer, v.Digest(body), sig)
+}
+
+// CounterSignBody returns the bytes the second signatory of a double-signed
+// message signs over: body || sig1.
+func CounterSignBody(body []byte, sig1 crypto.Signature) []byte {
+	out := make([]byte, 0, len(body)+len(sig1))
+	out = append(out, body...)
+	out = append(out, sig1...)
+	return out
+}
+
+// SignSecond produces the endorsing second signature over body||sig1.
+func SignSecond(s Signer, body []byte, sig1 crypto.Signature) (crypto.Signature, error) {
+	return s.Sign(s.Digest(CounterSignBody(body, sig1)))
+}
+
+// VerifyDouble checks a doubly-signed body: sig1 by first over body, sig2 by
+// second over body||sig1. When second == types.Nil the message is accepted
+// as single-signed with an empty sig2 (the unpaired coordinator C(f+1) and
+// the CT baseline emit such messages).
+func VerifyDouble(v Verifier, first, second types.NodeID, body []byte, sig1, sig2 crypto.Signature) error {
+	if err := v.Verify(first, v.Digest(body), sig1); err != nil {
+		return fmt.Errorf("message: first signature: %w", err)
+	}
+	if second == types.Nil {
+		if len(sig2) != 0 {
+			return errors.New("message: unexpected second signature from unpaired source")
+		}
+		return nil
+	}
+	if err := v.Verify(second, v.Digest(CounterSignBody(body, sig1)), sig2); err != nil {
+		return fmt.Errorf("message: second signature: %w", err)
+	}
+	return nil
+}
+
+// cloneBytes copies b so retained messages do not alias transport buffers.
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

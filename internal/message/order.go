@@ -1,0 +1,354 @@
+package message
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sof-repro/sof/internal/codec"
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// ReqID uniquely identifies a client request.
+type ReqID struct {
+	Client    types.NodeID
+	ClientSeq uint64
+}
+
+// String renders "client<k>#<seq>".
+func (r ReqID) String() string { return fmt.Sprintf("%v#%d", r.Client, r.ClientSeq) }
+
+// Request is a client request. Clients "direct their requests to all nodes
+// and thus all non-faulty processes receive each request that needs to be
+// sequenced before processing" (Section 3).
+type Request struct {
+	Client    types.NodeID
+	ClientSeq uint64
+	Payload   []byte
+	Sig       crypto.Signature
+}
+
+var _ Message = (*Request)(nil)
+
+// Type implements Message.
+func (m *Request) Type() Type { return TRequest }
+
+// ID returns the request identifier.
+func (m *Request) ID() ReqID { return ReqID{Client: m.Client, ClientSeq: m.ClientSeq} }
+
+func (m *Request) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TRequest))
+	w.I32(int32(m.Client))
+	w.U64(m.ClientSeq)
+	w.Bytes32(m.Payload)
+}
+
+// SignedBody returns the canonical bytes the client signs; the request
+// digest D(m) is the suite digest of these bytes.
+func (m *Request) SignedBody() []byte {
+	w := codec.NewWriter(16 + len(m.Payload))
+	m.encodeBody(w)
+	return w.Bytes()
+}
+
+// Digest computes D(m), the digest carried in order messages ("the order
+// for m does not contain m itself").
+func (m *Request) Digest(v interface{ Digest([]byte) []byte }) []byte {
+	return v.Digest(m.SignedBody())
+}
+
+// Marshal implements Message.
+func (m *Request) Marshal() []byte {
+	w := codec.NewWriter(24 + len(m.Payload) + len(m.Sig))
+	m.encodeBody(w)
+	w.Bytes32(m.Sig)
+	return w.Bytes()
+}
+
+func decodeRequest(r *codec.Reader) (*Request, error) {
+	m := &Request{
+		Client:    types.NodeID(r.I32()),
+		ClientSeq: r.U64(),
+		Payload:   r.Bytes32(),
+	}
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// OrderEntry is one order decision inside a batch: the entry at index i of
+// a batch with FirstSeq o assigns sequence number o+i to the request
+// identified by Req with digest ReqDigest. This is the order<c, o, D(m)>
+// of the paper, vectorised by the batching optimization of Section 4.3.
+type OrderEntry struct {
+	Req       ReqID
+	ReqDigest []byte
+}
+
+// OrderBatch is a batch of order decisions produced by the coordinator.
+// For SC/SCR it is doubly-signed by the coordinator pair (Primary = pc,
+// Shadow = p'c); for the unpaired SC candidate C(f+1) and for CT it is
+// single-signed (Shadow = Nil, empty Sig2).
+type OrderBatch struct {
+	Coord    types.Rank // candidate rank c
+	View     types.View // SC: installation epoch; SCR/BFT-style views elsewhere
+	FirstSeq types.Seq
+	Entries  []OrderEntry
+	Primary  types.NodeID
+	Shadow   types.NodeID
+	Sig1     crypto.Signature
+	Sig2     crypto.Signature
+}
+
+var _ Message = (*OrderBatch)(nil)
+
+// Type implements Message.
+func (m *OrderBatch) Type() Type { return TOrderBatch }
+
+// LastSeq returns the sequence number of the final entry.
+func (m *OrderBatch) LastSeq() types.Seq {
+	return m.FirstSeq + types.Seq(len(m.Entries)) - 1
+}
+
+// Contains reports whether the batch assigns sequence number s.
+func (m *OrderBatch) Contains(s types.Seq) bool {
+	return s >= m.FirstSeq && s <= m.LastSeq()
+}
+
+// EntryAt returns the entry assigning sequence number s.
+func (m *OrderBatch) EntryAt(s types.Seq) (OrderEntry, bool) {
+	if !m.Contains(s) {
+		return OrderEntry{}, false
+	}
+	return m.Entries[s-m.FirstSeq], true
+}
+
+func (m *OrderBatch) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TOrderBatch))
+	w.U32(uint32(m.Coord))
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.FirstSeq))
+	w.I32(int32(m.Primary))
+	w.I32(int32(m.Shadow))
+	w.U32(uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.I32(int32(e.Req.Client))
+		w.U64(e.Req.ClientSeq)
+		w.Bytes32(e.ReqDigest)
+	}
+}
+
+// SignedBody returns the bytes the primary signs (Sig1); the shadow signs
+// CounterSignBody(SignedBody, Sig1).
+func (m *OrderBatch) SignedBody() []byte {
+	w := codec.NewWriter(40 + 40*len(m.Entries))
+	m.encodeBody(w)
+	return w.Bytes()
+}
+
+// Marshal implements Message.
+func (m *OrderBatch) Marshal() []byte {
+	w := codec.NewWriter(64 + 40*len(m.Entries) + len(m.Sig1) + len(m.Sig2))
+	m.encodeBody(w)
+	w.Bytes32(m.Sig1)
+	w.Bytes32(m.Sig2)
+	return w.Bytes()
+}
+
+func decodeOrderBatch(r *codec.Reader) (*OrderBatch, error) {
+	m := &OrderBatch{
+		Coord:    types.Rank(r.U32()),
+		View:     types.View(r.U64()),
+		FirstSeq: types.Seq(r.U64()),
+		Primary:  types.NodeID(r.I32()),
+		Shadow:   types.NodeID(r.I32()),
+	}
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<20 {
+		return nil, errors.New("implausible entry count")
+	}
+	m.Entries = make([]OrderEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		m.Entries = append(m.Entries, OrderEntry{
+			Req:       ReqID{Client: types.NodeID(r.I32()), ClientSeq: r.U64()},
+			ReqDigest: r.Bytes32(),
+		})
+	}
+	m.Sig1 = r.Bytes32()
+	m.Sig2 = r.Bytes32()
+	return m, r.Err()
+}
+
+// BodyDigest returns the digest identifying this batch in acks and proofs
+// (computed over the signable body, so the copies relayed by pc and p'c
+// have the same digest).
+func (m *OrderBatch) BodyDigest(v interface{ Digest([]byte) []byte }) []byte {
+	return v.Digest(m.SignedBody())
+}
+
+// VerifySigs checks the batch's signatures: Sig1 by Primary, and Sig2 by
+// Shadow over body||Sig1 when the batch is pair-endorsed.
+func (m *OrderBatch) VerifySigs(v Verifier) error {
+	return VerifyDouble(v, m.Primary, m.Shadow, m.SignedBody(), m.Sig1, m.Sig2)
+}
+
+// SubjectKind distinguishes what an Ack endorses.
+type SubjectKind uint8
+
+// Ack subjects: an ordinary order batch, or a Start message committed via
+// the normal part during coordinator installation (IN5).
+const (
+	SubjectBatch SubjectKind = 1
+	SubjectStart SubjectKind = 2
+)
+
+// Ack is the N1 message of the normal part: "Multicast a signed ack (that
+// also contains the received order) to all processes (including itself)".
+// Subject carries the full encoded order (batch or Start) for wire-size
+// fidelity; the signature binds the subject's body digest, so commit proofs
+// can be verified from the digest alone.
+type Ack struct {
+	From          types.NodeID
+	Kind          SubjectKind
+	View          types.View
+	FirstSeq      types.Seq
+	SubjectDigest []byte
+	Subject       []byte // full encoded subject message
+	Sig           crypto.Signature
+}
+
+var _ Message = (*Ack)(nil)
+
+// Type implements Message.
+func (m *Ack) Type() Type { return TAck }
+
+// AckBody returns the canonical signed body of an ack with the given
+// fields; it is reconstructible by proof verifiers that hold the subject
+// digest but not the subject.
+func AckBody(from types.NodeID, kind SubjectKind, view types.View, firstSeq types.Seq, subjectDigest []byte) []byte {
+	w := codec.NewWriter(32 + len(subjectDigest))
+	w.U8(uint8(TAck))
+	w.I32(int32(from))
+	w.U8(uint8(kind))
+	w.U64(uint64(view))
+	w.U64(uint64(firstSeq))
+	w.Bytes32(subjectDigest)
+	return w.Bytes()
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *Ack) SignedBody() []byte {
+	return AckBody(m.From, m.Kind, m.View, m.FirstSeq, m.SubjectDigest)
+}
+
+// Marshal implements Message.
+func (m *Ack) Marshal() []byte {
+	w := codec.NewWriter(48 + len(m.SubjectDigest) + len(m.Subject) + len(m.Sig))
+	w.U8(uint8(TAck))
+	w.I32(int32(m.From))
+	w.U8(uint8(m.Kind))
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.FirstSeq))
+	w.Bytes32(m.SubjectDigest)
+	w.Bytes32(m.Subject)
+	w.Bytes32(m.Sig)
+	return w.Bytes()
+}
+
+func decodeAck(r *codec.Reader) (*Ack, error) {
+	m := &Ack{
+		From:     types.NodeID(r.I32()),
+		Kind:     SubjectKind(r.U8()),
+		View:     types.View(r.U64()),
+		FirstSeq: types.Seq(r.U64()),
+	}
+	m.SubjectDigest = r.Bytes32()
+	m.Subject = r.Bytes32()
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the ack signature.
+func (m *Ack) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.From, m.SignedBody(), m.Sig)
+}
+
+// CommitProof is the evidence retained at N3: "Commit order and retain the
+// (n-f) distinct ack/order received as a proof of commitment". It stores
+// the batch plus the ack signatures; the coordinator pair's own batch
+// signatures count as their contribution (they transmitted the order
+// itself rather than an ack).
+type CommitProof struct {
+	Batch  *OrderBatch
+	Ackers []types.NodeID
+	Sigs   []crypto.Signature
+}
+
+func (p *CommitProof) encode(w *codec.Writer) {
+	w.Bytes32(p.Batch.Marshal())
+	w.U32(uint32(len(p.Ackers)))
+	for i, a := range p.Ackers {
+		w.I32(int32(a))
+		w.Bytes32(p.Sigs[i])
+	}
+}
+
+func decodeCommitProof(r *codec.Reader) (*CommitProof, error) {
+	raw := r.Bytes32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	inner, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("proof batch: %w", err)
+	}
+	batch, ok := inner.(*OrderBatch)
+	if !ok {
+		return nil, fmt.Errorf("proof batch has type %v", inner.Type())
+	}
+	p := &CommitProof{Batch: batch}
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<16 {
+		return nil, errors.New("implausible proof size")
+	}
+	for i := uint32(0); i < n; i++ {
+		p.Ackers = append(p.Ackers, types.NodeID(r.I32()))
+		p.Sigs = append(p.Sigs, r.Bytes32())
+	}
+	return p, r.Err()
+}
+
+// Verify checks that the proof carries a validly signed batch and at least
+// quorum distinct contributions (acks plus the pair's own signatures).
+func (p *CommitProof) Verify(v Verifier, quorum int) error {
+	if p == nil || p.Batch == nil {
+		return errors.New("message: nil commit proof")
+	}
+	if len(p.Ackers) != len(p.Sigs) {
+		return errors.New("message: malformed commit proof")
+	}
+	if err := p.Batch.VerifySigs(v); err != nil {
+		return fmt.Errorf("message: proof batch: %w", err)
+	}
+	digest := p.Batch.BodyDigest(v)
+	distinct := map[types.NodeID]bool{p.Batch.Primary: true}
+	if p.Batch.Shadow != types.Nil {
+		distinct[p.Batch.Shadow] = true
+	}
+	for i, from := range p.Ackers {
+		body := AckBody(from, SubjectBatch, p.Batch.View, p.Batch.FirstSeq, digest)
+		if err := VerifySingle(v, from, body, p.Sigs[i]); err != nil {
+			return fmt.Errorf("message: proof ack from %v: %w", from, err)
+		}
+		distinct[from] = true
+	}
+	if len(distinct) < quorum {
+		return fmt.Errorf("message: commit proof has %d distinct contributors, need %d", len(distinct), quorum)
+	}
+	return nil
+}

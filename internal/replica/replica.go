@@ -1,0 +1,181 @@
+// Package replica is the service execution layer above the order
+// protocols: a deterministic state machine applied to the committed
+// request sequence (the "s1..s(2f+1)" boxes of Figure 1). The order
+// protocols guarantee every non-faulty replica sees the same sequence;
+// this package turns that sequence into application state and results.
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"github.com/sof-repro/sof/internal/core"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// StateMachine is a deterministic service.
+type StateMachine interface {
+	// Apply executes one request payload and returns its result. Apply
+	// must be deterministic: identical request sequences must produce
+	// identical results on every replica.
+	Apply(payload []byte) []byte
+}
+
+// Replica applies committed batches, in order, to a state machine. It is
+// driven by the order process's OnCommit hook (which runs in the process's
+// event loop) but is also safe for concurrent inspection from tests.
+type Replica struct {
+	node types.NodeID
+	sm   StateMachine
+
+	mu       sync.Mutex
+	applied  types.Seq
+	pending  map[types.Seq]core.CommitEvent // committed but waiting on payloads or order
+	results  map[message.ReqID][]byte
+	appliedN int
+}
+
+// New returns a replica wrapping sm for the given order process node.
+func New(node types.NodeID, sm StateMachine) *Replica {
+	return &Replica{
+		node:    node,
+		sm:      sm,
+		pending: make(map[types.Seq]core.CommitEvent),
+		results: make(map[message.ReqID][]byte),
+	}
+}
+
+// HandleCommit consumes one commit event, resolving request payloads from
+// the order process's pool. Batches may be applied only contiguously;
+// commits arriving with a gap (possible across coordinator installs) wait
+// in pending.
+func (r *Replica) HandleCommit(pool *core.RequestPool, ev core.CommitEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pending[ev.FirstSeq] = ev
+	for {
+		next, ok := r.pending[r.applied+1]
+		if !ok {
+			return
+		}
+		if !r.applyLocked(pool, next) {
+			return
+		}
+		delete(r.pending, next.FirstSeq)
+	}
+}
+
+// applyLocked applies one batch; it reports false if a payload is missing
+// (the caller retries on a later commit — clients multicast requests to
+// all nodes, so the payload eventually arrives with a later event).
+func (r *Replica) applyLocked(pool *core.RequestPool, ev core.CommitEvent) bool {
+	for _, e := range ev.Entries {
+		if _, ok := pool.Get(e.Req); !ok {
+			return false
+		}
+	}
+	for _, e := range ev.Entries {
+		req, _ := pool.Get(e.Req)
+		result := r.sm.Apply(req.Payload)
+		r.results[e.Req] = result
+		r.appliedN++
+	}
+	r.applied = ev.LastSeq
+	return true
+}
+
+// Result returns the stored result for a request.
+func (r *Replica) Result(id message.ReqID) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.results[id]
+	return res, ok
+}
+
+// Applied returns the highest applied sequence number and the number of
+// requests executed.
+func (r *Replica) Applied() (types.Seq, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied, r.appliedN
+}
+
+// --- example state machines ---
+
+// KVOp codes for the KVStore wire format.
+const (
+	KVSet byte = 1
+	KVGet byte = 2
+	KVDel byte = 3
+)
+
+// EncodeKV builds a KVStore command: op, key and (for set) value.
+func EncodeKV(op byte, key, value string) []byte {
+	out := []byte{op, byte(len(key))}
+	out = append(out, key...)
+	out = append(out, value...)
+	return out
+}
+
+// KVStore is a replicated string key-value store.
+type KVStore struct {
+	data map[string]string
+}
+
+var _ StateMachine = (*KVStore)(nil)
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore { return &KVStore{data: make(map[string]string)} }
+
+// Apply implements StateMachine.
+func (s *KVStore) Apply(payload []byte) []byte {
+	if len(payload) < 2 {
+		return []byte("ERR malformed")
+	}
+	op, klen := payload[0], int(payload[1])
+	if len(payload) < 2+klen {
+		return []byte("ERR malformed")
+	}
+	key := string(payload[2 : 2+klen])
+	rest := payload[2+klen:]
+	switch op {
+	case KVSet:
+		s.data[key] = string(rest)
+		return []byte("OK")
+	case KVGet:
+		if v, ok := s.data[key]; ok {
+			return []byte(v)
+		}
+		return []byte("NOT_FOUND")
+	case KVDel:
+		delete(s.data, key)
+		return []byte("OK")
+	default:
+		return []byte(fmt.Sprintf("ERR op %d", op))
+	}
+}
+
+// Counter is a state machine whose every request increments a counter and
+// returns its new value.
+type Counter struct {
+	n int64
+}
+
+var _ StateMachine = (*Counter)(nil)
+
+// Apply implements StateMachine.
+func (c *Counter) Apply([]byte) []byte {
+	c.n++
+	return []byte(fmt.Sprintf("%d", c.n))
+}
+
+// Echo returns each payload unchanged (useful for tests comparing
+// cross-replica results).
+type Echo struct{}
+
+var _ StateMachine = Echo{}
+
+// Apply implements StateMachine.
+func (Echo) Apply(payload []byte) []byte { return bytes.Clone(payload) }

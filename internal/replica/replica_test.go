@@ -1,0 +1,109 @@
+package replica
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/sof-repro/sof/internal/core"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+func req(seq uint64, payload []byte) *message.Request {
+	return &message.Request{Client: types.ClientID(0), ClientSeq: seq, Payload: payload}
+}
+
+func commitEvent(first types.Seq, reqs ...*message.Request) core.CommitEvent {
+	ev := core.CommitEvent{
+		FirstSeq: first,
+		LastSeq:  first + types.Seq(len(reqs)) - 1,
+		Kind:     message.SubjectBatch,
+	}
+	for _, r := range reqs {
+		ev.Entries = append(ev.Entries, message.OrderEntry{Req: r.ID()})
+	}
+	return ev
+}
+
+func TestReplicaAppliesInOrder(t *testing.T) {
+	pool := core.NewRequestPool()
+	r := New(0, &Counter{})
+	r1, r2, r3 := req(1, nil), req(2, nil), req(3, nil)
+	pool.Add(r1)
+	pool.Add(r2)
+	pool.Add(r3)
+
+	// Deliver batch 2 before batch 1: nothing applies until the gap fills.
+	r.HandleCommit(pool, commitEvent(2, r2, r3))
+	if _, n := r.Applied(); n != 0 {
+		t.Fatalf("applied %d entries before gap filled", n)
+	}
+	r.HandleCommit(pool, commitEvent(1, r1))
+	applied, n := r.Applied()
+	if applied != 3 || n != 3 {
+		t.Fatalf("applied=%d n=%d, want 3/3", applied, n)
+	}
+	// Counter results reflect execution order 1,2,3.
+	for i, rq := range []*message.Request{r1, r2, r3} {
+		got, ok := r.Result(rq.ID())
+		want := []byte{byte('1' + i)}
+		if !ok || !bytes.Equal(got, want) {
+			t.Errorf("result[%d] = %q, %v; want %q", i, got, ok, want)
+		}
+	}
+}
+
+func TestReplicaWaitsForPayload(t *testing.T) {
+	pool := core.NewRequestPool()
+	r := New(0, Echo{})
+	r1 := req(1, []byte("hello"))
+	// Commit arrives before the request payload.
+	r.HandleCommit(pool, commitEvent(1, r1))
+	if _, n := r.Applied(); n != 0 {
+		t.Fatal("applied without payload")
+	}
+	pool.Add(r1)
+	// A later commit retries the pending one.
+	r2 := req(2, []byte("world"))
+	pool.Add(r2)
+	r.HandleCommit(pool, commitEvent(2, r2))
+	if _, n := r.Applied(); n != 2 {
+		t.Fatalf("applied %d, want 2", n)
+	}
+	if got, _ := r.Result(r1.ID()); string(got) != "hello" {
+		t.Errorf("echo result = %q", got)
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	kv := NewKVStore()
+	if got := kv.Apply(EncodeKV(KVSet, "k", "v1")); string(got) != "OK" {
+		t.Errorf("set = %q", got)
+	}
+	if got := kv.Apply(EncodeKV(KVGet, "k", "")); string(got) != "v1" {
+		t.Errorf("get = %q", got)
+	}
+	if got := kv.Apply(EncodeKV(KVDel, "k", "")); string(got) != "OK" {
+		t.Errorf("del = %q", got)
+	}
+	if got := kv.Apply(EncodeKV(KVGet, "k", "")); string(got) != "NOT_FOUND" {
+		t.Errorf("get deleted = %q", got)
+	}
+	if got := kv.Apply(nil); !bytes.HasPrefix(got, []byte("ERR")) {
+		t.Errorf("malformed = %q", got)
+	}
+	if got := kv.Apply([]byte{99, 0}); !bytes.HasPrefix(got, []byte("ERR")) {
+		t.Errorf("bad op = %q", got)
+	}
+	// Determinism across two stores.
+	a, b := NewKVStore(), NewKVStore()
+	cmds := [][]byte{
+		EncodeKV(KVSet, "x", "1"), EncodeKV(KVSet, "y", "2"),
+		EncodeKV(KVDel, "x", ""), EncodeKV(KVGet, "x", ""), EncodeKV(KVGet, "y", ""),
+	}
+	for _, c := range cmds {
+		if !bytes.Equal(a.Apply(c), b.Apply(c)) {
+			t.Fatal("KVStore nondeterministic")
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/netsim"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// LiveCluster runs the same protocol processes in real time: one event-loop
+// goroutine per process, real cryptography, and (optionally) artificial
+// network delays from a netsim.Fabric. Message payloads cross node
+// boundaries in marshalled form and are re-decoded by the receiver, so the
+// full wire codec is exercised.
+type LiveCluster struct {
+	fabric *netsim.Fabric // nil means deliver immediately
+	logger *log.Logger
+
+	mu      sync.Mutex
+	nodes   map[types.NodeID]*liveNode
+	order   []types.NodeID
+	started bool
+	wg      sync.WaitGroup
+}
+
+// NewLiveCluster returns an empty real-time cluster. fabric may be nil for
+// zero-delay loopback delivery.
+func NewLiveCluster(fabric *netsim.Fabric) *LiveCluster {
+	return &LiveCluster{
+		fabric: fabric,
+		nodes:  make(map[types.NodeID]*liveNode),
+		logger: log.New(io.Discard, "", 0),
+	}
+}
+
+// SetLogger directs process debug logs to l (default: discarded).
+func (c *LiveCluster) SetLogger(l *log.Logger) { c.logger = l }
+
+// Fabric returns the network fabric (may be nil).
+func (c *LiveCluster) Fabric() *netsim.Fabric { return c.fabric }
+
+// AddNode registers a process before Start.
+func (c *LiveCluster) AddNode(id types.NodeID, ident *crypto.Identity, proc Process) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return fmt.Errorf("runtime: AddNode(%v) after Start", id)
+	}
+	if _, dup := c.nodes[id]; dup {
+		return fmt.Errorf("runtime: duplicate node %v", id)
+	}
+	n := newLiveNode(c, id, ident, proc)
+	c.nodes[id] = n
+	c.order = append(c.order, id)
+	return nil
+}
+
+// Start launches every node's event loop and runs Init inside it.
+func (c *LiveCluster) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.started = true
+	for _, id := range c.order {
+		n := c.nodes[id]
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			n.loop()
+		}()
+		n.enqueue(liveEvent{fn: func() { n.proc.Init(n) }})
+	}
+}
+
+// Stop shuts down all event loops and waits for them to exit. Messages
+// still in flight are dropped.
+func (c *LiveCluster) Stop() {
+	c.mu.Lock()
+	nodes := make([]*liveNode, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.close()
+	}
+	c.wg.Wait()
+}
+
+// Crash makes a node stop processing and emitting.
+func (c *LiveCluster) Crash(id types.NodeID) {
+	c.mu.Lock()
+	n, ok := c.nodes[id]
+	c.mu.Unlock()
+	if ok {
+		n.setDown()
+	}
+}
+
+// Inject runs fn inside id's event loop (fault injectors use this to act
+// "as" the node).
+func (c *LiveCluster) Inject(id types.NodeID, fn func(env Env)) error {
+	c.mu.Lock()
+	n, ok := c.nodes[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("runtime: no node %v", id)
+	}
+	n.enqueue(liveEvent{fn: func() { fn(n) }})
+	return nil
+}
+
+func (c *LiveCluster) node(id types.NodeID) (*liveNode, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	return n, ok
+}
+
+// liveEvent is one unit of work in a node's event loop: either a delivered
+// message (raw != nil) or a callback.
+type liveEvent struct {
+	from types.NodeID
+	raw  []byte
+	fn   func()
+}
+
+// liveNode implements Env in real time. Its event loop serialises Init,
+// Receive and timer callbacks.
+type liveNode struct {
+	c     *LiveCluster
+	id    types.NodeID
+	ident *crypto.Identity
+	proc  Process
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []liveEvent
+	closed bool
+	down   bool
+}
+
+var _ Env = (*liveNode)(nil)
+
+func newLiveNode(c *LiveCluster, id types.NodeID, ident *crypto.Identity, proc Process) *liveNode {
+	n := &liveNode{c: c, id: id, ident: ident, proc: proc}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+func (n *liveNode) enqueue(e liveEvent) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.queue = append(n.queue, e)
+	n.cond.Signal()
+}
+
+func (n *liveNode) close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	n.cond.Broadcast()
+}
+
+func (n *liveNode) setDown() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = true
+}
+
+func (n *liveNode) isDown() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+func (n *liveNode) loop() {
+	for {
+		n.mu.Lock()
+		for len(n.queue) == 0 && !n.closed {
+			n.cond.Wait()
+		}
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		e := n.queue[0]
+		n.queue = n.queue[1:]
+		down := n.down
+		n.mu.Unlock()
+
+		if down {
+			continue
+		}
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		m, err := message.Decode(e.raw)
+		if err != nil {
+			n.Logf("dropping undecodable message from %v: %v", e.from, err)
+			continue
+		}
+		n.proc.Receive(n, e.from, m)
+	}
+}
+
+// ID implements Env.
+func (n *liveNode) ID() types.NodeID { return n.id }
+
+// Now implements Env.
+func (n *liveNode) Now() time.Time { return time.Now() }
+
+// Charge implements Env (no-op: live operations take real time).
+func (n *liveNode) Charge(time.Duration) {}
+
+// Send implements Env.
+func (n *liveNode) Send(to types.NodeID, m message.Message) {
+	n.deliver(to, m.Marshal(), m.Type())
+}
+
+// Multicast implements Env.
+func (n *liveNode) Multicast(tos []types.NodeID, m message.Message) {
+	raw := m.Marshal()
+	t := m.Type()
+	for _, to := range tos {
+		n.deliver(to, raw, t)
+	}
+}
+
+func (n *liveNode) deliver(to types.NodeID, raw []byte, t message.Type) {
+	if n.isDown() {
+		return
+	}
+	target, ok := n.c.node(to)
+	if !ok {
+		return
+	}
+	var delay time.Duration
+	if n.c.fabric != nil {
+		d, deliverable := n.c.fabric.Delay(n.id, to, len(raw))
+		if !deliverable {
+			return
+		}
+		delay = d
+		if to != n.id {
+			n.c.fabric.Record(t, len(raw))
+		}
+	}
+	ev := liveEvent{from: n.id, raw: raw}
+	if delay <= 0 {
+		target.enqueue(ev)
+		return
+	}
+	time.AfterFunc(delay, func() { target.enqueue(ev) })
+}
+
+// liveTimer implements Timer over time.Timer, with a stopped flag that
+// also wins the race where the callback is already queued in the loop.
+type liveTimer struct {
+	mu      sync.Mutex
+	stopped bool
+	timer   *time.Timer
+}
+
+// Stop implements Timer.
+func (t *liveTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	t.timer.Stop()
+	return true
+}
+
+func (t *liveTimer) expired() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return true
+	}
+	t.stopped = true
+	return false
+}
+
+// SetTimer implements Env.
+func (n *liveNode) SetTimer(d time.Duration, fn func()) Timer {
+	lt := &liveTimer{}
+	lt.timer = time.AfterFunc(d, func() {
+		n.enqueue(liveEvent{fn: func() {
+			if lt.expired() {
+				return
+			}
+			fn()
+		}})
+	})
+	return lt
+}
+
+// Digest implements Env.
+func (n *liveNode) Digest(data []byte) []byte { return n.ident.Digest(data) }
+
+// Sign implements Env.
+func (n *liveNode) Sign(digest []byte) (crypto.Signature, error) { return n.ident.Sign(digest) }
+
+// Verify implements Env.
+func (n *liveNode) Verify(signer types.NodeID, digest []byte, sig crypto.Signature) error {
+	return n.ident.Verify(signer, digest, sig)
+}
+
+// Logf implements Env.
+func (n *liveNode) Logf(format string, args ...any) {
+	n.c.logger.Printf("[%s %v] %s",
+		time.Now().Format("15:04:05.000000"), n.id, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,73 @@
+// Package stats provides the small latency/throughput statistics used by
+// the benchmark harness: summaries with percentiles, and rate counters.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample of durations.
+type Summary struct {
+	Count          int
+	Min, Max, Mean time.Duration
+	P50, P90, P99  time.Duration
+}
+
+// Summarize computes a Summary; an empty sample yields a zero Summary.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, s := range sorted {
+		total += s
+	}
+	return Summary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		Mean:  total / time.Duration(len(sorted)),
+		P50:   percentile(sorted, 0.50),
+		P90:   percentile(sorted, 0.90),
+		P99:   percentile(sorted, 0.99),
+	}
+}
+
+// percentile returns the nearest-rank percentile of a sorted sample.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v min=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P90.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// Rate expresses an event count over a window as events/second.
+func Rate(count int, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(count) / window.Seconds()
+}

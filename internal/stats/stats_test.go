@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if got := s.String(); got != "no samples" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]time.Duration{42 * time.Millisecond})
+	if s.Count != 1 || s.Min != 42*time.Millisecond || s.Max != 42*time.Millisecond ||
+		s.Mean != 42*time.Millisecond || s.P50 != 42*time.Millisecond {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	samples := make([]time.Duration, 0, 100)
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	// Shuffle: Summarize must not rely on input order (and must not
+	// mutate its input).
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+	before := make([]time.Duration, len(samples))
+	copy(before, samples)
+
+	s := Summarize(samples)
+	if s.Count != 100 || s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", s.Mean)
+	}
+	if s.P50 < 49*time.Millisecond || s.P50 > 52*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P90 < 89*time.Millisecond || s.P90 > 92*time.Millisecond {
+		t.Errorf("p90 = %v", s.P90)
+	}
+	for i := range samples {
+		if samples[i] != before[i] {
+			t.Fatal("Summarize mutated its input")
+		}
+	}
+	if out := s.String(); !strings.Contains(out, "n=100") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+// Property: min <= p50 <= p90 <= p99 <= max and min <= mean <= max.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v)
+		}
+		s := Summarize(samples)
+		sorted := append([]time.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return s.Count == len(samples) &&
+			s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(100, time.Second); got != 100 {
+		t.Errorf("Rate(100, 1s) = %v", got)
+	}
+	if got := Rate(50, 2*time.Second); got != 25 {
+		t.Errorf("Rate(50, 2s) = %v", got)
+	}
+	if got := Rate(10, 0); got != 0 {
+		t.Errorf("Rate(_, 0) = %v", got)
+	}
+	if got := Rate(10, -time.Second); got != 0 {
+		t.Errorf("Rate(_, <0) = %v", got)
+	}
+}

@@ -1,0 +1,446 @@
+// Package tcpnet runs one order process over real TCP sockets, so a
+// cluster can be deployed as separate OS processes (cmd/sofnode) the way
+// the paper's LAN testbed ran separate machines.
+//
+// Wire format: on connect, the dialer sends a 4-byte big-endian NodeID
+// hello; thereafter each message is a 4-byte big-endian length followed by
+// the marshalled message. Connections identify the sender (message-level
+// signatures still authenticate content). Outbound connections are dialled
+// lazily and redialled on failure at the next send.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/runtime"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// maxFrame bounds a single wire message (16 MiB, matching codec.MaxBytes).
+const maxFrame = 16 << 20
+
+// Host runs one process reachable over TCP.
+type Host struct {
+	id     types.NodeID
+	ident  *crypto.Identity
+	proc   runtime.Process
+	peers  map[types.NodeID]string
+	logger *log.Logger
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []event
+	conns   map[types.NodeID]net.Conn
+	inbound map[net.Conn]bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type event struct {
+	from types.NodeID
+	raw  []byte
+	fn   func()
+}
+
+// NewHost creates a host for proc listening on addr; peers maps every
+// other process (and known client) ID to its address.
+func NewHost(id types.NodeID, addr string, ident *crypto.Identity, proc runtime.Process,
+	peers map[types.NodeID]string, logger *log.Logger) (*Host, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	if logger == nil {
+		logger = log.Default()
+	}
+	h := &Host{
+		id:      id,
+		ident:   ident,
+		proc:    proc,
+		peers:   peers,
+		logger:  logger,
+		ln:      ln,
+		conns:   make(map[types.NodeID]net.Conn),
+		inbound: make(map[net.Conn]bool),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	return h, nil
+}
+
+// Addr returns the bound listen address.
+func (h *Host) Addr() string { return h.ln.Addr().String() }
+
+// Start launches the accept loop and the event loop, and runs Init.
+func (h *Host) Start() {
+	h.wg.Add(2)
+	go func() {
+		defer h.wg.Done()
+		h.acceptLoop()
+	}()
+	go func() {
+		defer h.wg.Done()
+		h.eventLoop()
+	}()
+	h.enqueue(event{fn: func() { h.proc.Init(h) }})
+}
+
+// Stop closes the listener, all connections and the event loop.
+func (h *Host) Stop() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	for _, c := range h.conns {
+		_ = c.Close()
+	}
+	for c := range h.inbound {
+		_ = c.Close()
+	}
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	_ = h.ln.Close()
+	h.wg.Wait()
+}
+
+func (h *Host) isClosed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+func (h *Host) enqueue(e event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.queue = append(h.queue, e)
+	h.cond.Signal()
+}
+
+func (h *Host) eventLoop() {
+	for {
+		h.mu.Lock()
+		for len(h.queue) == 0 && !h.closed {
+			h.cond.Wait()
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return
+		}
+		e := h.queue[0]
+		h.queue = h.queue[1:]
+		h.mu.Unlock()
+
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		m, err := message.Decode(e.raw)
+		if err != nil {
+			h.logger.Printf("tcpnet %v: undecodable message from %v: %v", h.id, e.from, err)
+			continue
+		}
+		h.proc.Receive(h, e.from, m)
+	}
+}
+
+func (h *Host) acceptLoop() {
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			h.readLoop(conn)
+		}()
+	}
+}
+
+// readLoop consumes one inbound connection: hello, then frames.
+func (h *Host) readLoop(conn net.Conn) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	h.inbound[conn] = true
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.inbound, conn)
+		h.mu.Unlock()
+		_ = conn.Close()
+	}()
+	var hello [4]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	from := types.NodeID(int32(binary.BigEndian.Uint32(hello[:])))
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			h.logger.Printf("tcpnet %v: bad frame length %d from %v", h.id, n, from)
+			return
+		}
+		raw := make([]byte, n)
+		if _, err := io.ReadFull(conn, raw); err != nil {
+			return
+		}
+		if h.isClosed() {
+			return
+		}
+		h.enqueue(event{from: from, raw: raw})
+	}
+}
+
+// conn returns (dialling if needed) the outbound connection to a peer.
+func (h *Host) conn(to types.NodeID) (net.Conn, error) {
+	h.mu.Lock()
+	c, ok := h.conns[to]
+	addr, known := h.peers[to]
+	h.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	if !known {
+		return nil, fmt.Errorf("tcpnet: no address for %v", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(int32(h.id)))
+	if _, err := c.Write(hello[:]); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		_ = c.Close()
+		return nil, fmt.Errorf("tcpnet: host closed")
+	}
+	if existing, raced := h.conns[to]; raced {
+		_ = c.Close()
+		return existing, nil
+	}
+	h.conns[to] = c
+	return c, nil
+}
+
+func (h *Host) dropConn(to types.NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c, ok := h.conns[to]; ok {
+		_ = c.Close()
+		delete(h.conns, to)
+	}
+}
+
+// --- runtime.Env ---
+
+var _ runtime.Env = (*Host)(nil)
+
+// ID implements runtime.Env.
+func (h *Host) ID() types.NodeID { return h.id }
+
+// Now implements runtime.Env.
+func (h *Host) Now() time.Time { return time.Now() }
+
+// Charge implements runtime.Env (no-op: real CPU time is real).
+func (h *Host) Charge(time.Duration) {}
+
+// Send implements runtime.Env.
+func (h *Host) Send(to types.NodeID, m message.Message) {
+	h.sendRaw(to, m.Marshal())
+}
+
+// Multicast implements runtime.Env.
+func (h *Host) Multicast(tos []types.NodeID, m message.Message) {
+	raw := m.Marshal()
+	for _, to := range tos {
+		h.sendRaw(to, raw)
+	}
+}
+
+func (h *Host) sendRaw(to types.NodeID, raw []byte) {
+	if to == h.id {
+		cp := make([]byte, len(raw))
+		copy(cp, raw)
+		h.enqueue(event{from: h.id, raw: cp})
+		return
+	}
+	c, err := h.conn(to)
+	if err != nil {
+		return // unreachable peer: the asynchronous model tolerates it
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(raw)))
+	if _, err := c.Write(lenBuf[:]); err != nil {
+		h.dropConn(to)
+		return
+	}
+	if _, err := c.Write(raw); err != nil {
+		h.dropConn(to)
+	}
+}
+
+// tcpTimer adapts time.Timer to runtime.Timer with loop-delivery.
+type tcpTimer struct {
+	mu      sync.Mutex
+	stopped bool
+	timer   *time.Timer
+}
+
+// Stop implements runtime.Timer.
+func (t *tcpTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	t.timer.Stop()
+	return true
+}
+
+func (t *tcpTimer) claim() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// SetTimer implements runtime.Env.
+func (h *Host) SetTimer(d time.Duration, fn func()) runtime.Timer {
+	t := &tcpTimer{}
+	t.timer = time.AfterFunc(d, func() {
+		h.enqueue(event{fn: func() {
+			if t.claim() {
+				fn()
+			}
+		}})
+	})
+	return t
+}
+
+// Digest implements runtime.Env.
+func (h *Host) Digest(data []byte) []byte { return h.ident.Digest(data) }
+
+// Sign implements runtime.Env.
+func (h *Host) Sign(digest []byte) (crypto.Signature, error) { return h.ident.Sign(digest) }
+
+// Verify implements runtime.Env.
+func (h *Host) Verify(signer types.NodeID, digest []byte, sig crypto.Signature) error {
+	return h.ident.Verify(signer, digest, sig)
+}
+
+// Logf implements runtime.Env.
+func (h *Host) Logf(format string, args ...any) {
+	h.logger.Printf("[%v] %s", h.id, fmt.Sprintf(format, args...))
+}
+
+// Client is a lightweight TCP client endpoint that signs and multicasts
+// requests to every order process.
+type Client struct {
+	id    types.NodeID
+	ident *crypto.Identity
+	peers map[types.NodeID]string
+
+	mu    sync.Mutex
+	conns map[types.NodeID]net.Conn
+	seq   uint64
+}
+
+// NewClient returns a client with the given identity.
+func NewClient(id types.NodeID, ident *crypto.Identity, peers map[types.NodeID]string) *Client {
+	return &Client{id: id, ident: ident, peers: peers, conns: make(map[types.NodeID]net.Conn)}
+}
+
+// Submit signs and sends one request to every order process, returning its
+// ID and the number of processes reached.
+func (c *Client) Submit(payload []byte) (message.ReqID, int, error) {
+	c.mu.Lock()
+	c.seq++
+	seq := c.seq
+	c.mu.Unlock()
+	req := &message.Request{Client: c.id, ClientSeq: seq, Payload: payload}
+	sig, err := message.SignSingle(c.ident, req.SignedBody())
+	if err != nil {
+		return message.ReqID{}, 0, err
+	}
+	req.Sig = sig
+	raw := req.Marshal()
+	reached := 0
+	for to := range c.peers {
+		if to.IsClient() {
+			continue
+		}
+		if err := c.sendRaw(to, raw); err == nil {
+			reached++
+		}
+	}
+	return req.ID(), reached, nil
+}
+
+func (c *Client) sendRaw(to types.NodeID, raw []byte) error {
+	c.mu.Lock()
+	conn, ok := c.conns[to]
+	c.mu.Unlock()
+	if !ok {
+		var err error
+		conn, err = net.DialTimeout("tcp", c.peers[to], 3*time.Second)
+		if err != nil {
+			return err
+		}
+		var hello [4]byte
+		binary.BigEndian.PutUint32(hello[:], uint32(int32(c.id)))
+		if _, err := conn.Write(hello[:]); err != nil {
+			_ = conn.Close()
+			return err
+		}
+		c.mu.Lock()
+		c.conns[to] = conn
+		c.mu.Unlock()
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(raw)))
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(raw)
+	return err
+}
+
+// Close closes all client connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.conns {
+		_ = conn.Close()
+	}
+}

@@ -1,0 +1,140 @@
+package tcpnet
+
+import (
+	"io"
+	"log"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sof-repro/sof/internal/core"
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/fsp"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+func TestDRBGDeterministic(t *testing.T) {
+	a, b := crypto.NewDRBG("seed"), crypto.NewDRBG("seed")
+	bufA, bufB := make([]byte, 4096), make([]byte, 4096)
+	if _, err := io.ReadFull(a, bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(b, bufB); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bufA {
+		if bufA[i] != bufB[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := crypto.NewDRBG("other")
+	bufC := make([]byte, 4096)
+	if _, err := io.ReadFull(c, bufC); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range bufA {
+		if bufA[i] == bufC[i] {
+			same++
+		}
+	}
+	if same > 128 { // ~1/256 expected coincidences
+		t.Errorf("different seeds suspiciously similar: %d matching bytes", same)
+	}
+}
+
+// TestTCPClusterOrdersRequests runs a real 7-process SC cluster over
+// loopback TCP sockets with deterministic dealer keys, submits requests
+// with the TCP client and checks every process commits them.
+func TestTCPClusterOrdersRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	topo, err := types.NewTopology(types.SC, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := crypto.NewHMACSuite()
+	ids := topo.AllProcesses()
+	for k := 0; k < 16; k++ {
+		ids = append(ids, types.ClientID(k))
+	}
+	idents, _, err := crypto.NewDealer(suite, crypto.WithRand(crypto.NewDRBG("test"))).Issue(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu      sync.Mutex
+		commits = map[types.NodeID]int{}
+	)
+	peers := make(map[types.NodeID]string)
+	hosts := make([]*Host, 0, topo.N())
+	// Bind all listeners first to learn the ports, then start.
+	for _, id := range topo.AllProcesses() {
+		id := id
+		cfg := core.Config{
+			Topo:          topo,
+			BatchInterval: 10 * time.Millisecond,
+			MaxBatchBytes: 1024,
+			Delta:         10 * time.Second,
+			Mirror:        true,
+			OnCommit: func(ev core.CommitEvent) {
+				mu.Lock()
+				commits[ev.Node] += len(ev.Entries)
+				mu.Unlock()
+			},
+		}
+		if counterpart, paired := topo.PairOf(id); paired {
+			pre, err := fsp.PresignFor(idents[counterpart], types.Rank(topo.PairIndex(id)), 0, counterpart)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.PresignedFailSig = pre
+		}
+		proc, err := core.New(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, err := NewHost(id, "127.0.0.1:0", idents[id], proc, peers, log.New(io.Discard, "", 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[id] = host.Addr()
+		hosts = append(hosts, host)
+	}
+	for _, h := range hosts {
+		h.Start()
+		defer h.Stop()
+	}
+
+	clientID := types.ClientID(0)
+	cl := NewClient(clientID, idents[clientID], peers)
+	defer cl.Close()
+
+	const reqs = 8
+	for i := 0; i < reqs; i++ {
+		if _, reached, err := cl.Submit([]byte("over tcp")); err != nil || reached != topo.N() {
+			t.Fatalf("submit %d: reached %d, err %v", i, reached, err)
+		}
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := 0
+		for _, n := range commits {
+			if n >= reqs {
+				done++
+			}
+		}
+		mu.Unlock()
+		if done == topo.N() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	t.Fatalf("timeout: commits per node = %v", commits)
+}

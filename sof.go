@@ -1,0 +1,289 @@
+// Package sof is the public API of the Signal-On-Fail total-order library,
+// a from-scratch Go reproduction of Inayat & Ezhilchelvan, "A Performance
+// Study on the Signal-On-Fail Approach to Imposing Total Order in the
+// Streets of Byzantium" (Newcastle CS-TR-967 / DSN 2006).
+//
+// The library provides four coordinator-based total-order protocols —
+// SC (the paper's signal-on-crash protocol), SCR (its recovery extension),
+// BFT (the Castro-Liskov comparator) and CT (the crash-tolerant strawman)
+// — over two interchangeable substrates: a real-time goroutine runtime
+// with real cryptography, and a virtual-time discrete-event simulator with
+// calibrated 2006-era cost models that regenerates the paper's figures.
+//
+// Quick start:
+//
+//	cluster, err := sof.NewCluster(sof.Config{Protocol: sof.SC, F: 2})
+//	...
+//	cluster.Start()
+//	defer cluster.Stop()
+//	id, _ := cluster.Submit([]byte("my request"))
+//	cluster.AwaitCommit(id, 5*time.Second)
+package sof
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sof-repro/sof/internal/core"
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/harness"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/netsim"
+	"github.com/sof-repro/sof/internal/replica"
+	"github.com/sof-repro/sof/internal/stats"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// Protocol selects an order protocol.
+type Protocol = types.Protocol
+
+// The four protocols of the performance study.
+const (
+	// SC is the signal-on-crash protocol (assumption set 3(a), n = 3f+1).
+	SC = types.SC
+	// SCR is the signal-on-crash-and-recovery extension (3(b), n = 3f+2).
+	SCR = types.SCR
+	// BFT is the Castro-Liskov baseline (n = 3f+1).
+	BFT = types.BFT
+	// CT is the crash-tolerant baseline (n = 2f+1, no cryptography).
+	CT = types.CT
+)
+
+// Suite names a signature suite.
+type Suite = crypto.SuiteName
+
+// The study's cryptographic configurations plus the auxiliary suites.
+const (
+	MD5RSA1024  = crypto.MD5RSA1024
+	MD5RSA1536  = crypto.MD5RSA1536
+	SHA1DSA1024 = crypto.SHA1DSA1024
+	HMACSHA256  = crypto.HMACSHA256
+	NoSuite     = crypto.NoneSuite
+)
+
+// ReqID identifies a submitted request.
+type ReqID = message.ReqID
+
+// NodeID identifies an order process.
+type NodeID = types.NodeID
+
+// LatencySummary is a latency sample summary.
+type LatencySummary = stats.Summary
+
+// Config configures a cluster. The zero value plus a Protocol is usable:
+// f = 2, HMAC test suite, 100 ms batching interval, 1 KB batches.
+type Config struct {
+	// Protocol selects SC, SCR, BFT or CT.
+	Protocol Protocol
+	// F is the fault-tolerance parameter (default 2, the paper's main
+	// configuration).
+	F int
+	// Suite selects the signature suite (default HMAC-SHA256 for speed;
+	// use MD5RSA1024 etc. for the paper's configurations).
+	Suite Suite
+	// BatchInterval is the paper's batching-interval (default 100 ms).
+	BatchInterval time.Duration
+	// BatchBytes is the paper's batch_size (default 1024).
+	BatchBytes int
+	// Delta is the intra-pair differential delay estimate (default 5 s).
+	Delta time.Duration
+	// Mirror enables pair-link traffic mirroring (default on for SC/SCR).
+	Mirror *bool
+	// Simulated runs the cluster on the virtual-time simulator instead of
+	// real goroutines; RunFor then advances virtual time.
+	Simulated bool
+	// Seed seeds simulated network jitter.
+	Seed int64
+	// StateMachine, when non-nil, is instantiated per replica and applied
+	// to the committed sequence (use NewKVStore, NewCounter, ...).
+	StateMachine func() StateMachine
+}
+
+// StateMachine is a deterministic replicated service.
+type StateMachine = replica.StateMachine
+
+// NewKVStore returns a replicated key-value store state machine.
+func NewKVStore() StateMachine { return replica.NewKVStore() }
+
+// NewCounter returns a counter state machine.
+func NewCounter() StateMachine { return &replica.Counter{} }
+
+// KV command helpers re-exported for the examples.
+const (
+	KVSet = replica.KVSet
+	KVGet = replica.KVGet
+	KVDel = replica.KVDel
+)
+
+// EncodeKV builds a KVStore command payload.
+func EncodeKV(op byte, key, value string) []byte { return replica.EncodeKV(op, key, value) }
+
+// Cluster is a running order-protocol deployment with optional replicated
+// state machines on top.
+type Cluster struct {
+	cfg      Config
+	h        *harness.Cluster
+	replicas map[NodeID]*replica.Replica
+}
+
+// NewCluster builds a cluster (call Start to run it).
+func NewCluster(cfg Config) (*Cluster, error) {
+	mirror := cfg.Protocol == SC || cfg.Protocol == SCR
+	if cfg.Mirror != nil {
+		mirror = *cfg.Mirror
+	}
+	opts := harness.Options{
+		Protocol:         cfg.Protocol,
+		F:                cfg.F,
+		Suite:            cfg.Suite,
+		BatchInterval:    cfg.BatchInterval,
+		MaxBatchBytes:    cfg.BatchBytes,
+		Delta:            cfg.Delta,
+		Mirror:           mirror,
+		DumbOptimization: cfg.Protocol == SC,
+		Net:              netsim.LANDefaults(),
+		Seed:             cfg.Seed,
+		Live:             !cfg.Simulated,
+		KeepCommits:      true,
+	}
+	c := &Cluster{cfg: cfg, replicas: make(map[NodeID]*replica.Replica)}
+	if cfg.StateMachine != nil {
+		// Chain the replica layer onto the commit hook; the recorder still
+		// observes every event.
+		opts.KeepCommits = true
+	}
+	h, err := harness.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	c.h = h
+	if cfg.StateMachine != nil {
+		// One state-machine instance per order process; commits reach the
+		// replicas through drainReplicas, which replays the recorder's
+		// retained commit events in order.
+		for _, id := range h.Topo.AllProcesses() {
+			c.replicas[id] = replica.New(id, cfg.StateMachine())
+		}
+	}
+	return c, nil
+}
+
+// Start launches the cluster.
+func (c *Cluster) Start() { c.h.Start() }
+
+// Stop terminates a live cluster.
+func (c *Cluster) Stop() { c.h.Stop() }
+
+// RunFor advances the cluster: wall-clock sleep live, virtual time
+// simulated.
+func (c *Cluster) RunFor(d time.Duration) {
+	c.h.RunFor(d)
+	c.drainReplicas()
+}
+
+// Submit sends one request from the built-in client to every order
+// process.
+func (c *Cluster) Submit(payload []byte) (ReqID, error) {
+	return c.h.Submit(0, payload)
+}
+
+// AwaitCommit waits (wall or virtual time) until the request is committed
+// at some process, returning the committing view.
+func (c *Cluster) AwaitCommit(id ReqID, timeout time.Duration) error {
+	const step = 5 * time.Millisecond
+	for waited := time.Duration(0); waited <= timeout; waited += step {
+		if c.committed(id) {
+			c.drainReplicas()
+			return nil
+		}
+		c.h.RunFor(step)
+	}
+	if c.committed(id) {
+		c.drainReplicas()
+		return nil
+	}
+	return fmt.Errorf("sof: request %v not committed within %v", id, timeout)
+}
+
+func (c *Cluster) committed(id ReqID) bool {
+	for _, ev := range c.h.Events.Commits() {
+		for _, e := range ev.Entries {
+			if e.Req == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// drainReplicas feeds retained commit events into the replica layer.
+func (c *Cluster) drainReplicas() {
+	if len(c.replicas) == 0 {
+		return
+	}
+	for _, ev := range c.h.Events.Commits() {
+		rep, ok := c.replicas[ev.Node]
+		if !ok {
+			continue
+		}
+		pool := c.poolOf(ev.Node)
+		if pool == nil {
+			continue
+		}
+		rep.HandleCommit(pool, ev)
+	}
+}
+
+func (c *Cluster) poolOf(id NodeID) *core.RequestPool {
+	if p, ok := c.h.SC[id]; ok {
+		return p.Pool()
+	}
+	if p, ok := c.h.CT[id]; ok {
+		return p.Pool()
+	}
+	if p, ok := c.h.BFT[id]; ok {
+		return p.Pool()
+	}
+	return nil
+}
+
+// Result returns a request's execution result at one replica (requires a
+// StateMachine).
+func (c *Cluster) Result(node NodeID, id ReqID) ([]byte, bool) {
+	c.drainReplicas()
+	rep, ok := c.replicas[node]
+	if !ok {
+		return nil, false
+	}
+	return rep.Result(id)
+}
+
+// Results returns the per-replica results for a request (f+1 identical
+// results are what a real client would require).
+func (c *Cluster) Results(id ReqID) map[NodeID][]byte {
+	c.drainReplicas()
+	out := make(map[NodeID][]byte)
+	for node, rep := range c.replicas {
+		if res, ok := rep.Result(id); ok {
+			out[node] = res
+		}
+	}
+	return out
+}
+
+// Processes returns the order-process IDs.
+func (c *Cluster) Processes() []NodeID { return c.h.Topo.AllProcesses() }
+
+// Latency summarises order latencies observed so far.
+func (c *Cluster) Latency() LatencySummary { return c.h.Events.LatencySummary() }
+
+// Harness exposes the underlying test/benchmark harness for advanced use
+// (fault injection, topology inspection, event streams).
+func (c *Cluster) Harness() *harness.Cluster { return c.h }
+
+// InjectCoordinatorValueFault triggers the paper's Figure 6 fault: the
+// acting primary misbehaves in the value domain, the shadow fail-signals,
+// and a new coordinator is installed.
+func (c *Cluster) InjectCoordinatorValueFault() error {
+	return c.h.InjectCoordinatorValueFault()
+}

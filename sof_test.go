@@ -1,0 +1,130 @@
+package sof_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	sof "github.com/sof-repro/sof"
+)
+
+func TestPublicAPIQuickstartSimulated(t *testing.T) {
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SC,
+		Simulated:     true,
+		BatchInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	id, err := cluster.Submit([]byte("hello byzantium"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.AwaitCommit(id, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s := cluster.Latency(); s.Count == 0 {
+		t.Error("no latency recorded")
+	}
+}
+
+func TestPublicAPIKVStoreAcrossProtocols(t *testing.T) {
+	for _, proto := range []sof.Protocol{sof.SC, sof.SCR, sof.BFT, sof.CT} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			cluster, err := sof.NewCluster(sof.Config{
+				Protocol:      proto,
+				Simulated:     true,
+				BatchInterval: 10 * time.Millisecond,
+				StateMachine:  sof.NewKVStore,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluster.Start()
+			defer cluster.Stop()
+
+			set, err := cluster.Submit(sof.EncodeKV(sof.KVSet, "colour", "purple"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cluster.AwaitCommit(set, 5*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			get, err := cluster.Submit(sof.EncodeKV(sof.KVGet, "colour", ""))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cluster.AwaitCommit(get, 5*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			cluster.RunFor(500 * time.Millisecond)
+			results := cluster.Results(get)
+			if len(results) < cluster.Harness().Topo.Quorum() {
+				t.Fatalf("only %d replicas executed the read", len(results))
+			}
+			for node, res := range results {
+				if !bytes.Equal(res, []byte("purple")) {
+					t.Errorf("replica %v read %q, want purple", node, res)
+				}
+			}
+		})
+	}
+}
+
+func TestPublicAPIFaultInjection(t *testing.T) {
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SC,
+		Simulated:     true,
+		BatchInterval: 10 * time.Millisecond,
+		StateMachine:  sof.NewCounter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	pre, err := cluster.Submit([]byte("before fault"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.AwaitCommit(pre, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.InjectCoordinatorValueFault(); err != nil {
+		t.Fatal(err)
+	}
+	cluster.RunFor(2 * time.Second)
+	post, err := cluster.Submit([]byte("after fault"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.AwaitCommit(post, 10*time.Second); err != nil {
+		t.Fatalf("ordering did not survive the fault: %v", err)
+	}
+	if d, ok := cluster.Harness().Events.FailOverLatency(); !ok || d <= 0 {
+		t.Errorf("fail-over latency not measured: %v %v", d, ok)
+	}
+}
+
+func TestPublicAPILiveMode(t *testing.T) {
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SC,
+		BatchInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	id, err := cluster.Submit([]byte("live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.AwaitCommit(id, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
