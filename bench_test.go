@@ -13,8 +13,10 @@ import (
 	"testing"
 	"time"
 
+	"github.com/sof-repro/sof/internal/core"
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/harness"
+	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/netsim"
 	"github.com/sof-repro/sof/internal/types"
 )
@@ -24,6 +26,54 @@ import (
 var benchIntervals = []time.Duration{40 * time.Millisecond, 100 * time.Millisecond, 500 * time.Millisecond}
 
 const benchWindow = 8 * time.Second // virtual measurement window per point
+
+// BenchmarkHotPath measures the harness's own steady-state cost per
+// committed batch on a simulated run with commit retention at a small
+// batching interval (the regime where harness overhead could pollute the
+// paper's latency/throughput signal). The windows double so O(1) vs
+// O(history) behaviour is visible directly: with cursor subscriptions both
+// ns/batch and allocs/batch stay flat as the window grows; the legacy
+// full-history scan (sub-benchmark "legacy-scan") grows with it.
+func BenchmarkHotPath(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"cursor", false}, {"legacy-scan", true}} {
+		for _, window := range []time.Duration{15 * time.Second, 30 * time.Second, 60 * time.Second} {
+			b.Run(fmt.Sprintf("%s/window=%s", mode.name, window), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pt, err := harness.RunHotPathPoint(window, int64(i+1), mode.legacy)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(pt.NsPerBatch, "ns/batch")
+					b.ReportMetric(pt.AllocsPerBatch, "allocs/batch")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLatencySummaryPolling proves the recorder's summary memoization:
+// polling LatencySummary between commits is O(1) and allocation-free
+// instead of re-sorting the full latency sample on every call.
+func BenchmarkLatencySummaryPolling(b *testing.B) {
+	r := harness.NewRecorder(false, 0)
+	t0 := time.Unix(0, 0)
+	for i := 0; i < 100_000; i++ {
+		at := t0.Add(time.Duration(i) * time.Millisecond)
+		r.OnBatched(core.BatchEvent{View: 1, FirstSeq: types.Seq(i), At: at})
+		r.OnCommit(core.CommitEvent{Node: 0, View: 1, Kind: message.SubjectBatch,
+			FirstSeq: types.Seq(i), LastSeq: types.Seq(i), At: at.Add(30 * time.Millisecond)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := r.LatencySummary(); s.Count == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
 
 // BenchmarkFigure4 reports order latency (ms) vs batching interval for CT,
 // SC and BFT under each of the paper's three cryptographic configurations

@@ -8,9 +8,11 @@
 //	sofbench -fig 5 [-f 2] [-window 30s]   # throughput vs batching interval
 //	sofbench -fig 6 [-f 2]                 # fail-over latency vs BackLog size
 //	sofbench -fig all
+//	sofbench -json [-out BENCH_hotpath.json]  # hot-path overhead benchmark, JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,12 +25,22 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 4, 5, 6 or all")
-		f      = flag.Int("f", 2, "fault-tolerance parameter f")
-		window = flag.Duration("window", 30*time.Second, "measured (virtual) window per point")
-		seed   = flag.Int64("seed", 1, "simulation seed")
+		fig      = flag.String("fig", "all", "figure to regenerate: 4, 5, 6 or all")
+		f        = flag.Int("f", 2, "fault-tolerance parameter f")
+		window   = flag.Duration("window", 30*time.Second, "measured (virtual) window per point")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		jsonMode = flag.Bool("json", false, "run the hot-path benchmark (doubling windows, cursor vs legacy-scan) and write JSON")
+		out      = flag.String("out", "BENCH_hotpath.json", "output file for -json")
 	)
 	flag.Parse()
+
+	if *jsonMode {
+		if err := runHotPathJSON(*out, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch *fig {
 	case "4":
@@ -79,6 +91,38 @@ func runFig45(f int, window time.Duration, seed int64, latency bool) {
 		}
 	}
 	fmt.Println()
+}
+
+// runHotPathJSON measures the harness's per-committed-batch overhead at
+// doubling simulated windows, in both commit-stream access modes (cursor
+// subscriptions vs the pre-PR full-history scan), and writes the series as
+// JSON so the perf trajectory is tracked across PRs.
+func runHotPathJSON(path string, seed int64) error {
+	type report struct {
+		GeneratedBy string                 `json:"generated_by"`
+		Points      []harness.HotPathPoint `json:"points"`
+	}
+	rep := report{GeneratedBy: "sofbench -json"}
+	for _, legacy := range []bool{false, true} {
+		for _, w := range []time.Duration{15 * time.Second, 30 * time.Second, 60 * time.Second} {
+			pt, err := harness.RunHotPathPoint(w, seed, legacy)
+			if err != nil {
+				return err
+			}
+			rep.Points = append(rep.Points, pt)
+			fmt.Printf("%-12s window=%-4s batches=%-5d ns/batch=%-12.0f allocs/batch=%-10.1f\n",
+				pt.Mode, w, pt.Batches, pt.NsPerBatch, pt.AllocsPerBatch)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func runFig6(f int, seed int64) {

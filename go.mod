@@ -1,0 +1,3 @@
+module github.com/sof-repro/sof
+
+go 1.24

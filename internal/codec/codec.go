@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrTruncated is returned when the input ends before a value is complete.
@@ -70,18 +71,12 @@ func (w *Writer) Bool(v bool) {
 	}
 }
 
-// Bytes32 appends a 32-bit length prefix followed by the bytes.
+// Bytes32 appends a 32-bit length prefix followed by the bytes. Writes
+// larger than MaxBytes (a programming error on our side) are encoded with
+// their true length rather than clamped or dropped: clamping would corrupt
+// the stream, and the Reader enforces the limit anyway, making the failure
+// visible at the decode site, which is the trust boundary.
 func (w *Writer) Bytes32(b []byte) {
-	if len(b) > MaxBytes {
-		// A write this large is a programming error on our side; clamp is
-		// not an option because it would corrupt the stream, so panic-free
-		// handling means encoding an empty value would be worse. Encode the
-		// true length: the reader enforces the limit, making the failure
-		// visible at the decode site, which is the trust boundary.
-		w.U32(uint32(len(b)))
-		w.buf = append(w.buf, b...)
-		return
-	}
 	w.U32(uint32(len(b)))
 	w.buf = append(w.buf, b...)
 }
@@ -95,6 +90,25 @@ func (w *Writer) String(s string) {
 // Raw appends bytes with no length prefix (for fixed-size digests whose
 // size is implied by the suite, or already-framed sub-messages).
 func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// writerPool recycles Writers whose buffers are only needed transiently
+// (digest inputs, counter-sign bodies). Encodings that are retained —
+// message wire caches, signable bodies stored on messages — must use
+// NewWriter instead.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// GetWriter returns an empty pooled Writer. The caller must Release it when
+// the encoded bytes are no longer referenced; the bytes returned by Bytes
+// are invalidated by Release.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.buf = w.buf[:0]
+	return w
+}
+
+// Release returns w to the pool. Any slice previously obtained from
+// w.Bytes must not be used afterwards.
+func (w *Writer) Release() { writerPool.Put(w) }
 
 // Reader decodes canonical binary values and keeps a sticky error.
 type Reader struct {

@@ -134,12 +134,11 @@ func (p *Process) validateAndEndorse(env runtime.Env, b *message.OrderBatch) {
 		env.Logf("core: endorsing batch %d: %v", b.FirstSeq, err)
 		return
 	}
-	endorsed := *b
-	endorsed.Sig2 = sig2
+	endorsed := b.Endorsed(sig2)
 	for _, e := range b.Entries {
 		p.pool.MarkOrdered(e.Req)
 	}
-	p.multicastAll(env, &endorsed)
+	p.multicastAll(env, endorsed)
 }
 
 // primaryObserveEndorsed lets the acting primary check the endorsed batch

@@ -398,9 +398,7 @@ func (p *Process) onPairStart(env runtime.Env, from types.NodeID, ps *message.Pa
 		env.Logf("core: endorsing Start: %v", err)
 		return
 	}
-	endorsed := *ps.Start
-	endorsed.Sig2 = sig2
-	p.multicastAll(env, &endorsed)
+	p.multicastAll(env, ps.Start.Endorsed(sig2))
 }
 
 // onStart handles the endorsed Start (the start of IN3/IN5 at every

@@ -10,6 +10,7 @@ package des
 
 import (
 	"container/heap"
+	"sync"
 	"time"
 )
 
@@ -20,7 +21,15 @@ type Event struct {
 	fn       func()
 	index    int // heap index; -1 when not queued
 	canceled bool
+	pooled   bool // recycled after it runs; never handed to callers
 }
+
+// eventPool recycles Events scheduled through Post. A simulation run
+// schedules one event per message delivery; recycling them keeps the
+// steady-state hot path allocation-free. Only Post events are pooled: an
+// Event returned by At/After may be retained by the caller (for Cancel)
+// arbitrarily long after it runs.
+var eventPool = sync.Pool{New: func() any { return new(Event) }}
 
 // At returns the event's scheduled time.
 func (e *Event) At() time.Time { return e.at }
@@ -112,17 +121,41 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now.Add(d), fn)
 }
 
+// Post schedules fn at time t like At, but the event is pooled and recycled
+// after it runs. Use it for fire-and-forget scheduling (message deliveries);
+// callers that may need Cancel must use At, which hands out the Event.
+func (s *Scheduler) Post(t time.Time, fn func()) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	e := eventPool.Get().(*Event)
+	*e = Event{at: t, seq: s.seq, fn: fn, index: -1, pooled: true}
+	heap.Push(&s.queue, e)
+}
+
+// recycle returns a pooled popped event to the pool.
+func recycle(e *Event) {
+	if e.pooled {
+		*e = Event{}
+		eventPool.Put(e)
+	}
+}
+
 // Step runs the next event, advancing the clock to its timestamp. It
 // reports whether an event ran (false means the queue is empty).
 func (s *Scheduler) Step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*Event)
 		if e.canceled {
+			recycle(e)
 			continue
 		}
 		s.now = e.at
 		s.nSteps++
-		e.fn()
+		fn := e.fn
+		recycle(e) // before fn: reentrant scheduling during fn can reuse it
+		fn()
 		return true
 	}
 	return false
@@ -173,6 +206,7 @@ func (s *Scheduler) peek() *Event {
 			return e
 		}
 		heap.Pop(&s.queue)
+		recycle(e)
 	}
 	return nil
 }

@@ -55,7 +55,13 @@ type Options struct {
 	NumClients  int
 	Load        *LoadSpec
 	KeepCommits bool
-	Logger      *log.Logger
+	// CommitRetention bounds how many commit events the recorder retains
+	// for replay when KeepCommits is set (0 = unlimited). The O(1)
+	// committed-request index is kept regardless of eviction. Values
+	// smaller than a few commit waves (one event per process per batch)
+	// are raised so replica replay cannot silently starve between drains.
+	CommitRetention int
+	Logger          *log.Logger
 }
 
 // withDefaults fills unset fields with study defaults (f=2, 1 KB batches,
@@ -118,10 +124,13 @@ func New(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	if min := 8 * len(topo.AllProcesses()); opts.CommitRetention > 0 && opts.CommitRetention < min {
+		opts.CommitRetention = min
+	}
 	c := &Cluster{
 		Opts:    opts,
 		Topo:    topo,
-		Events:  NewRecorder(opts.KeepCommits),
+		Events:  NewRecorder(opts.KeepCommits, opts.CommitRetention),
 		SC:      make(map[types.NodeID]*core.Process),
 		CT:      make(map[types.NodeID]*ct.Process),
 		BFT:     make(map[types.NodeID]*bft.Process),

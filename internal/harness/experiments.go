@@ -2,9 +2,11 @@ package harness
 
 import (
 	"fmt"
+	stdruntime "runtime"
 	"time"
 
 	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/netsim"
 	"github.com/sof-repro/sof/internal/stats"
 	"github.com/sof-repro/sof/internal/types"
@@ -113,6 +115,127 @@ func RunLatencyThroughputPoint(proto types.Protocol, suite crypto.SuiteName, f i
 		return fp, fmt.Errorf("harness: no committed batches for %v/%v at %v", proto, suite, interval)
 	}
 	return fp, nil
+}
+
+// HotPathPoint is one measured point of the hot-path benchmark: the
+// harness's own cost per committed batch on a simulated run with commit
+// retention, as seen by a measurement loop that polls commit state the way
+// AwaitCommit/drainReplicas do. Wall-clock nanoseconds and heap
+// allocations are charged to the whole measured window and divided by the
+// number of batches that committed in it; an O(1) steady state shows as
+// flat NsPerBatch/AllocsPerBatch as Window doubles.
+type HotPathPoint struct {
+	Mode           string        `json:"mode"` // "cursor" or "legacy-scan"
+	Window         time.Duration `json:"window_ns"`
+	Batches        int           `json:"batches"`
+	CommitEvents   int           `json:"commit_events"`
+	NsPerBatch     float64       `json:"ns_per_batch"`
+	AllocsPerBatch float64       `json:"allocs_per_batch"`
+	Throughput     float64       `json:"committed_per_s"`
+}
+
+// RunHotPathPoint measures harness overhead per committed batch over a
+// simulated window at a small batching interval, with commit events
+// retained. legacyScan selects the pre-cursor access pattern (copy the
+// full commit history and scan it linearly on every poll — what the public
+// API did before cursor subscriptions) so the O(history) -> O(1) change is
+// quantifiable from one binary; the cursor mode is what AwaitCommit and
+// drainReplicas do now.
+func RunHotPathPoint(window time.Duration, seed int64, legacyScan bool) (HotPathPoint, error) {
+	const interval = 40 * time.Millisecond
+	opts := Options{
+		Protocol:         types.SC,
+		F:                2,
+		Suite:            crypto.ModelPrefix + crypto.MD5RSA1024,
+		BatchInterval:    interval,
+		MaxBatchBytes:    1024,
+		Delta:            time.Hour,
+		Mirror:           true,
+		DumbOptimization: true,
+		Net:              netsim.LANDefaults(),
+		Seed:             seed,
+		Load:             LoadFor(interval, 1024),
+		KeepCommits:      true,
+	}
+	if !legacyScan {
+		// Cursor mode runs with the bounded ring so eviction — the path
+		// production retention users hit — is part of what's measured.
+		// Legacy mode emulates the pre-cursor code, which retained the
+		// full unbounded history and scanned all of it per poll.
+		opts.CommitRetention = 4096
+	}
+	c, err := New(opts)
+	if err != nil {
+		return HotPathPoint{}, err
+	}
+	c.Start()
+	c.RunFor(time.Second) // warm-up
+	c.Events.StartWindow(c.Now())
+
+	// The measurement loop: advance the simulation in 100 ms slices and,
+	// after each slice, consume new commit events and poll commit state —
+	// the access pattern of a client driving AwaitCommit plus the replica
+	// layer's drain.
+	probe := message.ReqID{Client: types.ClientID(0), ClientSeq: 1}
+	batches0 := c.Events.BatchCount()
+	cursor := c.Events.CommitCursor()
+	// commitEvents counts commit events observed inside the window, with
+	// identical meaning in both modes: warm-up events predate cursor (and
+	// eventsBase) and are excluded.
+	eventsBase := len(c.Events.Commits())
+	commitEvents := 0
+
+	stdruntime.GC()
+	var ms0, ms1 stdruntime.MemStats
+	stdruntime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	for elapsed := time.Duration(0); elapsed < window; elapsed += 100 * time.Millisecond {
+		c.RunFor(100 * time.Millisecond)
+		if legacyScan {
+			// Pre-cursor pattern: full copy + linear scan per poll.
+			all := c.Events.Commits()
+			commitEvents = len(all) - eventsBase
+			found := false
+			for _, ev := range all {
+				for _, e := range ev.Entries {
+					if e.Req == probe {
+						found = true
+					}
+				}
+			}
+			_ = found
+		} else {
+			events, next, _ := c.Events.CommitsSince(cursor)
+			cursor = next
+			commitEvents += len(events)
+			_ = c.Events.Committed(probe)
+		}
+		_ = c.Events.LatencySummary() // summary poll, memoized between commits
+	}
+	elapsedWall := time.Since(t0)
+	stdruntime.ReadMemStats(&ms1)
+
+	batches := c.Events.BatchCount() - batches0
+	if batches == 0 {
+		return HotPathPoint{}, fmt.Errorf("harness: no batches committed in hot-path window %v", window)
+	}
+	mode := "cursor"
+	if legacyScan {
+		mode = "legacy-scan"
+	}
+	probeNode, err := c.Topo.ReplicaID(c.Topo.NumReplicas())
+	if err != nil {
+		return HotPathPoint{}, err
+	}
+	return HotPathPoint{
+		Mode:           mode,
+		Window:         window,
+		Batches:        batches,
+		CommitEvents:   commitEvents,
+		NsPerBatch:     float64(elapsedWall.Nanoseconds()) / float64(batches),
+		AllocsPerBatch: float64(ms1.Mallocs-ms0.Mallocs) / float64(batches),
+		Throughput:     stats.Rate(c.Events.CommittedEntries(probeNode), window),
+	}, nil
 }
 
 // FailOverPoint is one measured point of Figure 6.

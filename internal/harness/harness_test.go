@@ -12,7 +12,7 @@ import (
 )
 
 func TestRecorderLatencyWindow(t *testing.T) {
-	r := NewRecorder(false)
+	r := NewRecorder(false, 0)
 	t0 := time.Unix(0, 0)
 	// A pre-window batch commits inside the window: not sampled.
 	r.OnBatched(core.BatchEvent{View: 1, FirstSeq: 1, At: t0})
@@ -35,7 +35,7 @@ func TestRecorderLatencyWindow(t *testing.T) {
 }
 
 func TestRecorderThroughputPerNode(t *testing.T) {
-	r := NewRecorder(false)
+	r := NewRecorder(false, 0)
 	t0 := time.Unix(0, 0)
 	r.StartWindow(t0)
 	r.OnCommit(core.CommitEvent{Node: 3, Kind: message.SubjectBatch, FirstSeq: 1, LastSeq: 2,
@@ -53,7 +53,7 @@ func TestRecorderThroughputPerNode(t *testing.T) {
 }
 
 func TestRecorderFailOverLatency(t *testing.T) {
-	r := NewRecorder(false)
+	r := NewRecorder(false, 0)
 	t0 := time.Unix(0, 0)
 	if _, ok := r.FailOverLatency(); ok {
 		t.Error("fail-over latency with no events")

@@ -22,6 +22,58 @@ type batchKey struct {
 	first types.Seq
 }
 
+// commitRing retains the most recent events of an append-only stream,
+// addressable by absolute position: the i-th event ever appended has
+// position i whether or not it is still retained. Readers follow the
+// stream with cursors (see Recorder.CommitsSince), so steady-state reads
+// cost O(new events), never O(history).
+type commitRing struct {
+	buf   []core.CommitEvent
+	limit int    // max retained events; 0 = unbounded
+	head  int    // index in buf of the oldest retained event
+	total uint64 // events ever appended
+}
+
+func (r *commitRing) append(ev core.CommitEvent) {
+	switch {
+	case r.limit <= 0 || len(r.buf) < r.limit:
+		r.buf = append(r.buf, ev)
+	default:
+		r.buf[r.head] = ev
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+	}
+	r.total++
+}
+
+// oldest returns the absolute position of the oldest retained event.
+func (r *commitRing) oldest() uint64 { return r.total - uint64(len(r.buf)) }
+
+// since copies out the events at positions [cursor, total) that are still
+// retained. dropped counts requested events already evicted from the ring.
+func (r *commitRing) since(cursor uint64) (events []core.CommitEvent, next uint64, dropped uint64) {
+	next = r.total
+	if cursor >= r.total {
+		return nil, next, 0
+	}
+	oldest := r.oldest()
+	if cursor < oldest {
+		dropped = oldest - cursor
+		cursor = oldest
+	}
+	events = make([]core.CommitEvent, 0, r.total-cursor)
+	for p := cursor; p < r.total; p++ {
+		idx := r.head + int(p-oldest)
+		if idx >= len(r.buf) {
+			idx -= len(r.buf)
+		}
+		events = append(events, r.buf[idx])
+	}
+	return events, next, dropped
+}
+
 // Recorder is the thread-safe event sink shared by every process's hooks.
 type Recorder struct {
 	mu sync.Mutex
@@ -29,7 +81,7 @@ type Recorder struct {
 	batchedAt   map[batchKey]time.Time
 	batchSizes  map[batchKey]int
 	firstCommit map[batchKey]time.Time
-	latencies   []time.Duration
+	latencies   stats.Sampler
 
 	// commitsPerNode counts committed request entries per process,
 	// within [windowStart, windowEnd] when set.
@@ -41,19 +93,33 @@ type Recorder struct {
 	installs    []core.InstallEvent
 	tuples      []core.InstallEvent
 	recoveries  []core.InstallEvent
-	commits     []core.CommitEvent
+
+	// keepCommits retains commit events for replay (ring-bounded); the
+	// committed-request index and commit notifications are maintained
+	// regardless, so AwaitCommit-style checks are always O(1).
 	keepCommits bool
+	commits     commitRing
+	committed   map[message.ReqID]struct{}
+	waiters     map[message.ReqID][]chan struct{}
 }
 
-// NewRecorder returns an empty recorder. keepCommits retains every commit
-// event (tests use it; long benchmark runs should not).
-func NewRecorder(keepCommits bool) *Recorder {
+// closedCommit is returned by CommitNotify for already-committed requests.
+var closedCommit = func() chan struct{} { ch := make(chan struct{}); close(ch); return ch }()
+
+// NewRecorder returns an empty recorder. keepCommits retains commit events
+// for replay (the replica layer and tests use it); retain bounds how many
+// are kept (0 = unlimited), so long benchmark runs stop growing without
+// limit.
+func NewRecorder(keepCommits bool, retain int) *Recorder {
 	return &Recorder{
 		batchedAt:      make(map[batchKey]time.Time),
 		batchSizes:     make(map[batchKey]int),
 		firstCommit:    make(map[batchKey]time.Time),
 		commitsPerNode: make(map[types.NodeID]int),
 		keepCommits:    keepCommits,
+		commits:        commitRing{limit: retain},
+		committed:      make(map[message.ReqID]struct{}),
+		waiters:        make(map[message.ReqID][]chan struct{}),
 	}
 }
 
@@ -65,7 +131,7 @@ func (r *Recorder) StartWindow(at time.Time) {
 	r.windowStart = at
 	r.windowSet = true
 	r.commitsPerNode = make(map[types.NodeID]int)
-	r.latencies = nil
+	r.latencies.Reset()
 }
 
 // OnBatched records batch formation at the coordinator (the latency clock
@@ -84,28 +150,117 @@ func (r *Recorder) OnBatched(ev core.BatchEvent) {
 // batch stops that batch's latency clock.
 func (r *Recorder) OnCommit(ev core.CommitEvent) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.keepCommits {
-		r.commits = append(r.commits, ev)
+		r.commits.append(ev)
+	}
+	for i := range ev.Entries {
+		id := ev.Entries[i].Req
+		if _, dup := r.committed[id]; dup {
+			continue
+		}
+		r.committed[id] = struct{}{}
+		if chs, ok := r.waiters[id]; ok {
+			for _, ch := range chs {
+				close(ch)
+			}
+			delete(r.waiters, id)
+		}
 	}
 	if !r.windowSet || !ev.At.Before(r.windowStart) {
 		r.commitsPerNode[ev.Node] += len(ev.Entries)
 	}
 	if ev.Kind != message.SubjectBatch {
+		r.mu.Unlock()
 		return
 	}
 	k := batchKey{ev.View, ev.FirstSeq}
 	if _, done := r.firstCommit[k]; done {
+		r.mu.Unlock()
 		return
 	}
 	start, known := r.batchedAt[k]
 	if !known {
+		r.mu.Unlock()
 		return
 	}
 	r.firstCommit[k] = ev.At
 	if !r.windowSet || !start.Before(r.windowStart) {
-		r.latencies = append(r.latencies, ev.At.Sub(start))
+		r.latencies.Add(ev.At.Sub(start))
 	}
+	r.mu.Unlock()
+}
+
+// Committed reports whether the request has been committed at some process.
+// It is O(1) and remains correct after commit events are evicted from the
+// retention ring.
+func (r *Recorder) Committed(id message.ReqID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.committed[id]
+	return ok
+}
+
+// CommitNotify returns a channel that is closed once the request commits at
+// some process (immediately-closed if it already has). Live-mode waiters
+// block on it instead of polling.
+func (r *Recorder) CommitNotify(id message.ReqID) <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.committed[id]; ok {
+		return closedCommit
+	}
+	ch := make(chan struct{})
+	r.waiters[id] = append(r.waiters[id], ch)
+	return ch
+}
+
+// CancelNotify deregisters a channel obtained from CommitNotify whose
+// waiter gave up (timed out); abandoning the channel instead would leak a
+// waiters entry per never-committed request.
+func (r *Recorder) CancelNotify(id message.ReqID, ch <-chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	chs := r.waiters[id]
+	for i, c := range chs {
+		if c == ch {
+			chs[i] = chs[len(chs)-1]
+			chs = chs[:len(chs)-1]
+			break
+		}
+	}
+	if len(chs) == 0 {
+		delete(r.waiters, id)
+	} else {
+		r.waiters[id] = chs
+	}
+}
+
+// CommitsSince returns the retained commit events at stream positions
+// [cursor, ...), the cursor to pass next time, and how many requested
+// events were already evicted from the retention ring. Pass cursor 0 on
+// the first call. Cost is O(events returned), independent of history
+// length.
+func (r *Recorder) CommitsSince(cursor uint64) (events []core.CommitEvent, next uint64, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.commits.since(cursor)
+}
+
+// CommitCursor returns the current end-of-stream cursor (the position the
+// next commit event will get); subscribers that only want future events
+// start from it.
+func (r *Recorder) CommitCursor() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.commits.total
+}
+
+// Commits returns all retained commit events (keepCommits mode).
+// Deprecated-style convenience for tests and examples: it copies the whole
+// ring, so measurement loops should use CommitsSince with a cursor.
+func (r *Recorder) Commits() []core.CommitEvent {
+	events, _, _ := r.CommitsSince(0)
+	return events
 }
 
 // OnFailSignal records fail-signal emission/receipt.
@@ -146,11 +301,12 @@ func (r *Recorder) Recoveries() []core.InstallEvent {
 	return out
 }
 
-// LatencySummary summarises order latencies in the measurement window.
+// LatencySummary summarises order latencies in the measurement window. The
+// summary is memoized between new samples, so polling it is O(1).
 func (r *Recorder) LatencySummary() stats.Summary {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return stats.Summarize(r.latencies)
+	return r.latencies.Summary()
 }
 
 // CommittedEntries returns the committed-request count at a process within
@@ -161,16 +317,8 @@ func (r *Recorder) CommittedEntries(node types.NodeID) int {
 	return r.commitsPerNode[node]
 }
 
-// Commits returns retained commit events (keepCommits mode).
-func (r *Recorder) Commits() []core.CommitEvent {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]core.CommitEvent, len(r.commits))
-	copy(out, r.commits)
-	return out
-}
-
-// FailSignals returns recorded fail-signal events.
+// FailSignals returns all recorded fail-signal events (fail-over history
+// is short; unlike commits it needs no cursor subscription).
 func (r *Recorder) FailSignals() []core.FailSignalEvent {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -179,7 +327,7 @@ func (r *Recorder) FailSignals() []core.FailSignalEvent {
 	return out
 }
 
-// Installs returns recorded installation events.
+// Installs returns all recorded installation events.
 func (r *Recorder) Installs() []core.InstallEvent {
 	r.mu.Lock()
 	defer r.mu.Unlock()

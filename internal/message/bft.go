@@ -18,6 +18,7 @@ type PrePrepare struct {
 	Entries  []OrderEntry
 	Primary  types.NodeID
 	Sig      crypto.Signature
+	enc
 }
 
 var _ Message = (*PrePrepare)(nil)
@@ -45,9 +46,12 @@ func (m *PrePrepare) encodeBody(w *codec.Writer) {
 
 // SignedBody returns the bytes covered by Sig.
 func (m *PrePrepare) SignedBody() []byte {
-	w := codec.NewWriter(32 + 40*len(m.Entries))
-	m.encodeBody(w)
-	return w.Bytes()
+	if m.body == nil {
+		w := codec.NewWriter(32 + 40*len(m.Entries))
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
 }
 
 // BodyDigest identifies the batch in prepare/commit messages.
@@ -57,10 +61,13 @@ func (m *PrePrepare) BodyDigest(v interface{ Digest([]byte) []byte }) []byte {
 
 // Marshal implements Message.
 func (m *PrePrepare) Marshal() []byte {
-	w := codec.NewWriter(64 + 40*len(m.Entries) + len(m.Sig))
-	m.encodeBody(w)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(64 + 40*len(m.Entries) + len(m.Sig))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodePrePrepare(r *codec.Reader) (*PrePrepare, error) {
@@ -100,6 +107,7 @@ type Prepare struct {
 	FirstSeq    types.Seq
 	BatchDigest []byte
 	Sig         crypto.Signature
+	enc
 }
 
 var _ Message = (*Prepare)(nil)
@@ -121,19 +129,25 @@ func phaseBody(t Type, from types.NodeID, view types.View, firstSeq types.Seq, d
 
 // SignedBody returns the bytes covered by Sig.
 func (m *Prepare) SignedBody() []byte {
-	return phaseBody(TPrepare, m.From, m.View, m.FirstSeq, m.BatchDigest)
+	if m.body == nil {
+		m.body = phaseBody(TPrepare, m.From, m.View, m.FirstSeq, m.BatchDigest)
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *Prepare) Marshal() []byte {
-	w := codec.NewWriter(48 + len(m.BatchDigest) + len(m.Sig))
-	w.U8(uint8(TPrepare))
-	w.I32(int32(m.From))
-	w.U64(uint64(m.View))
-	w.U64(uint64(m.FirstSeq))
-	w.Bytes32(m.BatchDigest)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(48 + len(m.BatchDigest) + len(m.Sig))
+		w.U8(uint8(TPrepare))
+		w.I32(int32(m.From))
+		w.U64(uint64(m.View))
+		w.U64(uint64(m.FirstSeq))
+		w.Bytes32(m.BatchDigest)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodePrepare(r *codec.Reader) (*Prepare, error) {
@@ -159,6 +173,7 @@ type Commit struct {
 	FirstSeq    types.Seq
 	BatchDigest []byte
 	Sig         crypto.Signature
+	enc
 }
 
 var _ Message = (*Commit)(nil)
@@ -168,19 +183,25 @@ func (m *Commit) Type() Type { return TCommit }
 
 // SignedBody returns the bytes covered by Sig.
 func (m *Commit) SignedBody() []byte {
-	return phaseBody(TCommit, m.From, m.View, m.FirstSeq, m.BatchDigest)
+	if m.body == nil {
+		m.body = phaseBody(TCommit, m.From, m.View, m.FirstSeq, m.BatchDigest)
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *Commit) Marshal() []byte {
-	w := codec.NewWriter(48 + len(m.BatchDigest) + len(m.Sig))
-	w.U8(uint8(TCommit))
-	w.I32(int32(m.From))
-	w.U64(uint64(m.View))
-	w.U64(uint64(m.FirstSeq))
-	w.Bytes32(m.BatchDigest)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(48 + len(m.BatchDigest) + len(m.Sig))
+		w.U8(uint8(TCommit))
+		w.I32(int32(m.From))
+		w.U64(uint64(m.View))
+		w.U64(uint64(m.FirstSeq))
+		w.Bytes32(m.BatchDigest)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeCommit(r *codec.Reader) (*Commit, error) {
@@ -280,6 +301,7 @@ type BFTViewChange struct {
 	LastStable types.Seq
 	Prepared   []*PreparedCert
 	Sig        crypto.Signature
+	enc
 }
 
 var _ Message = (*BFTViewChange)(nil)
@@ -300,17 +322,23 @@ func (m *BFTViewChange) encodeBody(w *codec.Writer) {
 
 // SignedBody returns the bytes covered by Sig.
 func (m *BFTViewChange) SignedBody() []byte {
-	w := codec.NewWriter(256)
-	m.encodeBody(w)
-	return w.Bytes()
+	if m.body == nil {
+		w := codec.NewWriter(256)
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *BFTViewChange) Marshal() []byte {
-	w := codec.NewWriter(256)
-	m.encodeBody(w)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(256 + len(m.Sig))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeBFTViewChange(r *codec.Reader) (*BFTViewChange, error) {
@@ -351,6 +379,7 @@ type BFTNewView struct {
 	ViewChanges [][]byte // marshalled BFTViewChange messages
 	PrePrepares []*PrePrepare
 	Sig         crypto.Signature
+	enc
 }
 
 var _ Message = (*BFTNewView)(nil)
@@ -374,17 +403,23 @@ func (m *BFTNewView) encodeBody(w *codec.Writer) {
 
 // SignedBody returns the bytes covered by Sig.
 func (m *BFTNewView) SignedBody() []byte {
-	w := codec.NewWriter(512)
-	m.encodeBody(w)
-	return w.Bytes()
+	if m.body == nil {
+		w := codec.NewWriter(512)
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *BFTNewView) Marshal() []byte {
-	w := codec.NewWriter(512)
-	m.encodeBody(w)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(512 + len(m.Sig))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeBFTNewView(r *codec.Reader) (*BFTNewView, error) {

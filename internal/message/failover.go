@@ -22,6 +22,7 @@ type FailSignal struct {
 	Second types.NodeID
 	Sig1   crypto.Signature
 	Sig2   crypto.Signature
+	enc
 }
 
 var _ Message = (*FailSignal)(nil)
@@ -42,19 +43,27 @@ func FailSignalBody(pair types.Rank, epoch uint64, first types.NodeID) []byte {
 }
 
 // SignedBody returns the bytes covered by Sig1.
-func (m *FailSignal) SignedBody() []byte { return FailSignalBody(m.Pair, m.Epoch, m.First) }
+func (m *FailSignal) SignedBody() []byte {
+	if m.body == nil {
+		m.body = FailSignalBody(m.Pair, m.Epoch, m.First)
+	}
+	return m.body
+}
 
 // Marshal implements Message.
 func (m *FailSignal) Marshal() []byte {
-	w := codec.NewWriter(48 + len(m.Sig1) + len(m.Sig2))
-	w.U8(uint8(TFailSignal))
-	w.U32(uint32(m.Pair))
-	w.U64(m.Epoch)
-	w.I32(int32(m.First))
-	w.I32(int32(m.Second))
-	w.Bytes32(m.Sig1)
-	w.Bytes32(m.Sig2)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(48 + len(m.Sig1) + len(m.Sig2))
+		w.U8(uint8(TFailSignal))
+		w.U32(uint32(m.Pair))
+		w.U64(m.Epoch)
+		w.I32(int32(m.First))
+		w.I32(int32(m.Second))
+		w.Bytes32(m.Sig1)
+		w.Bytes32(m.Sig2)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeFailSignal(r *codec.Reader) (*FailSignal, error) {
@@ -96,6 +105,7 @@ type BackLog struct {
 	Uncommitted  []*OrderBatch
 	Padding      []byte
 	Sig          crypto.Signature
+	enc
 }
 
 var _ Message = (*BackLog)(nil)
@@ -129,17 +139,23 @@ func (m *BackLog) encodeBody(w *codec.Writer) {
 
 // SignedBody returns the bytes covered by Sig.
 func (m *BackLog) SignedBody() []byte {
-	w := codec.NewWriter(256)
-	m.encodeBody(w)
-	return w.Bytes()
+	if m.body == nil {
+		w := codec.NewWriter(256)
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *BackLog) Marshal() []byte {
-	w := codec.NewWriter(256)
-	m.encodeBody(w)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(256 + len(m.Sig))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeBackLog(r *codec.Reader) (*BackLog, error) {
@@ -215,6 +231,7 @@ type Start struct {
 	Shadow          types.NodeID
 	Sig1            crypto.Signature
 	Sig2            crypto.Signature
+	enc
 }
 
 var _ Message = (*Start)(nil)
@@ -238,9 +255,21 @@ func (m *Start) encodeBody(w *codec.Writer) {
 
 // SignedBody returns the bytes covered by Sig1 (Sig2 covers body||Sig1).
 func (m *Start) SignedBody() []byte {
-	w := codec.NewWriter(256)
-	m.encodeBody(w)
-	return w.Bytes()
+	if m.body == nil {
+		w := codec.NewWriter(256)
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
+}
+
+// Endorsed returns a copy of the Start carrying the shadow's second
+// signature, with a fresh wire cache (the body is unchanged by Sig2).
+func (m *Start) Endorsed(sig2 crypto.Signature) *Start {
+	out := *m
+	out.Sig2 = sig2
+	out.enc = enc{body: m.SignedBody()}
+	return &out
 }
 
 // BodyDigest identifies the Start in acks and counter-signatures.
@@ -250,11 +279,14 @@ func (m *Start) BodyDigest(v interface{ Digest([]byte) []byte }) []byte {
 
 // Marshal implements Message.
 func (m *Start) Marshal() []byte {
-	w := codec.NewWriter(256)
-	m.encodeBody(w)
-	w.Bytes32(m.Sig1)
-	w.Bytes32(m.Sig2)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(256 + len(m.Sig1) + len(m.Sig2))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig1)
+		w.Bytes32(m.Sig2)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeStart(r *codec.Reader) (*Start, error) {
@@ -307,6 +339,7 @@ type StartSig struct {
 	View        types.View
 	StartDigest []byte
 	Sig         crypto.Signature
+	enc
 }
 
 var _ Message = (*StartSig)(nil)
@@ -314,33 +347,44 @@ var _ Message = (*StartSig)(nil)
 // Type implements Message.
 func (m *StartSig) Type() Type { return TStartSig }
 
-// StartSigBody returns the canonical counter-signed bytes, reconstructible
-// by verifiers of StartTuples.
-func StartSigBody(from types.NodeID, coord types.Rank, view types.View, startDigest []byte) []byte {
-	w := codec.NewWriter(32 + len(startDigest))
+// appendStartSigBody writes the canonical counter-signed bytes into w.
+func appendStartSigBody(w *codec.Writer, from types.NodeID, coord types.Rank, view types.View, startDigest []byte) {
 	w.U8(uint8(TStartSig))
 	w.I32(int32(from))
 	w.U32(uint32(coord))
 	w.U64(uint64(view))
 	w.Bytes32(startDigest)
+}
+
+// StartSigBody returns the canonical counter-signed bytes, reconstructible
+// by verifiers of StartTuples.
+func StartSigBody(from types.NodeID, coord types.Rank, view types.View, startDigest []byte) []byte {
+	w := codec.NewWriter(32 + len(startDigest))
+	appendStartSigBody(w, from, coord, view, startDigest)
 	return w.Bytes()
 }
 
 // SignedBody returns the bytes covered by Sig.
 func (m *StartSig) SignedBody() []byte {
-	return StartSigBody(m.From, m.Coord, m.View, m.StartDigest)
+	if m.body == nil {
+		m.body = StartSigBody(m.From, m.Coord, m.View, m.StartDigest)
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *StartSig) Marshal() []byte {
-	w := codec.NewWriter(48 + len(m.StartDigest) + len(m.Sig))
-	w.U8(uint8(TStartSig))
-	w.I32(int32(m.From))
-	w.U32(uint32(m.Coord))
-	w.U64(uint64(m.View))
-	w.Bytes32(m.StartDigest)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(48 + len(m.StartDigest) + len(m.Sig))
+		w.U8(uint8(TStartSig))
+		w.I32(int32(m.From))
+		w.U32(uint32(m.Coord))
+		w.U64(uint64(m.View))
+		w.Bytes32(m.StartDigest)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeStartSig(r *codec.Reader) (*StartSig, error) {
@@ -370,6 +414,7 @@ type StartTuples struct {
 	Froms       []types.NodeID
 	Sigs        []crypto.Signature
 	Sig         crypto.Signature
+	enc
 }
 
 var _ Message = (*StartTuples)(nil)
@@ -392,17 +437,23 @@ func (m *StartTuples) encodeBody(w *codec.Writer) {
 
 // SignedBody returns the bytes covered by Sig.
 func (m *StartTuples) SignedBody() []byte {
-	w := codec.NewWriter(128)
-	m.encodeBody(w)
-	return w.Bytes()
+	if m.body == nil {
+		w := codec.NewWriter(128)
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *StartTuples) Marshal() []byte {
-	w := codec.NewWriter(128)
-	m.encodeBody(w)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(128 + len(m.Sig))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeStartTuples(r *codec.Reader) (*StartTuples, error) {
@@ -436,8 +487,11 @@ func (m *StartTuples) Verify(v Verifier) error {
 		return fmt.Errorf("message: start tuples from %v: %w", m.From, err)
 	}
 	for i, f := range m.Froms {
-		body := StartSigBody(f, m.Coord, m.View, m.StartDigest)
-		if err := VerifySingle(v, f, body, m.Sigs[i]); err != nil {
+		w := codec.GetWriter()
+		appendStartSigBody(w, f, m.Coord, m.View, m.StartDigest)
+		err := v.Verify(f, v.Digest(w.Bytes()), m.Sigs[i])
+		w.Release()
+		if err != nil {
 			return fmt.Errorf("message: start tuple of %v: %w", f, err)
 		}
 	}
@@ -451,6 +505,7 @@ func (m *StartTuples) Verify(v Verifier) error {
 type PairStart struct {
 	Start    *Start // Sig1 set, Sig2 empty
 	BackLogs []*BackLog
+	enc
 }
 
 var _ Message = (*PairStart)(nil)
@@ -460,14 +515,17 @@ func (m *PairStart) Type() Type { return TPairStart }
 
 // Marshal implements Message.
 func (m *PairStart) Marshal() []byte {
-	w := codec.NewWriter(512)
-	w.U8(uint8(TPairStart))
-	w.Bytes32(m.Start.Marshal())
-	w.U32(uint32(len(m.BackLogs)))
-	for _, b := range m.BackLogs {
-		w.Bytes32(b.Marshal())
+	if m.wire == nil {
+		w := codec.NewWriter(512)
+		w.U8(uint8(TPairStart))
+		w.Bytes32(m.Start.Marshal())
+		w.U32(uint32(len(m.BackLogs)))
+		for _, b := range m.BackLogs {
+			w.Bytes32(b.Marshal())
+		}
+		m.wire = w.Bytes()
 	}
-	return w.Bytes()
+	return m.wire
 }
 
 func decodePairStart(r *codec.Reader) (*PairStart, error) {
@@ -528,6 +586,7 @@ type Mirror struct {
 	Dir   MirrorDir
 	Peer  types.NodeID
 	Inner []byte
+	enc
 }
 
 var _ Message = (*Mirror)(nil)
@@ -537,12 +596,15 @@ func (m *Mirror) Type() Type { return TMirror }
 
 // Marshal implements Message.
 func (m *Mirror) Marshal() []byte {
-	w := codec.NewWriter(16 + len(m.Inner))
-	w.U8(uint8(TMirror))
-	w.U8(uint8(m.Dir))
-	w.I32(int32(m.Peer))
-	w.Bytes32(m.Inner)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(16 + len(m.Inner))
+		w.U8(uint8(TMirror))
+		w.U8(uint8(m.Dir))
+		w.I32(int32(m.Peer))
+		w.Bytes32(m.Inner)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeMirror(r *codec.Reader) (*Mirror, error) {

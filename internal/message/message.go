@@ -10,6 +10,14 @@
 //
 // Decoded messages alias the buffer they were decoded from; buffers must
 // not be reused. Messages are treated as immutable after construction.
+//
+// Because messages are immutable, every message memoizes its canonical
+// encodings: Marshal and SignedBody compute their bytes once and cache them
+// on the struct, and Decode primes the wire cache with the exact received
+// bytes, so relaying or re-sending a decoded message never re-encodes it.
+// The runtime confines any one Message value to a single goroutine at a
+// time (a node's event loop, or the single-threaded simulator), so the
+// caches need no synchronisation.
 package message
 
 import (
@@ -67,9 +75,27 @@ func (t Type) String() string {
 type Message interface {
 	// Type returns the wire type tag.
 	Type() Type
-	// Marshal returns the full wire encoding, signatures included.
+	// Marshal returns the full wire encoding, signatures included. The
+	// encoding is computed once and cached; callers must not modify it.
 	Marshal() []byte
 }
+
+// enc is embedded in every message struct to memoize its two canonical
+// encodings. A message is encoded at most once however many times it is
+// sent, sized, digested or relayed. Code that copies a message in order to
+// amend it (the shadow adding Sig2) must reset the copy's caches — see
+// OrderBatch.Endorsed and Start.Endorsed.
+type enc struct {
+	wire []byte // full wire encoding, signatures included
+	body []byte // signable body bytes
+}
+
+// setWire primes the wire cache; Decode stores the exact received bytes so
+// re-marshalling a decoded message is zero-copy.
+func (e *enc) setWire(b []byte) { e.wire = b }
+
+// wireCacher is satisfied by every message via the embedded enc.
+type wireCacher interface{ setWire([]byte) }
 
 // Signer produces signatures for one process; *crypto.Identity satisfies
 // it, as do the runtime environments (which additionally charge modelled
@@ -151,6 +177,9 @@ func Decode(b []byte) (Message, error) {
 	if err := r.Finish(); err != nil {
 		return nil, fmt.Errorf("message: decoding %v: %w", t, err)
 	}
+	// Finish guarantees b is exactly the message's wire encoding; prime the
+	// cache so relays and re-sends of this message never re-encode.
+	m.(wireCacher).setWire(b)
 	return m, nil
 }
 
@@ -173,9 +202,20 @@ func CounterSignBody(body []byte, sig1 crypto.Signature) []byte {
 	return out
 }
 
+// counterSignDigest computes Digest(body || sig1) through a pooled buffer,
+// avoiding the per-call concatenation allocation on the verify hot path.
+func counterSignDigest(d interface{ Digest([]byte) []byte }, body []byte, sig1 crypto.Signature) []byte {
+	w := codec.GetWriter()
+	w.Raw(body)
+	w.Raw(sig1)
+	digest := d.Digest(w.Bytes())
+	w.Release()
+	return digest
+}
+
 // SignSecond produces the endorsing second signature over body||sig1.
 func SignSecond(s Signer, body []byte, sig1 crypto.Signature) (crypto.Signature, error) {
-	return s.Sign(s.Digest(CounterSignBody(body, sig1)))
+	return s.Sign(counterSignDigest(s, body, sig1))
 }
 
 // VerifyDouble checks a doubly-signed body: sig1 by first over body, sig2 by
@@ -192,7 +232,7 @@ func VerifyDouble(v Verifier, first, second types.NodeID, body []byte, sig1, sig
 		}
 		return nil
 	}
-	if err := v.Verify(second, v.Digest(CounterSignBody(body, sig1)), sig2); err != nil {
+	if err := v.Verify(second, counterSignDigest(v, body, sig1), sig2); err != nil {
 		return fmt.Errorf("message: second signature: %w", err)
 	}
 	return nil

@@ -238,8 +238,12 @@ func TestVerifyDoubleEndorsement(t *testing.T) {
 		t.Errorf("VerifySigs(valid pair batch): %v", err)
 	}
 
-	// Tamper with an entry: both signatures must fail to cover it.
+	// Tamper with an entry: both signatures must fail to cover it. A struct
+	// copy carries the memoized encodings, so a test that mutates fields
+	// must reset them — on the wire, tampering always yields a freshly
+	// decoded message whose caches match its fields.
 	tampered := *b
+	tampered.enc = enc{}
 	tampered.Entries = append([]OrderEntry(nil), b.Entries...)
 	tampered.Entries[0].ReqDigest = idents[0].Digest([]byte("evil"))
 	if err := tampered.VerifySigs(idents[3]); err == nil {
@@ -248,6 +252,7 @@ func TestVerifyDoubleEndorsement(t *testing.T) {
 
 	// Swap the endorser: second signature must not verify as someone else.
 	wrongShadow := *b
+	wrongShadow.enc = enc{}
 	wrongShadow.Shadow = 6
 	if err := wrongShadow.VerifySigs(idents[3]); err == nil {
 		t.Error("VerifySigs(wrong shadow): want error")
@@ -262,6 +267,7 @@ func TestVerifyDoubleEndorsement(t *testing.T) {
 	}
 	// ... but an unexpected second signature on an unpaired batch is rejected.
 	single2 := *single
+	single2.enc = enc{}
 	single2.Sig2 = crypto.Signature{1, 2}
 	if err := single2.VerifySigs(idents[3]); err == nil {
 		t.Error("VerifySigs(unpaired with sig2): want error")
@@ -296,12 +302,14 @@ func TestFailSignalVerify(t *testing.T) {
 	}
 	// A forged second signature is rejected.
 	fs4 := *fs
+	fs4.enc = enc{}
 	fs4.Sig2 = fs.Sig1
 	if err := fs4.Verify(idents[3], 0, 5); err == nil {
 		t.Error("Verify(forged sig2): want error")
 	}
 	// Wrong epoch: signatures no longer match the body.
 	fs5 := *fs
+	fs5.enc = enc{}
 	fs5.Epoch = 9
 	if err := fs5.Verify(idents[3], 0, 5); err == nil {
 		t.Error("Verify(wrong epoch): want error")
@@ -423,6 +431,7 @@ func TestAckVerifyAndBody(t *testing.T) {
 		func(a *Ack) { a.SubjectDigest = idents[0].Digest([]byte("no")) },
 	} {
 		bad := *ack
+		bad.enc = enc{}
 		mutate(&bad)
 		if err := bad.VerifySig(idents[3]); err == nil {
 			t.Error("VerifySig(mutated ack): want error")
@@ -441,6 +450,7 @@ func TestRequestDigestStability(t *testing.T) {
 	}
 	// The digest must not cover the client signature.
 	req2 := *req
+	req2.enc = enc{}
 	req2.Sig = crypto.Signature{9, 9, 9}
 	if !bytes.Equal(req2.Digest(idents[0]), d1) {
 		t.Error("request digest covers the signature; D(m) must be stable")

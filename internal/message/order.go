@@ -26,6 +26,7 @@ type Request struct {
 	ClientSeq uint64
 	Payload   []byte
 	Sig       crypto.Signature
+	enc
 }
 
 var _ Message = (*Request)(nil)
@@ -46,9 +47,12 @@ func (m *Request) encodeBody(w *codec.Writer) {
 // SignedBody returns the canonical bytes the client signs; the request
 // digest D(m) is the suite digest of these bytes.
 func (m *Request) SignedBody() []byte {
-	w := codec.NewWriter(16 + len(m.Payload))
-	m.encodeBody(w)
-	return w.Bytes()
+	if m.body == nil {
+		w := codec.NewWriter(16 + len(m.Payload))
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
 }
 
 // Digest computes D(m), the digest carried in order messages ("the order
@@ -59,10 +63,13 @@ func (m *Request) Digest(v interface{ Digest([]byte) []byte }) []byte {
 
 // Marshal implements Message.
 func (m *Request) Marshal() []byte {
-	w := codec.NewWriter(24 + len(m.Payload) + len(m.Sig))
-	m.encodeBody(w)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(24 + len(m.Payload) + len(m.Sig))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeRequest(r *codec.Reader) (*Request, error) {
@@ -97,6 +104,7 @@ type OrderBatch struct {
 	Shadow   types.NodeID
 	Sig1     crypto.Signature
 	Sig2     crypto.Signature
+	enc
 }
 
 var _ Message = (*OrderBatch)(nil)
@@ -140,18 +148,35 @@ func (m *OrderBatch) encodeBody(w *codec.Writer) {
 // SignedBody returns the bytes the primary signs (Sig1); the shadow signs
 // CounterSignBody(SignedBody, Sig1).
 func (m *OrderBatch) SignedBody() []byte {
-	w := codec.NewWriter(40 + 40*len(m.Entries))
-	m.encodeBody(w)
-	return w.Bytes()
+	if m.body == nil {
+		w := codec.NewWriter(40 + 40*len(m.Entries))
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *OrderBatch) Marshal() []byte {
-	w := codec.NewWriter(64 + 40*len(m.Entries) + len(m.Sig1) + len(m.Sig2))
-	m.encodeBody(w)
-	w.Bytes32(m.Sig1)
-	w.Bytes32(m.Sig2)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(64 + 40*len(m.Entries) + len(m.Sig1) + len(m.Sig2))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig1)
+		w.Bytes32(m.Sig2)
+		m.wire = w.Bytes()
+	}
+	return m.wire
+}
+
+// Endorsed returns a copy of the batch carrying the shadow's second
+// signature. The copy gets fresh encoding caches (its wire bytes differ
+// from the 1-signed original) but shares the signable body, which Sig2
+// does not change.
+func (m *OrderBatch) Endorsed(sig2 crypto.Signature) *OrderBatch {
+	out := *m
+	out.Sig2 = sig2
+	out.enc = enc{body: m.SignedBody()}
+	return &out
 }
 
 func decodeOrderBatch(r *codec.Reader) (*OrderBatch, error) {
@@ -217,6 +242,7 @@ type Ack struct {
 	SubjectDigest []byte
 	Subject       []byte // full encoded subject message
 	Sig           crypto.Signature
+	enc
 }
 
 var _ Message = (*Ack)(nil)
@@ -224,37 +250,58 @@ var _ Message = (*Ack)(nil)
 // Type implements Message.
 func (m *Ack) Type() Type { return TAck }
 
-// AckBody returns the canonical signed body of an ack with the given
-// fields; it is reconstructible by proof verifiers that hold the subject
-// digest but not the subject.
-func AckBody(from types.NodeID, kind SubjectKind, view types.View, firstSeq types.Seq, subjectDigest []byte) []byte {
-	w := codec.NewWriter(32 + len(subjectDigest))
+// appendAckBody writes the canonical signed ack body into w.
+func appendAckBody(w *codec.Writer, from types.NodeID, kind SubjectKind, view types.View, firstSeq types.Seq, subjectDigest []byte) {
 	w.U8(uint8(TAck))
 	w.I32(int32(from))
 	w.U8(uint8(kind))
 	w.U64(uint64(view))
 	w.U64(uint64(firstSeq))
 	w.Bytes32(subjectDigest)
+}
+
+// AckBody returns the canonical signed body of an ack with the given
+// fields; it is reconstructible by proof verifiers that hold the subject
+// digest but not the subject.
+func AckBody(from types.NodeID, kind SubjectKind, view types.View, firstSeq types.Seq, subjectDigest []byte) []byte {
+	w := codec.NewWriter(32 + len(subjectDigest))
+	appendAckBody(w, from, kind, view, firstSeq, subjectDigest)
 	return w.Bytes()
+}
+
+// verifyAckSig reconstructs an ack body through a pooled buffer and checks
+// sig over it (the proof-verification hot path builds one body per acker).
+func verifyAckSig(v Verifier, from types.NodeID, kind SubjectKind, view types.View, firstSeq types.Seq, subjectDigest []byte, sig crypto.Signature) error {
+	w := codec.GetWriter()
+	appendAckBody(w, from, kind, view, firstSeq, subjectDigest)
+	err := v.Verify(from, v.Digest(w.Bytes()), sig)
+	w.Release()
+	return err
 }
 
 // SignedBody returns the bytes covered by Sig.
 func (m *Ack) SignedBody() []byte {
-	return AckBody(m.From, m.Kind, m.View, m.FirstSeq, m.SubjectDigest)
+	if m.body == nil {
+		m.body = AckBody(m.From, m.Kind, m.View, m.FirstSeq, m.SubjectDigest)
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *Ack) Marshal() []byte {
-	w := codec.NewWriter(48 + len(m.SubjectDigest) + len(m.Subject) + len(m.Sig))
-	w.U8(uint8(TAck))
-	w.I32(int32(m.From))
-	w.U8(uint8(m.Kind))
-	w.U64(uint64(m.View))
-	w.U64(uint64(m.FirstSeq))
-	w.Bytes32(m.SubjectDigest)
-	w.Bytes32(m.Subject)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(48 + len(m.SubjectDigest) + len(m.Subject) + len(m.Sig))
+		w.U8(uint8(TAck))
+		w.I32(int32(m.From))
+		w.U8(uint8(m.Kind))
+		w.U64(uint64(m.View))
+		w.U64(uint64(m.FirstSeq))
+		w.Bytes32(m.SubjectDigest)
+		w.Bytes32(m.Subject)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeAck(r *codec.Reader) (*Ack, error) {
@@ -341,8 +388,7 @@ func (p *CommitProof) Verify(v Verifier, quorum int) error {
 		distinct[p.Batch.Shadow] = true
 	}
 	for i, from := range p.Ackers {
-		body := AckBody(from, SubjectBatch, p.Batch.View, p.Batch.FirstSeq, digest)
-		if err := VerifySingle(v, from, body, p.Sigs[i]); err != nil {
+		if err := verifyAckSig(v, from, SubjectBatch, p.Batch.View, p.Batch.FirstSeq, digest, p.Sigs[i]); err != nil {
 			return fmt.Errorf("message: proof ack from %v: %w", from, err)
 		}
 		distinct[from] = true

@@ -15,6 +15,7 @@ type Unwilling struct {
 	View    types.View
 	FailSig *FailSignal
 	Sig     crypto.Signature
+	enc
 }
 
 var _ Message = (*Unwilling)(nil)
@@ -36,17 +37,23 @@ func (m *Unwilling) encodeBody(w *codec.Writer) {
 
 // SignedBody returns the bytes covered by Sig.
 func (m *Unwilling) SignedBody() []byte {
-	w := codec.NewWriter(64)
-	m.encodeBody(w)
-	return w.Bytes()
+	if m.body == nil {
+		w := codec.NewWriter(64)
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *Unwilling) Marshal() []byte {
-	w := codec.NewWriter(64)
-	m.encodeBody(w)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(64 + len(m.Sig))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeUnwilling(r *codec.Reader) (*Unwilling, error) {
@@ -88,6 +95,7 @@ type PairBeat struct {
 	BeatSeq    uint64
 	FailSigSig crypto.Signature // From's pre-signature of FailSignalBody(pair, Epoch, From)
 	Sig        crypto.Signature
+	enc
 }
 
 var _ Message = (*PairBeat)(nil)
@@ -105,17 +113,23 @@ func (m *PairBeat) encodeBody(w *codec.Writer) {
 
 // SignedBody returns the bytes covered by Sig.
 func (m *PairBeat) SignedBody() []byte {
-	w := codec.NewWriter(64)
-	m.encodeBody(w)
-	return w.Bytes()
+	if m.body == nil {
+		w := codec.NewWriter(64)
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *PairBeat) Marshal() []byte {
-	w := codec.NewWriter(64)
-	m.encodeBody(w)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(64 + len(m.Sig))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodePairBeat(r *codec.Reader) (*PairBeat, error) {
@@ -144,6 +158,7 @@ type Reply struct {
 	Seq       types.Seq
 	Result    []byte
 	Sig       crypto.Signature
+	enc
 }
 
 var _ Message = (*Reply)(nil)
@@ -162,17 +177,23 @@ func (m *Reply) encodeBody(w *codec.Writer) {
 
 // SignedBody returns the bytes covered by Sig.
 func (m *Reply) SignedBody() []byte {
-	w := codec.NewWriter(48 + len(m.Result))
-	m.encodeBody(w)
-	return w.Bytes()
+	if m.body == nil {
+		w := codec.NewWriter(48 + len(m.Result))
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
 }
 
 // Marshal implements Message.
 func (m *Reply) Marshal() []byte {
-	w := codec.NewWriter(64 + len(m.Result))
-	m.encodeBody(w)
-	w.Bytes32(m.Sig)
-	return w.Bytes()
+	if m.wire == nil {
+		w := codec.NewWriter(64 + len(m.Result))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
 }
 
 func decodeReply(r *codec.Reader) (*Reply, error) {

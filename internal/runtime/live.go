@@ -122,11 +122,13 @@ func (c *LiveCluster) node(id types.NodeID) (*liveNode, bool) {
 	return n, ok
 }
 
-// liveEvent is one unit of work in a node's event loop: either a delivered
-// message (raw != nil) or a callback.
+// liveEvent is one unit of work in a node's event loop: a delivered wire
+// message (raw != nil), an already-decoded self-loopback message (msg !=
+// nil), or a callback.
 type liveEvent struct {
 	from types.NodeID
 	raw  []byte
+	msg  message.Message
 	fn   func()
 }
 
@@ -204,6 +206,10 @@ func (n *liveNode) loop() {
 			e.fn()
 			continue
 		}
+		if e.msg != nil {
+			n.proc.Receive(n, e.from, e.msg)
+			continue
+		}
 		m, err := message.Decode(e.raw)
 		if err != nil {
 			n.Logf("dropping undecodable message from %v: %v", e.from, err)
@@ -224,19 +230,20 @@ func (n *liveNode) Charge(time.Duration) {}
 
 // Send implements Env.
 func (n *liveNode) Send(to types.NodeID, m message.Message) {
-	n.deliver(to, m.Marshal(), m.Type())
+	n.deliver(to, m, m.Marshal())
 }
 
-// Multicast implements Env.
+// Multicast implements Env. The message is marshalled exactly once for all
+// destinations (and concrete message types additionally cache the encoding
+// on the message itself).
 func (n *liveNode) Multicast(tos []types.NodeID, m message.Message) {
 	raw := m.Marshal()
-	t := m.Type()
 	for _, to := range tos {
-		n.deliver(to, raw, t)
+		n.deliver(to, m, raw)
 	}
 }
 
-func (n *liveNode) deliver(to types.NodeID, raw []byte, t message.Type) {
+func (n *liveNode) deliver(to types.NodeID, m message.Message, raw []byte) {
 	if n.isDown() {
 		return
 	}
@@ -252,10 +259,15 @@ func (n *liveNode) deliver(to types.NodeID, raw []byte, t message.Type) {
 		}
 		delay = d
 		if to != n.id {
-			n.c.fabric.Record(t, len(raw))
+			n.c.fabric.Record(m.Type(), len(raw))
 		}
 	}
 	ev := liveEvent{from: n.id, raw: raw}
+	if to == n.id {
+		// Self-loopback skips the wire: messages are immutable, the event
+		// loop is this goroutine, so the decoded form is delivered as-is.
+		ev = liveEvent{from: n.id, msg: m}
+	}
 	if delay <= 0 {
 		target.enqueue(ev)
 		return

@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/des"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/netsim"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// countingMsg counts Marshal calls without memoizing, so it detects any
+// runtime path that re-marshals per destination.
+type countingMsg struct {
+	inner *message.Request
+	calls *int32
+}
+
+func (m *countingMsg) Type() message.Type { return m.inner.Type() }
+
+func (m *countingMsg) Marshal() []byte {
+	atomic.AddInt32(m.calls, 1)
+	// Rebuild the encoding each call (bypass the inner cache) so every
+	// runtime-layer Marshal costs one observable call.
+	cp := *m.inner
+	cp2 := message.Request{Client: cp.Client, ClientSeq: cp.ClientSeq, Payload: cp.Payload, Sig: cp.Sig}
+	return cp2.Marshal()
+}
+
+type sinkProc struct{ got *int32 }
+
+func (p *sinkProc) Init(Env) {}
+func (p *sinkProc) Receive(_ Env, _ types.NodeID, _ message.Message) {
+	atomic.AddInt32(p.got, 1)
+}
+
+// TestSimMulticastMarshalsOnce is the regression test for the zero-copy
+// multicast path: n destinations, one encoding.
+func TestSimMulticastMarshalsOnce(t *testing.T) {
+	idents := identities(t, crypto.NewHMACSuite(), 3)
+	sched := des.New(des.Epoch)
+	c := NewSimCluster(sched, netsim.New(zeroParams, testTopo(t), 1))
+	var calls, got int32
+	for id := range idents {
+		if err := c.AddNode(id, idents[id], &sinkProc{got: &got}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Start()
+	sched.RunFor(time.Millisecond)
+
+	msg := &countingMsg{inner: &message.Request{Client: 0, ClientSeq: 1, Payload: []byte("x")}, calls: &calls}
+	if err := c.Inject(0, func(env Env) {
+		env.Multicast([]types.NodeID{0, 1, 2}, msg)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(time.Second)
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Errorf("sim Multicast marshalled %d times for 3 destinations, want 1", n)
+	}
+	if n := atomic.LoadInt32(&got); n != 3 {
+		t.Errorf("sim Multicast delivered %d times, want 3", n)
+	}
+}
+
+// TestLiveMulticastMarshalsOnce covers the real-time substrate, including
+// the self-loopback destination (which must not even re-decode).
+func TestLiveMulticastMarshalsOnce(t *testing.T) {
+	idents := identities(t, crypto.NewHMACSuite(), 3)
+	c := NewLiveCluster(nil)
+	var calls, got int32
+	for id := range idents {
+		if err := c.AddNode(id, idents[id], &sinkProc{got: &got}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Start()
+	defer c.Stop()
+
+	msg := &countingMsg{inner: &message.Request{Client: 0, ClientSeq: 1, Payload: []byte("x")}, calls: &calls}
+	if err := c.Inject(0, func(env Env) {
+		env.Multicast([]types.NodeID{0, 1, 2}, msg)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for atomic.LoadInt32(&got) < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Errorf("live Multicast marshalled %d times for 3 destinations, want 1", n)
+	}
+	if n := atomic.LoadInt32(&got); n != 3 {
+		t.Errorf("live Multicast delivered %d times, want 3", n)
+	}
+}
+
+// TestLiveSelfLoopbackSkipsDecode checks that a self-addressed message is
+// delivered as the same decoded value, not re-decoded from the wire.
+func TestLiveSelfLoopbackSkipsDecode(t *testing.T) {
+	idents := identities(t, crypto.NewHMACSuite(), 1)
+	c := NewLiveCluster(nil)
+	var gotSame int32
+	sent := &message.Request{Client: 0, ClientSeq: 9, Payload: []byte("self")}
+	proc := &identityCheckProc{want: sent, same: &gotSame}
+	if err := c.AddNode(0, idents[0], proc); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if err := c.Inject(0, func(env Env) { env.Send(0, sent) }); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for atomic.LoadInt32(&gotSame) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if atomic.LoadInt32(&gotSame) != 1 {
+		t.Error("self-loopback did not deliver the identical message value")
+	}
+}
+
+type identityCheckProc struct {
+	want message.Message
+	same *int32
+}
+
+func (p *identityCheckProc) Init(Env) {}
+func (p *identityCheckProc) Receive(_ Env, _ types.NodeID, m message.Message) {
+	if m == p.want {
+		atomic.StoreInt32(p.same, 1)
+	}
+}

@@ -73,7 +73,7 @@ func (c *SimCluster) Start() {
 	c.started = true
 	for _, id := range c.order {
 		n := c.nodes[id]
-		c.sched.At(c.sched.Now(), func() {
+		c.sched.Post(c.sched.Now(), func() {
 			n.runEvent(0, func() { n.proc.Init(n) })
 		})
 	}
@@ -101,7 +101,7 @@ func (c *SimCluster) Inject(id types.NodeID, fn func(env Env)) error {
 	if !ok {
 		return fmt.Errorf("runtime: no node %v", id)
 	}
-	c.sched.At(c.sched.Now(), func() {
+	c.sched.Post(c.sched.Now(), func() {
 		if n.down {
 			return
 		}
@@ -191,7 +191,9 @@ func (n *simNode) transmit(to types.NodeID, m message.Message, size int, record 
 	if to == n.id {
 		recvCost = 0 // local loopback, no stack traversal
 	}
-	n.c.sched.At(arrival, func() {
+	// Post, not At: deliveries are fire-and-forget, so the scheduler can
+	// recycle the event instead of allocating one per message.
+	n.c.sched.Post(arrival, func() {
 		if target.down {
 			return
 		}

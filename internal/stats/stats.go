@@ -71,3 +71,41 @@ func Rate(count int, window time.Duration) float64 {
 	}
 	return float64(count) / window.Seconds()
 }
+
+// Sampler accumulates duration samples and memoizes their Summary, so that
+// polling the summary during a run (the recorder is asked for it every few
+// milliseconds by measurement loops) costs O(1) whenever no new sample has
+// arrived, instead of re-sorting the full sample every call.
+// The zero value is ready to use. Not safe for concurrent use; callers
+// (the harness Recorder) synchronise externally.
+type Sampler struct {
+	samples []time.Duration
+	dirty   bool
+	cache   Summary
+}
+
+// Add appends one sample.
+func (s *Sampler) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.dirty = true
+}
+
+// Count returns the number of samples.
+func (s *Sampler) Count() int { return len(s.samples) }
+
+// Reset discards all samples, keeping the backing array.
+func (s *Sampler) Reset() {
+	s.samples = s.samples[:0]
+	s.dirty = false
+	s.cache = Summary{}
+}
+
+// Summary returns the memoized summary, recomputing it only if samples were
+// added since the last call.
+func (s *Sampler) Summary() Summary {
+	if s.dirty {
+		s.cache = Summarize(s.samples)
+		s.dirty = false
+	}
+	return s.cache
+}

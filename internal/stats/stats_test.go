@@ -99,3 +99,61 @@ func TestRate(t *testing.T) {
 		t.Errorf("Rate(_, <0) = %v", got)
 	}
 }
+
+func TestSamplerMemoizesSummary(t *testing.T) {
+	var s Sampler
+	if got := s.Summary(); got.Count != 0 {
+		t.Errorf("empty sampler summary = %+v", got)
+	}
+	s.Add(10 * time.Millisecond)
+	s.Add(30 * time.Millisecond)
+	first := s.Summary()
+	if first.Count != 2 || first.Mean != 20*time.Millisecond {
+		t.Errorf("summary = %+v, want n=2 mean=20ms", first)
+	}
+	// Repeated calls with no new samples return the identical value and
+	// must not allocate (the memoization the benchmark measures).
+	if allocs := testing.AllocsPerRun(100, func() { _ = s.Summary() }); allocs != 0 {
+		t.Errorf("memoized Summary allocates %v per call", allocs)
+	}
+	s.Add(50 * time.Millisecond)
+	if got := s.Summary(); got.Count != 3 || got.Max != 50*time.Millisecond {
+		t.Errorf("summary after new sample = %+v", got)
+	}
+	s.Reset()
+	if got := s.Summary(); got.Count != 0 {
+		t.Errorf("summary after reset = %+v", got)
+	}
+}
+
+// BenchmarkSamplerSummaryPolling measures polling a memoized summary over a
+// large sample; BenchmarkSummarize is the unmemoized comparison point.
+func BenchmarkSamplerSummaryPolling(b *testing.B) {
+	var s Sampler
+	for i := 0; i < 100_000; i++ {
+		s.Add(time.Duration(i%977) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Summary().Count == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// BenchmarkSummarize sorts the full sample on every call (what polling a
+// summary used to cost before Sampler memoization).
+func BenchmarkSummarize(b *testing.B) {
+	samples := make([]time.Duration, 100_000)
+	for i := range samples {
+		samples[i] = time.Duration(i%977) * time.Microsecond
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Summarize(samples).Count == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}

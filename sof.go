@@ -22,6 +22,7 @@ package sof
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/sof-repro/sof/internal/core"
@@ -92,6 +93,16 @@ type Config struct {
 	// Simulated runs the cluster on the virtual-time simulator instead of
 	// real goroutines; RunFor then advances virtual time.
 	Simulated bool
+	// CommitRetention bounds how many commit events the measurement
+	// recorder retains for replica replay (0 = unlimited). Long-running
+	// clusters should set it (a few thousand is ample: replicas drain the
+	// stream every RunFor/AwaitCommit, so retention only needs to cover
+	// the commits between two drains). Values too small to hold a few
+	// commit waves (one event per process per batch) are raised to that
+	// floor. Whether events are retained or evicted, AwaitCommit stays
+	// O(1): it uses the recorder's committed-request index and, in live
+	// mode, blocks on a commit notification instead of polling.
+	CommitRetention int
 	// Seed seeds simulated network jitter.
 	Seed int64
 	// StateMachine, when non-nil, is instantiated per replica and applied
@@ -124,6 +135,15 @@ type Cluster struct {
 	cfg      Config
 	h        *harness.Cluster
 	replicas map[NodeID]*replica.Replica
+
+	// drainMu serialises replica replay; commitCursor is the position in
+	// the recorder's commit stream up to which replicas have been fed, so
+	// each drain costs O(new commits), not O(history). droppedCommits
+	// counts commit events evicted by CommitRetention before replicas saw
+	// them (see DroppedCommits).
+	drainMu        sync.Mutex
+	commitCursor   uint64
+	droppedCommits uint64
 }
 
 // NewCluster builds a cluster (call Start to run it).
@@ -145,6 +165,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Seed:             cfg.Seed,
 		Live:             !cfg.Simulated,
 		KeepCommits:      true,
+		CommitRetention:  cfg.CommitRetention,
 	}
 	c := &Cluster{cfg: cfg, replicas: make(map[NodeID]*replica.Replica)}
 	if cfg.StateMachine != nil {
@@ -188,8 +209,26 @@ func (c *Cluster) Submit(payload []byte) (ReqID, error) {
 }
 
 // AwaitCommit waits (wall or virtual time) until the request is committed
-// at some process, returning the committing view.
+// at some process. In live mode it blocks on the recorder's commit
+// notification; in simulated mode it advances virtual time, checking the
+// O(1) committed-request index between steps. Neither path scans commit
+// history.
 func (c *Cluster) AwaitCommit(id ReqID, timeout time.Duration) error {
+	if !c.cfg.Simulated {
+		ch := c.h.Events.CommitNotify(id)
+		select {
+		case <-ch:
+			c.drainReplicas()
+			return nil
+		case <-time.After(timeout):
+			c.h.Events.CancelNotify(id, ch) // don't leak the waiter
+			if c.committed(id) {            // won the race at the deadline
+				c.drainReplicas()
+				return nil
+			}
+			return fmt.Errorf("sof: request %v not committed within %v", id, timeout)
+		}
+	}
 	const step = 5 * time.Millisecond
 	for waited := time.Duration(0); waited <= timeout; waited += step {
 		if c.committed(id) {
@@ -205,23 +244,21 @@ func (c *Cluster) AwaitCommit(id ReqID, timeout time.Duration) error {
 	return fmt.Errorf("sof: request %v not committed within %v", id, timeout)
 }
 
-func (c *Cluster) committed(id ReqID) bool {
-	for _, ev := range c.h.Events.Commits() {
-		for _, e := range ev.Entries {
-			if e.Req == id {
-				return true
-			}
-		}
-	}
-	return false
-}
+func (c *Cluster) committed(id ReqID) bool { return c.h.Events.Committed(id) }
 
-// drainReplicas feeds retained commit events into the replica layer.
+// drainReplicas feeds commit events the replicas have not seen yet into the
+// replica layer, advancing the cursor so each event is replayed exactly
+// once and each drain costs O(new commits).
 func (c *Cluster) drainReplicas() {
 	if len(c.replicas) == 0 {
 		return
 	}
-	for _, ev := range c.h.Events.Commits() {
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
+	events, next, dropped := c.h.Events.CommitsSince(c.commitCursor)
+	c.commitCursor = next
+	c.droppedCommits += dropped
+	for _, ev := range events {
 		rep, ok := c.replicas[ev.Node]
 		if !ok {
 			continue
@@ -245,6 +282,17 @@ func (c *Cluster) poolOf(id NodeID) *core.RequestPool {
 		return p.Pool()
 	}
 	return nil
+}
+
+// DroppedCommits reports how many commit events were evicted by
+// CommitRetention before the replica layer replayed them. Non-zero means
+// retention is too small for the gap between drains (RunFor, AwaitCommit,
+// Result, Results all drain) and some Result lookups may miss; raise
+// CommitRetention or drain more often.
+func (c *Cluster) DroppedCommits() uint64 {
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
+	return c.droppedCommits
 }
 
 // Result returns a request's execution result at one replica (requires a
