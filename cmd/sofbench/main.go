@@ -9,6 +9,12 @@
 //	sofbench -fig 6 [-f 2]                 # fail-over latency vs BackLog size
 //	sofbench -fig all
 //	sofbench -json [-out BENCH_hotpath.json]  # hot-path overhead benchmark, JSON
+//	sofbench -json -transport tcp             # adds the TCP runtime series
+//
+// With -transport tcp the JSON additionally carries "tcp" mode points:
+// end-to-end wall-clock measurements of the TCP runtime (real loopback
+// sockets, framing, per-peer queues), alongside the simulated overhead
+// series.
 package main
 
 import (
@@ -25,17 +31,27 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 4, 5, 6 or all")
-		f        = flag.Int("f", 2, "fault-tolerance parameter f")
-		window   = flag.Duration("window", 30*time.Second, "measured (virtual) window per point")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		jsonMode = flag.Bool("json", false, "run the hot-path benchmark (doubling windows, cursor vs legacy-scan) and write JSON")
-		out      = flag.String("out", "BENCH_hotpath.json", "output file for -json")
+		fig       = flag.String("fig", "all", "figure to regenerate: 4, 5, 6 or all")
+		f         = flag.Int("f", 2, "fault-tolerance parameter f")
+		window    = flag.Duration("window", 30*time.Second, "measured (virtual) window per point")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		jsonMode  = flag.Bool("json", false, "run the hot-path benchmark (doubling windows, cursor vs legacy-scan) and write JSON")
+		out       = flag.String("out", "BENCH_hotpath.json", "output file for -json")
+		transport = flag.String("transport", "sim", "hot-path substrate for -json: sim, or tcp to add the TCP runtime series")
 	)
 	flag.Parse()
 
+	withTCP := false
+	switch *transport {
+	case "sim":
+	case "tcp":
+		withTCP = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q (want sim or tcp)\n", *transport)
+		os.Exit(2)
+	}
 	if *jsonMode {
-		if err := runHotPathJSON(*out, *seed); err != nil {
+		if err := runHotPathJSON(*out, *seed, withTCP); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -96,8 +112,10 @@ func runFig45(f int, window time.Duration, seed int64, latency bool) {
 // runHotPathJSON measures the harness's per-committed-batch overhead at
 // doubling simulated windows, in both commit-stream access modes (cursor
 // subscriptions vs the pre-PR full-history scan), and writes the series as
-// JSON so the perf trajectory is tracked across PRs.
-func runHotPathJSON(path string, seed int64) error {
+// JSON so the perf trajectory is tracked across PRs. withTCP adds the TCP
+// runtime series: wall-clock end-to-end points over real loopback sockets
+// (shorter doubling windows, since these cost real time).
+func runHotPathJSON(path string, seed int64, withTCP bool) error {
 	type report struct {
 		GeneratedBy string                 `json:"generated_by"`
 		Points      []harness.HotPathPoint `json:"points"`
@@ -106,6 +124,17 @@ func runHotPathJSON(path string, seed int64) error {
 	for _, legacy := range []bool{false, true} {
 		for _, w := range []time.Duration{15 * time.Second, 30 * time.Second, 60 * time.Second} {
 			pt, err := harness.RunHotPathPoint(w, seed, legacy)
+			if err != nil {
+				return err
+			}
+			rep.Points = append(rep.Points, pt)
+			fmt.Printf("%-12s window=%-4s batches=%-5d ns/batch=%-12.0f allocs/batch=%-10.1f\n",
+				pt.Mode, w, pt.Batches, pt.NsPerBatch, pt.AllocsPerBatch)
+		}
+	}
+	if withTCP {
+		for _, w := range []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second} {
+			pt, err := harness.RunTCPHotPathPoint(w, seed)
 			if err != nil {
 				return err
 			}

@@ -76,8 +76,13 @@ func main() {
 		payload := make([]byte, *size)
 		copy(payload, fmt.Sprintf("req-%d", i))
 		id, reached, err := cl.Submit(payload)
+		if reached == 0 {
+			// Total transport loss is fatal: every peer failed, and err
+			// names each one with its address.
+			log.Fatalf("submit %d reached no process:\n%v", i, err)
+		}
 		if err != nil {
-			log.Fatalf("submit %d: %v", i, err)
+			log.Printf("submit %d: %d/%d processes unreachable:\n%v", i, topo.N()-reached, topo.N(), err)
 		}
 		fmt.Printf("submitted %v to %d/%d processes\n", id, reached, topo.N())
 		time.Sleep(*interval)

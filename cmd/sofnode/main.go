@@ -90,17 +90,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	host, err := tcpnet.NewHost(self, peers[self], idents[self], proc, peers, logger)
+	node, err := runtime.NewTCPNode(self, peers[self], idents[self], proc, peers, logger, tcpnet.Options{})
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("sofnode %d: %v", *id, err)
 	}
-	host.Start()
-	logger.Printf("up: %v f=%d n=%d listening on %s", proto, *f, topo.N(), host.Addr())
+	node.Start()
+	logger.Printf("up: %v f=%d n=%d listening on %s", proto, *f, topo.N(), node.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	host.Stop()
+	select {
+	case <-sig:
+		node.Stop()
+	case err := <-node.Fatal():
+		// The transport is unrecoverable (listener died); report which
+		// endpoint failed and exit non-zero so supervisors restart us.
+		logger.Printf("fatal transport loss on %s: %v", node.Addr(), err)
+		node.Stop()
+		os.Exit(1)
+	}
 }
 
 func parseProtocol(s string) (types.Protocol, error) {

@@ -1,16 +1,3 @@
-// Package bft implements the Castro-Liskov BFT protocol, the paper's main
-// comparator: a coordinator-based deterministic three-phase protocol
-// (pre-prepare 1-to-n, prepare n-to-n, commit n-to-n) over n = 3f+1
-// replicas, here in its signature-based form (the paper's evaluation
-// discusses per-message signature generation and verification costs, so
-// the MAC-authenticator variant is out of scope).
-//
-// The normal case follows Figure 3(b). View changes are implemented
-// (timeout at backups, view-change certificates carrying prepared proofs,
-// new-view with re-issued pre-prepares) in a simplified form without
-// checkpointing/watermarks — sufficient for liveness under a crashed
-// primary, which is all the experiments exercise; the performance study
-// itself is failure-free.
 package bft
 
 import (

@@ -1,0 +1,9 @@
+// Package codec provides the canonical binary encoding used for every wire
+// message in this repository.
+//
+// Signatures are computed over canonical bytes, so the encoding must be
+// deterministic: fixed-width big-endian integers, length-prefixed byte
+// strings, and no map iteration anywhere. The Writer never fails; the
+// Reader accumulates a sticky error so call sites can decode a whole
+// message and check the error once, keeping protocol code linear.
+package codec

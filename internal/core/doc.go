@@ -1,0 +1,7 @@
+// Package core implements the paper's primary contribution: the SC order
+// protocol of Section 4 — a coordinator-based Byzantine fault-tolerant
+// total-order protocol in which the coordinator is an abstract
+// signal-on-crash process built from a pair of mutually-checking processes
+// (internal/fsp). It also exports the request pool and quorum tracker that
+// the CT and BFT baselines reuse.
+package core

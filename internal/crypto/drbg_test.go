@@ -1,0 +1,38 @@
+package crypto
+
+import (
+	"io"
+	"testing"
+)
+
+// TestDRBGDeterministic checks the deterministic dealer randomness: same
+// seed, same stream; different seeds, unrelated streams.
+func TestDRBGDeterministic(t *testing.T) {
+	a, b := NewDRBG("seed"), NewDRBG("seed")
+	bufA, bufB := make([]byte, 4096), make([]byte, 4096)
+	if _, err := io.ReadFull(a, bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(b, bufB); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bufA {
+		if bufA[i] != bufB[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewDRBG("other")
+	bufC := make([]byte, 4096)
+	if _, err := io.ReadFull(c, bufC); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range bufA {
+		if bufA[i] == bufC[i] {
+			same++
+		}
+	}
+	if same > 128 { // ~1/256 expected coincidences
+		t.Errorf("different seeds suspiciously similar: %d matching bytes", same)
+	}
+}

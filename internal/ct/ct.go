@@ -1,13 +1,3 @@
-// Package ct implements the paper's crash-tolerant baseline protocol (CT,
-// Section 5): "simply derived from SC, with no process being paired and no
-// cryptographic techniques used. The shadow processes are excluded from
-// the system (hence n = 2f+1), the coordinator process directly sends its
-// order message to all other processes, and an order message is committed
-// in the same way as SC."
-//
-// CT exists to quantify the slow-down Byzantine tolerance costs SC and
-// BFT; the paper evaluates it only in the failure-free best case, and so
-// does this implementation (there is no coordinator replacement).
 package ct
 
 import (

@@ -1,0 +1,9 @@
+// Package des implements the discrete-event scheduler that drives the
+// virtual-time simulation substrate.
+//
+// The simulator regenerates the paper's figures: protocol code runs
+// unmodified against a virtual clock, per-node CPU costs are charged from
+// the calibrated cost tables, and the network model delays deliveries.
+// Events with equal timestamps run in schedule order, so a run is fully
+// deterministic given deterministic event handlers.
+package des

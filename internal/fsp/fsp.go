@@ -1,19 +1,3 @@
-// Package fsp implements the signal-on-crash (fail-signal) process-pair
-// mechanism of Section 3 of the paper.
-//
-// Two Byzantine-prone processes p and p' are paired. Each mirrors to its
-// counterpart every message it exchanges over the asynchronous network,
-// checks the counterpart's outputs in the value and time domains, endorses
-// correct outputs by double-signing, and — on detecting a failure —
-// double-signs the fail-signal message pre-signed by the counterpart at
-// initialisation and broadcasts it. The resulting abstract process either
-// emits verifiably endorsed, correct outputs or crashes after signalling
-// (properties SC1-SC3).
-//
-// This package provides the mechanism (fail-signal state machine,
-// expectation timers, mirroring); the value-domain checks themselves are
-// protocol knowledge and live with the protocols, which call Fail when a
-// check fires.
 package fsp
 
 import (

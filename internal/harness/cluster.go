@@ -51,6 +51,10 @@ type Options struct {
 	// Live selects the real-time goroutine substrate instead of the
 	// virtual-time simulator.
 	Live bool
+	// Transport selects the live substrate's medium: in-process message
+	// passing (default) or real loopback TCP sockets with framed,
+	// queue-backed peer links. Ignored when Live is false.
+	Transport types.Transport
 
 	NumClients  int
 	Load        *LoadSpec
@@ -100,7 +104,9 @@ type Cluster struct {
 
 	sim   *runtime.SimCluster
 	live  *runtime.LiveCluster
+	tcp   *runtime.TCPCluster
 	sched *des.Scheduler
+	sub   substrate
 
 	idents  map[types.NodeID]*crypto.Identity
 	SC      map[types.NodeID]*core.Process
@@ -150,27 +156,46 @@ func New(opts Options) (*Cluster, error) {
 	c.idents = idents
 
 	c.Fabric = netsim.New(opts.Net, topo, opts.Seed)
-	if opts.Live {
+	switch {
+	case opts.Live && opts.Transport == types.TransportTCP:
+		// Real loopback sockets; the fabric's simulated delays do not
+		// apply — latency comes from the actual network stack.
+		c.tcp = runtime.NewTCPCluster()
+		if opts.Logger != nil {
+			c.tcp.SetLogger(opts.Logger)
+		}
+		c.sub = c.tcp
+	case opts.Live:
 		c.live = runtime.NewLiveCluster(c.Fabric)
 		if opts.Logger != nil {
 			c.live.SetLogger(opts.Logger)
 		}
-	} else {
+		c.sub = c.live
+	default:
 		c.sched = des.New(des.Epoch)
 		c.sim = runtime.NewSimCluster(c.sched, c.Fabric)
 		if opts.Logger != nil {
 			c.sim.SetLogger(opts.Logger)
 		}
+		c.sub = c.sim
 	}
 
+	// The TCP substrate binds a real listener per AddNode, so a failure
+	// partway through assembly must release the ones already bound.
+	fail := func(err error) (*Cluster, error) {
+		if c.tcp != nil {
+			c.tcp.Stop()
+		}
+		return nil, err
+	}
 	// Order processes.
 	for _, id := range topo.AllProcesses() {
 		proc, err := c.buildProcess(id)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if err := c.addNode(id, proc); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	// Clients.
@@ -184,7 +209,7 @@ func New(opts Options) (*Cluster, error) {
 		}
 		c.clients[id] = cp
 		if err := c.addNode(id, cp); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	return c, nil
@@ -255,27 +280,30 @@ func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
 	}
 }
 
+// substrate is the surface the harness needs from any of the three
+// runtimes (virtual-time simulator, in-process live, TCP).
+type substrate interface {
+	AddNode(types.NodeID, *crypto.Identity, runtime.Process) error
+	Start()
+	Inject(types.NodeID, func(runtime.Env)) error
+	Crash(types.NodeID)
+}
+
 func (c *Cluster) addNode(id types.NodeID, proc runtime.Process) error {
-	if c.sim != nil {
-		return c.sim.AddNode(id, c.idents[id], proc)
-	}
-	return c.live.AddNode(id, c.idents[id], proc)
+	return c.sub.AddNode(id, c.idents[id], proc)
 }
 
 // Start launches the cluster.
-func (c *Cluster) Start() {
-	if c.sim != nil {
-		c.sim.Start()
-		return
-	}
-	c.live.Start()
-}
+func (c *Cluster) Start() { c.sub.Start() }
 
-// Stop shuts the cluster down (live substrate only; the simulator simply
+// Stop shuts the cluster down (live substrates only; the simulator simply
 // stops being driven).
 func (c *Cluster) Stop() {
 	if c.live != nil {
 		c.live.Stop()
+	}
+	if c.tcp != nil {
+		c.tcp.Stop()
 	}
 }
 
@@ -302,20 +330,15 @@ func (c *Cluster) Scheduler() *des.Scheduler { return c.sched }
 
 // Inject runs fn inside a node's event loop.
 func (c *Cluster) Inject(id types.NodeID, fn func(env runtime.Env)) error {
-	if c.sim != nil {
-		return c.sim.Inject(id, fn)
-	}
-	return c.live.Inject(id, fn)
+	return c.sub.Inject(id, fn)
 }
 
 // Crash stops a node entirely.
-func (c *Cluster) Crash(id types.NodeID) {
-	if c.sim != nil {
-		c.sim.Crash(id)
-		return
-	}
-	c.live.Crash(id)
-}
+func (c *Cluster) Crash(id types.NodeID) { c.sub.Crash(id) }
+
+// TCP exposes the TCP substrate when Options.Transport selected it (nil
+// otherwise); tests use it to reach per-node transports.
+func (c *Cluster) TCP() *runtime.TCPCluster { return c.tcp }
 
 // Submit sends one request from client k to every order process and
 // returns its ID.

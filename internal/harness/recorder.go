@@ -1,9 +1,3 @@
-// Package harness assembles whole clusters — order processes, clients,
-// network, measurement — on either substrate (virtual-time simulation or
-// real-time goroutines) and exposes the measurements the paper reports:
-// order latency (batched -> first commit), throughput (requests committed
-// per second at an order process), and fail-over latency (fail-signal
-// issued -> Start tuples issued).
 package harness
 
 import (
@@ -97,10 +91,25 @@ type Recorder struct {
 	// keepCommits retains commit events for replay (ring-bounded); the
 	// committed-request index and commit notifications are maintained
 	// regardless, so AwaitCommit-style checks are always O(1).
+	//
+	// committed maps each request to the stream position of the event
+	// that first committed it, so PruneCommittedBelow can truncate the
+	// index by watermark. commitLog mirrors the index in commit order
+	// (head-indexed FIFO) so pruning costs O(entries pruned); it is only
+	// maintained when the ring is bounded, the one case pruning can act.
 	keepCommits bool
 	commits     commitRing
-	committed   map[message.ReqID]struct{}
+	committed   map[message.ReqID]uint64
+	commitLog   []committedAt
+	logHead     int
 	waiters     map[message.ReqID][]chan struct{}
+}
+
+// committedAt is one commitLog entry: the request and the stream position
+// of its first commit.
+type committedAt struct {
+	pos uint64
+	id  message.ReqID
 }
 
 // closedCommit is returned by CommitNotify for already-committed requests.
@@ -118,7 +127,7 @@ func NewRecorder(keepCommits bool, retain int) *Recorder {
 		commitsPerNode: make(map[types.NodeID]int),
 		keepCommits:    keepCommits,
 		commits:        commitRing{limit: retain},
-		committed:      make(map[message.ReqID]struct{}),
+		committed:      make(map[message.ReqID]uint64),
 		waiters:        make(map[message.ReqID][]chan struct{}),
 	}
 }
@@ -150,15 +159,20 @@ func (r *Recorder) OnBatched(ev core.BatchEvent) {
 // batch stops that batch's latency clock.
 func (r *Recorder) OnCommit(ev core.CommitEvent) {
 	r.mu.Lock()
+	pos := r.commits.total // stream position this event gets if retained
 	if r.keepCommits {
 		r.commits.append(ev)
 	}
+	prunable := r.keepCommits && r.commits.limit > 0
 	for i := range ev.Entries {
 		id := ev.Entries[i].Req
 		if _, dup := r.committed[id]; dup {
 			continue
 		}
-		r.committed[id] = struct{}{}
+		r.committed[id] = pos
+		if prunable {
+			r.commitLog = append(r.commitLog, committedAt{pos: pos, id: id})
+		}
 		if chs, ok := r.waiters[id]; ok {
 			for _, ch := range chs {
 				close(ch)
@@ -192,12 +206,58 @@ func (r *Recorder) OnCommit(ev core.CommitEvent) {
 
 // Committed reports whether the request has been committed at some process.
 // It is O(1) and remains correct after commit events are evicted from the
-// retention ring.
+// retention ring, until the index entry itself is truncated by
+// PruneCommittedBelow (which only happens once every replay consumer has
+// drained past the request's commit).
 func (r *Recorder) Committed(id message.ReqID) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	_, ok := r.committed[id]
 	return ok
+}
+
+// CommittedIndexSize reports how many requests the committed index
+// currently holds (watermark-regression tests use it).
+func (r *Recorder) CommittedIndexSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.committed)
+}
+
+// PruneCommittedBelow truncates committed-index entries whose first commit
+// lies below both cursor and the oldest event still retained in the ring,
+// returning how many entries were removed. Callers pass the lowest drain
+// cursor of their replay consumers, so an entry is only dropped once it
+// can neither be replayed (evicted from the ring) nor is still awaited
+// (every consumer has drained past it). With an unbounded ring (retention
+// 0) the oldest retained position is 0 and the call is a no-op, so the
+// full index — and exact Committed answers for all history — are kept
+// unless the operator opted into bounded retention.
+func (r *Recorder) PruneCommittedBelow(cursor uint64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := cursor
+	if o := r.commits.oldest(); o < w {
+		w = o
+	}
+	pruned := 0
+	for r.logHead < len(r.commitLog) && r.commitLog[r.logHead].pos < w {
+		e := r.commitLog[r.logHead]
+		// A request re-committed after an earlier prune re-enters the
+		// index at a newer position; only remove the entry the log line
+		// describes.
+		if p, ok := r.committed[e.id]; ok && p == e.pos {
+			delete(r.committed, e.id)
+			pruned++
+		}
+		r.logHead++
+	}
+	if r.logHead > 0 && r.logHead*2 >= len(r.commitLog) {
+		n := copy(r.commitLog, r.commitLog[r.logHead:])
+		r.commitLog = r.commitLog[:n]
+		r.logHead = 0
+	}
+	return pruned
 }
 
 // CommitNotify returns a channel that is closed once the request commits at

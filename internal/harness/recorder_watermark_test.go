@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+func reqID(i int) message.ReqID {
+	return message.ReqID{Client: types.ClientID(0), ClientSeq: uint64(i)}
+}
+
+// TestPruneCommittedBelowWatermark is the regression test for the
+// ROADMAP's committed-index growth item: with bounded retention, index
+// entries below the drain watermark are truncated once their commit
+// events leave the ring, while entries above either bound survive.
+func TestPruneCommittedBelowWatermark(t *testing.T) {
+	r := NewRecorder(true, 4)
+	for i := 1; i <= 20; i++ {
+		r.OnCommit(commitAt(i))
+	}
+	if n := r.CommittedIndexSize(); n != 20 {
+		t.Fatalf("index size before prune = %d, want 20", n)
+	}
+
+	// A reader drained through position 10: only entries below BOTH the
+	// cursor (10) and the ring's oldest retained position (20-4=16) may
+	// go, so the watermark is 10.
+	if pruned := r.PruneCommittedBelow(10); pruned != 10 {
+		t.Fatalf("pruned %d entries, want 10", pruned)
+	}
+	if n := r.CommittedIndexSize(); n != 10 {
+		t.Fatalf("index size after prune = %d, want 10", n)
+	}
+	for i := 1; i <= 10; i++ {
+		if r.Committed(reqID(i)) {
+			t.Fatalf("request %d still indexed after prune", i)
+		}
+	}
+	for i := 11; i <= 20; i++ {
+		if !r.Committed(reqID(i)) {
+			t.Fatalf("request %d lost: it is above the watermark", i)
+		}
+	}
+
+	// A cursor beyond the ring is clamped to the oldest retained event:
+	// entries that could still be replayed are never truncated.
+	if pruned := r.PruneCommittedBelow(1 << 60); pruned != 6 {
+		t.Fatalf("clamped prune removed %d, want 6 (positions 10..15)", pruned)
+	}
+	for i := 17; i <= 20; i++ {
+		if !r.Committed(reqID(i)) {
+			t.Fatalf("request %d lost: its event is still retained", i)
+		}
+	}
+
+	// Steady state: the index size is bounded by retention however many
+	// requests flow through.
+	for i := 21; i <= 200; i++ {
+		r.OnCommit(commitAt(i))
+		r.PruneCommittedBelow(uint64(i)) // reader keeps up
+	}
+	if n := r.CommittedIndexSize(); n > 4 {
+		t.Fatalf("steady-state index size = %d, want <= retention (4)", n)
+	}
+	if !r.Committed(reqID(200)) {
+		t.Fatal("latest request missing from index")
+	}
+}
+
+// TestPruneNoOpWhenUnbounded checks the compatibility contract: without a
+// retention bound the index is never truncated, so Committed answers
+// exactly for all history.
+func TestPruneNoOpWhenUnbounded(t *testing.T) {
+	r := NewRecorder(true, 0)
+	for i := 1; i <= 50; i++ {
+		r.OnCommit(commitAt(i))
+	}
+	if pruned := r.PruneCommittedBelow(1 << 60); pruned != 0 {
+		t.Fatalf("unbounded recorder pruned %d entries", pruned)
+	}
+	if n := r.CommittedIndexSize(); n != 50 {
+		t.Fatalf("index size = %d, want 50", n)
+	}
+	if !r.Committed(reqID(1)) {
+		t.Fatal("oldest request lost from unbounded index")
+	}
+}
+
+// TestPruneRecommittedEntryKeepsNewPosition checks that a request
+// re-committed after its first index entry would be pruned is not removed
+// by the stale log line.
+func TestPruneRecommittedEntryKeepsNewPosition(t *testing.T) {
+	r := NewRecorder(true, 4)
+	for i := 1; i <= 10; i++ {
+		r.OnCommit(commitAt(i))
+	}
+	r.PruneCommittedBelow(10) // clamped to oldest retained (6): prunes 1..5... positions 0..5
+	if r.Committed(reqID(1)) {
+		t.Fatal("request 1 should be pruned")
+	}
+	// Request 1 commits again (e.g. at another process, far later).
+	r.OnCommit(commitAt(1))
+	if !r.Committed(reqID(1)) {
+		t.Fatal("re-committed request not re-indexed")
+	}
+	// Pruning below the ring's oldest position must keep the fresh entry.
+	r.PruneCommittedBelow(10)
+	if !r.Committed(reqID(1)) {
+		t.Fatal("fresh index entry removed by stale log line")
+	}
+}

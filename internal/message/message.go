@@ -1,23 +1,3 @@
-// Package message defines every wire message of the four order protocols
-// (SC, SCR, BFT, CT) together with their canonical binary encodings and
-// signature helpers.
-//
-// Encoding convention: each message has a signable *body* (its type tag and
-// fields) followed by its signature(s). Double-signed messages follow the
-// paper's Section 3 definition — "the second process considers the
-// signature of the first as a part of the contents it signs for" — so
-// Sig1 = Sign(D(body)) and Sig2 = Sign(D(body || Sig1)).
-//
-// Decoded messages alias the buffer they were decoded from; buffers must
-// not be reused. Messages are treated as immutable after construction.
-//
-// Because messages are immutable, every message memoizes its canonical
-// encodings: Marshal and SignedBody compute their bytes once and cache them
-// on the struct, and Decode primes the wire cache with the exact received
-// bytes, so relaying or re-sending a decoded message never re-encodes it.
-// The runtime confines any one Message value to a single goroutine at a
-// time (a node's event loop, or the single-threaded simulator), so the
-// caches need no synchronisation.
 package message
 
 import (

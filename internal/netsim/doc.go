@@ -1,0 +1,10 @@
+// Package netsim models the deployment's communication fabric: the
+// reliable asynchronous LAN connecting the replica nodes and the fast
+// reliable links connecting each process pair (Figure 1 of the paper).
+//
+// The same model serves both substrates: the discrete-event simulator asks
+// it for per-message delivery delays and CPU costs, and the real-time
+// runtime optionally injects its delays with timers. Links can be cut and
+// healed and nodes counted against, which the fault-injection and
+// message-complexity experiments use.
+package netsim

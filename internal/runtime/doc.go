@@ -1,0 +1,18 @@
+// Package runtime executes protocol processes on three substrates: a
+// virtual-time discrete-event simulator (SimCluster) that regenerates the
+// paper's figures with calibrated cost models, a real-time goroutine
+// runtime (LiveCluster) that runs the identical protocol code on actual
+// clocks and cryptography, and a TCP runtime (TCPNode, TCPCluster) that
+// runs it over real sockets via internal/tcpnet — either a whole cluster
+// on loopback or one process per OS process, the way the paper's LAN
+// testbed ran separate machines.
+//
+// Protocol code is written as single-threaded reactors against the Env
+// interface; all concurrency lives here. A process's Init, Receive and
+// timer callbacks are never invoked concurrently with each other.
+//
+// All three substrates share the encode-once contract: Send and Multicast
+// consume the message's memoized wire encoding, so an n-way fan-out costs
+// a single Marshal, and self-addressed messages are delivered decoded
+// without touching the wire.
+package runtime

@@ -1,12 +1,3 @@
-// Package runtime executes protocol processes on two substrates: a
-// virtual-time discrete-event simulator (SimCluster) that regenerates the
-// paper's figures with calibrated cost models, and a real-time goroutine
-// runtime (LiveCluster) that runs the identical protocol code on actual
-// clocks and cryptography.
-//
-// Protocol code is written as single-threaded reactors against the Env
-// interface; all concurrency lives here. A process's Init, Receive and
-// timer callbacks are never invoked concurrently with each other.
 package runtime
 
 import (

@@ -1,0 +1,333 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/tcpnet"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// TCPNode runs one protocol process as a real TCP endpoint: inbound frames
+// from a tcpnet.Transport feed the node's event loop, and outbound sends
+// go through the transport's per-peer queues. It is the third substrate —
+// the same reactor code that runs on the simulator and the in-process live
+// runtime runs here over real sockets.
+//
+// The outbound path is encode-once: Send and Multicast hand the
+// transport the message's cached wire encoding (message.Message.Marshal
+// memoizes it), so an n-way fan-out costs one Marshal and zero copies,
+// exactly like the in-process runtimes. Self-addressed messages skip the
+// wire and are delivered decoded.
+type TCPNode struct {
+	id    types.NodeID
+	ident *crypto.Identity
+	proc  Process
+	tr    *tcpnet.Transport
+	log   *log.Logger
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []liveEvent
+	closed bool
+	down   bool
+	wg     sync.WaitGroup
+}
+
+var _ Env = (*TCPNode)(nil)
+
+// NewTCPNode binds a TCP endpoint for proc on addr. peers maps every other
+// process (and known client) ID to its address; it may be nil if supplied
+// later via Transport().SetPeers before the node starts sending. Call
+// Start to begin serving and Stop to shut down.
+func NewTCPNode(id types.NodeID, addr string, ident *crypto.Identity, proc Process,
+	peers map[types.NodeID]string, logger *log.Logger, opts tcpnet.Options) (*TCPNode, error) {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	tr, err := tcpnet.Listen(id, addr, peers, logger, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := &TCPNode{id: id, ident: ident, proc: proc, tr: tr, log: logger}
+	n.cond = sync.NewCond(&n.mu)
+	return n, nil
+}
+
+// Addr returns the node's bound listen address.
+func (n *TCPNode) Addr() string { return n.tr.Addr() }
+
+// Transport exposes the underlying transport (peer wiring, stats).
+func (n *TCPNode) Transport() *tcpnet.Transport { return n.tr }
+
+// Fatal reports an unrecoverable transport failure; callers that own the
+// OS process (cmd/sofnode) should treat it as reason to exit non-zero.
+func (n *TCPNode) Fatal() <-chan error { return n.tr.Fatal() }
+
+// Start launches the event loop, begins accepting connections, and runs
+// the process's Init inside the loop.
+func (n *TCPNode) Start() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.loop()
+	}()
+	n.tr.Start(func(from types.NodeID, frame []byte) {
+		n.enqueue(liveEvent{from: from, raw: frame})
+	})
+	n.enqueue(liveEvent{fn: func() { n.proc.Init(n) }})
+}
+
+// Stop closes the transport and the event loop and waits for both.
+func (n *TCPNode) Stop() {
+	n.tr.Close()
+	n.mu.Lock()
+	n.closed = true
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+func (n *TCPNode) enqueue(e liveEvent) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.queue = append(n.queue, e)
+	n.cond.Signal()
+}
+
+func (n *TCPNode) setDown() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = true
+}
+
+func (n *TCPNode) isDown() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// loop serialises Init, Receive and timer callbacks, mirroring liveNode.
+func (n *TCPNode) loop() {
+	for {
+		n.mu.Lock()
+		for len(n.queue) == 0 && !n.closed {
+			n.cond.Wait()
+		}
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		e := n.queue[0]
+		n.queue = n.queue[1:]
+		down := n.down
+		n.mu.Unlock()
+
+		if down {
+			continue
+		}
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		if e.msg != nil {
+			n.proc.Receive(n, e.from, e.msg)
+			continue
+		}
+		m, err := message.Decode(e.raw)
+		if err != nil {
+			n.Logf("dropping undecodable message from %v: %v", e.from, err)
+			continue
+		}
+		n.proc.Receive(n, e.from, m)
+	}
+}
+
+// ID implements Env.
+func (n *TCPNode) ID() types.NodeID { return n.id }
+
+// Now implements Env.
+func (n *TCPNode) Now() time.Time { return time.Now() }
+
+// Charge implements Env (no-op: real CPU time is real).
+func (n *TCPNode) Charge(time.Duration) {}
+
+// Send implements Env. Self-addressed messages skip the wire and are
+// delivered decoded; everything else ships the cached encoding.
+func (n *TCPNode) Send(to types.NodeID, m message.Message) {
+	if n.isDown() {
+		return
+	}
+	if to == n.id {
+		n.enqueue(liveEvent{from: n.id, msg: m})
+		return
+	}
+	n.tr.Send(to, m.Marshal())
+}
+
+// Multicast implements Env: the message is marshalled exactly once and the
+// same encoding is enqueued to every destination's peer queue.
+func (n *TCPNode) Multicast(tos []types.NodeID, m message.Message) {
+	if n.isDown() {
+		return
+	}
+	raw := m.Marshal()
+	for _, to := range tos {
+		if to == n.id {
+			n.enqueue(liveEvent{from: n.id, msg: m})
+			continue
+		}
+		n.tr.Send(to, raw)
+	}
+}
+
+// SetTimer implements Env.
+func (n *TCPNode) SetTimer(d time.Duration, fn func()) Timer {
+	lt := &liveTimer{}
+	lt.timer = time.AfterFunc(d, func() {
+		n.enqueue(liveEvent{fn: func() {
+			if lt.expired() {
+				return
+			}
+			fn()
+		}})
+	})
+	return lt
+}
+
+// Digest implements Env.
+func (n *TCPNode) Digest(data []byte) []byte { return n.ident.Digest(data) }
+
+// Sign implements Env.
+func (n *TCPNode) Sign(digest []byte) (crypto.Signature, error) { return n.ident.Sign(digest) }
+
+// Verify implements Env.
+func (n *TCPNode) Verify(signer types.NodeID, digest []byte, sig crypto.Signature) error {
+	return n.ident.Verify(signer, digest, sig)
+}
+
+// Logf implements Env.
+func (n *TCPNode) Logf(format string, args ...any) {
+	n.log.Printf("[%v] %s", n.id, fmt.Sprintf(format, args...))
+}
+
+// TCPCluster runs a whole cluster as real TCP endpoints on loopback: one
+// TCPNode (listener, event loop, peer senders) per process, all inside one
+// OS process so the harness can drive it, but with every message crossing
+// real sockets. It implements the same substrate surface as LiveCluster.
+type TCPCluster struct {
+	logger *log.Logger
+	opts   tcpnet.Options
+
+	mu      sync.Mutex
+	nodes   map[types.NodeID]*TCPNode
+	order   []types.NodeID
+	started bool
+}
+
+// NewTCPCluster returns an empty TCP cluster with default transport
+// options.
+func NewTCPCluster() *TCPCluster {
+	return &TCPCluster{
+		logger: log.New(io.Discard, "", 0),
+		nodes:  make(map[types.NodeID]*TCPNode),
+	}
+}
+
+// SetLogger directs process debug logs to l (default: discarded). Call
+// before AddNode.
+func (c *TCPCluster) SetLogger(l *log.Logger) { c.logger = l }
+
+// SetTransportOptions overrides transport tuning for nodes added later.
+func (c *TCPCluster) SetTransportOptions(opts tcpnet.Options) { c.opts = opts }
+
+// AddNode registers a process before Start: it binds a loopback listener
+// immediately (so Start can distribute the full address map) but serves
+// nothing until Start.
+func (c *TCPCluster) AddNode(id types.NodeID, ident *crypto.Identity, proc Process) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return fmt.Errorf("runtime: AddNode(%v) after Start", id)
+	}
+	if _, dup := c.nodes[id]; dup {
+		return fmt.Errorf("runtime: duplicate node %v", id)
+	}
+	n, err := NewTCPNode(id, "127.0.0.1:0", ident, proc, nil, c.logger, c.opts)
+	if err != nil {
+		return err
+	}
+	c.nodes[id] = n
+	c.order = append(c.order, id)
+	return nil
+}
+
+// Start distributes the complete address map to every node, then launches
+// their event loops and runs Init.
+func (c *TCPCluster) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.started = true
+	addrs := make(map[types.NodeID]string, len(c.nodes))
+	for id, n := range c.nodes {
+		addrs[id] = n.Addr()
+	}
+	for _, id := range c.order {
+		c.nodes[id].Transport().SetPeers(addrs)
+	}
+	for _, id := range c.order {
+		c.nodes[id].Start()
+	}
+}
+
+// Stop shuts down every node and waits for their loops to exit.
+func (c *TCPCluster) Stop() {
+	c.mu.Lock()
+	nodes := make([]*TCPNode, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.Stop()
+	}
+}
+
+// Crash makes a node stop processing and emitting (its sockets stay open;
+// the process is silent, as in the live cluster).
+func (c *TCPCluster) Crash(id types.NodeID) {
+	c.mu.Lock()
+	n, ok := c.nodes[id]
+	c.mu.Unlock()
+	if ok {
+		n.setDown()
+	}
+}
+
+// Inject runs fn inside id's event loop.
+func (c *TCPCluster) Inject(id types.NodeID, fn func(env Env)) error {
+	c.mu.Lock()
+	n, ok := c.nodes[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("runtime: no node %v", id)
+	}
+	n.enqueue(liveEvent{fn: func() { fn(n) }})
+	return nil
+}
+
+// Node returns the TCPNode for id (tests and stats inspection).
+func (c *TCPCluster) Node(id types.NodeID) (*TCPNode, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	return n, ok
+}

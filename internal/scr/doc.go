@@ -1,0 +1,8 @@
+// Package scr anchors the test suite for the Signal-on-Crash and Recovery
+// extension (Section 4.4 of the paper). The SCR protocol itself lives in
+// internal/core behind the types.SCR topology: n = 3f+2 order processes,
+// view-based coordinator rotation with Unwilling messages, and optimistic
+// pair recovery after false timing suspicions. The tests here exercise
+// that code path end to end; the package contains no production code of
+// its own.
+package scr

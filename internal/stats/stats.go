@@ -1,5 +1,3 @@
-// Package stats provides the small latency/throughput statistics used by
-// the benchmark harness: summaries with percentiles, and rate counters.
 package stats
 
 import (

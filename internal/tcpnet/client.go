@@ -1,0 +1,126 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// Client is a lightweight TCP client endpoint that signs requests and
+// multicasts them to every order process ("clients direct their requests
+// to all nodes", Section 3). Unlike the peer senders, its writes are
+// synchronous so each submission can report exactly which peers were
+// reached and why the others were not.
+type Client struct {
+	id    types.NodeID
+	ident *crypto.Identity
+	peers map[types.NodeID]string
+
+	mu    sync.Mutex // guards conns and seq
+	conns map[types.NodeID]net.Conn
+	seq   uint64
+
+	// sendMu serialises whole submissions: concurrent Submit calls on one
+	// Client must not interleave frame bytes on a shared connection.
+	sendMu sync.Mutex
+}
+
+// NewClient returns a client with the given identity. peers maps every
+// order process ID to its address (client IDs in the map are ignored).
+func NewClient(id types.NodeID, ident *crypto.Identity, peers map[types.NodeID]string) *Client {
+	return &Client{id: id, ident: ident, peers: peers, conns: make(map[types.NodeID]net.Conn)}
+}
+
+// Submit signs and sends one request to every order process. It returns
+// the request ID, how many processes were reached, and — when any send
+// failed — an error naming each unreachable peer and its address. A
+// failed connection is dropped and redialled on the next Submit. Submit
+// is safe for concurrent use; submissions are serialised so frames never
+// interleave on a shared connection.
+func (c *Client) Submit(payload []byte) (message.ReqID, int, error) {
+	c.mu.Lock()
+	c.seq++
+	seq := c.seq
+	c.mu.Unlock()
+	req := &message.Request{Client: c.id, ClientSeq: seq, Payload: payload}
+	sig, err := message.SignSingle(c.ident, req.SignedBody())
+	if err != nil {
+		return message.ReqID{}, 0, fmt.Errorf("tcpnet: signing request: %w", err)
+	}
+	req.Sig = sig
+	raw := req.Marshal()
+
+	// Deterministic order so error output is stable.
+	targets := make([]types.NodeID, 0, len(c.peers))
+	for to := range c.peers {
+		if !to.IsClient() {
+			targets = append(targets, to)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	reached := 0
+	var errs []error
+	for _, to := range targets {
+		if err := c.sendRaw(to, raw); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		reached++
+	}
+	return req.ID(), reached, errors.Join(errs...)
+}
+
+func (c *Client) sendRaw(to types.NodeID, raw []byte) error {
+	addr := c.peers[to]
+	c.mu.Lock()
+	conn, ok := c.conns[to]
+	c.mu.Unlock()
+	if !ok {
+		var err error
+		conn, err = net.DialTimeout("tcp", addr, 3*time.Second)
+		if err != nil {
+			return fmt.Errorf("dial peer %v (%s): %w", to, addr, err)
+		}
+		var hello [4]byte
+		binary.BigEndian.PutUint32(hello[:], uint32(int32(c.id)))
+		if _, err := conn.Write(hello[:]); err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("hello to peer %v (%s): %w", to, addr, err)
+		}
+		c.mu.Lock()
+		c.conns[to] = conn
+		c.mu.Unlock()
+	}
+	var hdr [frameHeaderLen]byte
+	putFrameHeader(hdr[:], len(raw))
+	bufs := net.Buffers{hdr[:], raw}
+	if _, err := bufs.WriteTo(conn); err != nil {
+		c.mu.Lock()
+		delete(c.conns, to)
+		c.mu.Unlock()
+		_ = conn.Close()
+		return fmt.Errorf("write to peer %v (%s): %w", to, addr, err)
+	}
+	return nil
+}
+
+// Close closes all client connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.conns {
+		_ = conn.Close()
+	}
+	c.conns = make(map[types.NodeID]net.Conn)
+}

@@ -1,0 +1,35 @@
+// Package tcpnet is the TCP wire substrate: a production-grade transport
+// that carries marshalled protocol messages between order processes (and
+// clients) running as separate OS processes, the way the paper's LAN
+// testbed ran separate machines.
+//
+// It is a pure byte transport — it knows nothing about protocol message
+// types or the runtime layer. internal/runtime builds its TCP substrate
+// (TCPNode, TCPCluster) on top of it, and cmd/sofnode / cmd/sofclient use
+// it directly.
+//
+// Wire format: on connect, the dialer sends a 4-byte big-endian NodeID
+// hello; thereafter each message is a 4-byte big-endian length prefix
+// followed by the marshalled message (a frame). Connections identify the
+// sender; message-level signatures still authenticate content.
+//
+// Performance model:
+//
+//   - Outbound fan-out is zero-copy: callers hand the transport the cached
+//     wire encoding (message.Message.Marshal memoizes it) and the same
+//     byte slice is enqueued to every destination. The transport never
+//     copies or re-encodes a payload.
+//   - Each peer has a dedicated sender goroutine behind a bounded queue.
+//     A slow or dead peer therefore exerts backpressure only on its own
+//     queue: once full, new frames for that peer are counted and dropped
+//     (the asynchronous system model tolerates loss) while traffic to
+//     other peers is unaffected and the caller never blocks.
+//   - Senders coalesce queued frames and write them with a single writev
+//     (net.Buffers) syscall — length prefixes and payloads gathered
+//     together, up to Options.MaxBatch frames per call.
+//   - Dead connections are redialled with capped exponential backoff plus
+//     jitter, so a restarted peer is rejoined without a reconnect storm.
+//   - Inbound connections read through pooled bufio readers; frame
+//     payloads are freshly allocated because decoded messages alias the
+//     buffer they were decoded from (see internal/message).
+package tcpnet

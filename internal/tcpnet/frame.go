@@ -1,0 +1,75 @@
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MaxFrame bounds a single wire message (16 MiB, matching codec.MaxBytes).
+const MaxFrame = 16 << 20
+
+// frameHeaderLen is the length-prefix size.
+const frameHeaderLen = 4
+
+// readerBufSize sizes pooled inbound readers: large enough that a commit
+// wave of 1 KB batches plus signatures is absorbed in one read syscall.
+const readerBufSize = 64 << 10
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrame and for empty
+// frames (a zero length prefix is never produced by a well-behaved peer).
+var ErrFrameTooLarge = fmt.Errorf("tcpnet: frame length outside (0, %d]", MaxFrame)
+
+// putFrameHeader writes the length prefix for a payload of n bytes into
+// hdr.
+func putFrameHeader(hdr []byte, n int) {
+	binary.BigEndian.PutUint32(hdr[:frameHeaderLen], uint32(n))
+}
+
+// AppendFrame appends the complete wire frame (length prefix + payload) to
+// dst and returns the extended slice. It is the reference encoder the fuzz
+// test holds ReadFrame against; the hot path gathers header and payload
+// with writev instead of copying through it.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	putFrameHeader(hdr[:], len(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one length-prefixed frame from r. The payload is freshly
+// allocated: callers hand it to message.Decode, which aliases it, so frame
+// buffers must not be pooled or reused.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("%w: got %d", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// readerPool recycles inbound bufio readers across connections.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, readerBufSize) },
+}
+
+func getReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+func putReader(br *bufio.Reader) {
+	br.Reset(nil) // drop the conn reference while pooled
+	readerPool.Put(br)
+}

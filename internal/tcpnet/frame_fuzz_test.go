@@ -1,0 +1,63 @@
+package tcpnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrameRoundTrip checks that any payload written as a frame is read
+// back intact, and that consecutive frames on one stream stay delimited.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte("x"), []byte("a longer second frame payload"))
+	f.Add([]byte{0}, []byte{0xff, 0x00, 0xff})
+	f.Add(bytes.Repeat([]byte{0xaa}, 4096), []byte("tail"))
+	f.Fuzz(func(t *testing.T, p1, p2 []byte) {
+		if len(p1) == 0 || len(p2) == 0 || len(p1) > MaxFrame || len(p2) > MaxFrame {
+			t.Skip("frames must be in (0, MaxFrame]")
+		}
+		var wire []byte
+		wire = AppendFrame(wire, p1)
+		wire = AppendFrame(wire, p2)
+		br := bufio.NewReader(bytes.NewReader(wire))
+		got1, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame 1: %v", err)
+		}
+		got2, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame 2: %v", err)
+		}
+		if !bytes.Equal(got1, p1) || !bytes.Equal(got2, p2) {
+			t.Fatalf("round-trip mismatch: %d/%d bytes vs %d/%d", len(got1), len(got2), len(p1), len(p2))
+		}
+		if _, err := ReadFrame(br); err != io.EOF {
+			t.Fatalf("trailing bytes after two frames: %v", err)
+		}
+	})
+}
+
+// TestReadFrameRejectsBadLengths covers the length-prefix guard rails:
+// zero-length and oversized frames are refused before any allocation.
+func TestReadFrameRejectsBadLengths(t *testing.T) {
+	for _, n := range []uint32{0, MaxFrame + 1, 1 << 31} {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], n)
+		_, err := ReadFrame(bufio.NewReader(bytes.NewReader(hdr[:])))
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("length %d: got %v, want ErrFrameTooLarge", n, err)
+		}
+	}
+}
+
+// TestReadFrameShortPayload checks truncated streams fail cleanly.
+func TestReadFrameShortPayload(t *testing.T) {
+	wire := AppendFrame(nil, []byte("hello"))
+	_, err := ReadFrame(bufio.NewReader(bytes.NewReader(wire[:len(wire)-2])))
+	if err == nil {
+		t.Fatal("truncated frame read succeeded")
+	}
+}

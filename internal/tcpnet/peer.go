@@ -1,0 +1,226 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// PeerStats reports one peer sender's drop and reconnect counters.
+type PeerStats struct {
+	// Dropped counts frames discarded because the peer's bounded send
+	// queue was full (backpressure from a slow or unreachable peer).
+	Dropped uint64
+	// Reconnects counts connections torn down after a write error and
+	// redialled.
+	Reconnects uint64
+}
+
+// peer owns the outbound path to one remote: a bounded frame queue drained
+// by a dedicated sender goroutine that coalesces frames into writev calls
+// and redials dead connections with jittered exponential backoff.
+//
+// The queue bound is the backpressure contract: enqueue never blocks the
+// caller (a protocol event loop), and a peer that stops reading costs the
+// sender at most QueueLen retained frames before new ones are dropped.
+type peer struct {
+	self, id types.NodeID
+	addr     string
+	opts     Options
+	logger   *log.Logger
+
+	ch   chan []byte
+	stop chan struct{}
+	once sync.Once
+
+	// connMu guards conn/closed so close() can interrupt a sender blocked
+	// mid-write (closing the conn fails the write and unblocks it).
+	connMu sync.Mutex
+	conn   net.Conn
+	closed bool
+
+	dropped    atomic.Uint64
+	reconnects atomic.Uint64
+}
+
+func newPeer(self, id types.NodeID, addr string, opts Options, logger *log.Logger) *peer {
+	return &peer{
+		self:   self,
+		id:     id,
+		addr:   addr,
+		opts:   opts,
+		logger: logger,
+		ch:     make(chan []byte, opts.QueueLen),
+		stop:   make(chan struct{}),
+	}
+}
+
+// enqueue hands raw to the sender without copying; raw must be immutable
+// (the cached wire encoding is). It reports false if the frame was dropped
+// because the queue is full.
+func (p *peer) enqueue(raw []byte) bool {
+	select {
+	case p.ch <- raw:
+		return true
+	default:
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// close stops the sender. It also closes the in-flight connection: a
+// sender blocked in a write against a wedged peer (full TCP send window)
+// must be unblocked, or Transport.Close would hang in wg.Wait.
+func (p *peer) close() {
+	p.once.Do(func() {
+		close(p.stop)
+		p.connMu.Lock()
+		p.closed = true
+		if p.conn != nil {
+			_ = p.conn.Close()
+		}
+		p.connMu.Unlock()
+	})
+}
+
+// adoptConn registers the sender's active connection for close(); it
+// reports false (closing c) if the peer was closed concurrently.
+func (p *peer) adoptConn(c net.Conn) bool {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	if p.closed {
+		_ = c.Close()
+		return false
+	}
+	p.conn = c
+	return true
+}
+
+func (p *peer) dropCurrentConn() {
+	p.connMu.Lock()
+	if p.conn != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+	}
+	p.connMu.Unlock()
+}
+
+func (p *peer) stats() PeerStats {
+	return PeerStats{Dropped: p.dropped.Load(), Reconnects: p.reconnects.Load()}
+}
+
+func (p *peer) isClosed() bool {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	return p.closed
+}
+
+// dial opens and hellos a connection to the peer. Errors name the peer and
+// its address so operators can tell which link is failing.
+func (p *peer) dial() (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", p.addr, p.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial peer %v (%s): %w", p.id, p.addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true) // the sender already coalesces; don't let the kernel re-delay
+	}
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(int32(p.self)))
+	if _, err := c.Write(hello[:]); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("hello to peer %v (%s): %w", p.id, p.addr, err)
+	}
+	return c, nil
+}
+
+// run is the sender loop. It blocks for the first queued frame, then
+// drains up to MaxBatch-1 more without blocking and writes the whole batch
+// — length prefixes and payloads gathered — with one writev syscall.
+func (p *peer) run() {
+	var conn net.Conn
+	defer p.dropCurrentConn()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(p.id)<<20 ^ int64(p.self)))
+	backoff := p.opts.RedialMin
+	pending := make([][]byte, 0, p.opts.MaxBatch)
+	hdrs := make([]byte, frameHeaderLen*p.opts.MaxBatch)
+	vecs := make([][]byte, 0, 2*p.opts.MaxBatch)
+	for {
+		select {
+		case raw := <-p.ch:
+			pending = append(pending, raw)
+		case <-p.stop:
+			return
+		}
+	coalesce:
+		for len(pending) < p.opts.MaxBatch {
+			select {
+			case raw := <-p.ch:
+				pending = append(pending, raw)
+			default:
+				break coalesce
+			}
+		}
+		for conn == nil {
+			c, err := p.dial()
+			if err == nil {
+				if !p.adoptConn(c) {
+					return // closed while dialling
+				}
+				conn = c
+				backoff = p.opts.RedialMin
+				break
+			}
+			p.logger.Printf("tcpnet %v: %v (retrying in ~%v)", p.self, err, backoff)
+			select {
+			case <-time.After(jitter(rng, backoff)):
+			case <-p.stop:
+				return
+			}
+			backoff *= 2
+			if backoff > p.opts.RedialMax {
+				backoff = p.opts.RedialMax
+			}
+		}
+		vecs = vecs[:0]
+		for i, raw := range pending {
+			h := hdrs[i*frameHeaderLen : (i+1)*frameHeaderLen]
+			putFrameHeader(h, len(raw))
+			vecs = append(vecs, h, raw)
+		}
+		bufs := net.Buffers(vecs)
+		if _, err := bufs.WriteTo(conn); err != nil {
+			// The batch is abandoned: after a partial write the stream
+			// framing is unknown, so resending could corrupt it. The
+			// asynchronous model tolerates the loss; the connection is
+			// redialled for the next batch.
+			p.reconnects.Add(1)
+			if !p.isClosed() {
+				p.logger.Printf("tcpnet %v: write to peer %v (%s): %v; reconnecting", p.self, p.id, p.addr, err)
+			}
+			p.dropCurrentConn()
+			conn = nil
+		}
+		for i := range pending {
+			pending[i] = nil // release payload references while idle
+		}
+		pending = pending[:0]
+	}
+}
+
+// jitter spreads a backoff delay over [d/2, d) so restarted peers are not
+// redialled by every node in lockstep.
+func jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)))
+}

@@ -1,0 +1,302 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// helloTimeout bounds how long an inbound connection may take to send its
+// identifying hello before it is dropped.
+const helloTimeout = 10 * time.Second
+
+// Options tunes a Transport. The zero value selects production defaults.
+type Options struct {
+	// QueueLen bounds each peer's send queue, in frames (default 1024).
+	// When a peer's queue is full, further frames to it are dropped and
+	// counted; senders never block.
+	QueueLen int
+	// MaxBatch bounds how many frames one writev syscall carries
+	// (default 64).
+	MaxBatch int
+	// DialTimeout bounds one connection attempt (default 3 s).
+	DialTimeout time.Duration
+	// RedialMin and RedialMax bound the jittered exponential backoff
+	// between redial attempts to a dead peer (defaults 50 ms and 2 s).
+	RedialMin, RedialMax time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueLen == 0 {
+		o.QueueLen = 1024
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 64
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.RedialMin == 0 {
+		o.RedialMin = 50 * time.Millisecond
+	}
+	if o.RedialMax == 0 {
+		o.RedialMax = 2 * time.Second
+	}
+	return o
+}
+
+// Handler consumes one inbound frame. The payload is freshly allocated and
+// owned by the handler (message.Decode may alias it). Handlers are invoked
+// concurrently from per-connection reader goroutines and must be
+// thread-safe.
+type Handler func(from types.NodeID, frame []byte)
+
+// Transport is one process's TCP endpoint: a listener demultiplexing
+// inbound frames to a Handler, and a lazily-built set of peer senders for
+// outbound frames.
+type Transport struct {
+	id     types.NodeID
+	ln     net.Listener
+	logger *log.Logger
+	opts   Options
+
+	mu            sync.Mutex
+	peers         map[types.NodeID]string
+	senders       map[types.NodeID]*peer
+	inbound       map[net.Conn]struct{}
+	unknownLogged map[types.NodeID]struct{}
+	handler       Handler
+	closed        bool
+	wg            sync.WaitGroup
+
+	fatal chan error
+}
+
+// Listen binds a transport for process id on addr. peers maps every other
+// process (and known client) ID to its address; it may be nil and supplied
+// later with SetPeers, as long as that happens before the first Send.
+func Listen(id types.NodeID, addr string, peers map[types.NodeID]string,
+	logger *log.Logger, opts Options) (*Transport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	if logger == nil {
+		logger = log.Default()
+	}
+	t := &Transport{
+		id:            id,
+		ln:            ln,
+		logger:        logger,
+		opts:          opts.withDefaults(),
+		peers:         make(map[types.NodeID]string),
+		senders:       make(map[types.NodeID]*peer),
+		inbound:       make(map[net.Conn]struct{}),
+		unknownLogged: make(map[types.NodeID]struct{}),
+		fatal:         make(chan error, 1),
+	}
+	t.SetPeers(peers)
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// ID returns the owning process's NodeID.
+func (t *Transport) ID() types.NodeID { return t.id }
+
+// SetPeers merges address mappings for peers. Cluster assembly binds every
+// listener first (to learn ephemeral ports), then distributes the full map
+// before starting; changing the address of a peer that already has a live
+// sender does not retarget it.
+func (t *Transport) SetPeers(peers map[types.NodeID]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, addr := range peers {
+		t.peers[id] = addr
+	}
+}
+
+// Start begins accepting inbound connections, delivering each frame to h.
+func (t *Transport) Start(h Handler) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.acceptLoop()
+	}()
+}
+
+// Fatal reports an unrecoverable transport failure (the listener died
+// while the transport was supposed to be serving). At most one error is
+// delivered; an explicit Close never produces one.
+func (t *Transport) Fatal() <-chan error { return t.fatal }
+
+// Close shuts the listener, every peer sender and every inbound
+// connection, and waits for all transport goroutines to exit.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	for _, p := range t.senders {
+		p.close()
+	}
+	for c := range t.inbound {
+		_ = c.Close()
+	}
+	t.mu.Unlock()
+	_ = t.ln.Close()
+	t.wg.Wait()
+}
+
+// Send enqueues raw (which must be immutable — the cached wire encoding
+// is) to one peer, dialling it lazily. It never blocks: it reports false
+// if the frame was dropped because the peer is unknown, its queue is full,
+// or the transport is closed. A self-addressed frame is delivered straight
+// to the handler.
+func (t *Transport) Send(to types.NodeID, raw []byte) bool {
+	if to == t.id {
+		t.mu.Lock()
+		h, closed := t.handler, t.closed
+		t.mu.Unlock()
+		if closed || h == nil {
+			return false
+		}
+		h(t.id, raw)
+		return true
+	}
+	p := t.sender(to)
+	if p == nil {
+		return false
+	}
+	return p.enqueue(raw)
+}
+
+// Stats returns the per-peer drop/reconnect counters of every sender
+// created so far.
+func (t *Transport) Stats() map[types.NodeID]PeerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[types.NodeID]PeerStats, len(t.senders))
+	for id, p := range t.senders {
+		out[id] = p.stats()
+	}
+	return out
+}
+
+// sender returns (creating and starting if needed) the peer sender for to,
+// or nil if the peer has no known address or the transport is closed.
+func (t *Transport) sender(to types.NodeID) *peer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if p, ok := t.senders[to]; ok {
+		return p
+	}
+	addr, known := t.peers[to]
+	if !known {
+		// Log the misconfiguration once, not at wire rate.
+		if _, logged := t.unknownLogged[to]; !logged {
+			t.unknownLogged[to] = struct{}{}
+			t.logger.Printf("tcpnet %v: no address for peer %v; dropping its frames", t.id, to)
+		}
+		return nil
+	}
+	p := newPeer(t.id, to, addr, t.opts, t.logger)
+	t.senders[to] = p
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		p.run()
+	}()
+	return p
+}
+
+func (t *Transport) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if !closed {
+				select {
+				case t.fatal <- fmt.Errorf("tcpnet %v: accept on %s: %w", t.id, t.Addr(), err):
+				default:
+				}
+			}
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.readLoop(conn)
+		}()
+	}
+}
+
+// readLoop consumes one inbound connection: hello, then frames.
+func (t *Transport) readLoop(conn net.Conn) {
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+		_ = conn.Close()
+	}()
+	br := getReader(conn)
+	defer putReader(br)
+	// A connection that never identifies itself must not pin a goroutine
+	// and a pooled reader forever (port scans, TCP health probes).
+	_ = conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	var hello [4]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{}) // frames may be arbitrarily far apart
+	from := types.NodeID(int32(binary.BigEndian.Uint32(hello[:])))
+	for {
+		raw, err := ReadFrame(br)
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			// A clean shutdown closes inbound conns under us; that is not
+			// an operator-visible link failure.
+			if !closed && err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				t.logger.Printf("tcpnet %v: read from %v (%s): %v", t.id, from, conn.RemoteAddr(), err)
+			}
+			return
+		}
+		t.mu.Lock()
+		h, closed := t.handler, t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(from, raw)
+		}
+	}
+}

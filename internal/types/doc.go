@@ -1,0 +1,10 @@
+// Package types defines the process identifier space, protocol topology and
+// the small scalar types (sequence numbers, views, coordinator ranks) shared
+// by every protocol in this repository.
+//
+// The paper's system model (Section 2) replicates a service over 2f+1
+// replica nodes; for the SC protocol f of them are supplemented with a
+// shadow node (n = 3f+1 order processes), and for the SCR extension f+1 of
+// them are (n = 3f+2). Process pi is the order process on the ith replica
+// node and p'i is its shadow.
+package types

@@ -1,12 +1,3 @@
-// Package types defines the process identifier space, protocol topology and
-// the small scalar types (sequence numbers, views, coordinator ranks) shared
-// by every protocol in this repository.
-//
-// The paper's system model (Section 2) replicates a service over 2f+1
-// replica nodes; for the SC protocol f of them are supplemented with a
-// shadow node (n = 3f+1 order processes), and for the SCR extension f+1 of
-// them are (n = 3f+2). Process pi is the order process on the ith replica
-// node and p'i is its shadow.
 package types
 
 import "fmt"
@@ -52,6 +43,34 @@ type View uint64
 
 // Rank is the 1-based rank of a coordinator candidate (Cc, 1 <= c <= f+1).
 type Rank int
+
+// Transport selects the message-passing medium of a live (real-time)
+// cluster. The virtual-time simulator has its own substrate and ignores it.
+type Transport int
+
+// The live substrates.
+const (
+	// TransportInProcess passes marshalled messages between goroutines in
+	// one OS process, optionally shaped by simulated network delays. It is
+	// the default and the fastest substrate.
+	TransportInProcess Transport = iota
+	// TransportTCP runs every order process as a real TCP endpoint:
+	// length-prefixed frames over loopback sockets, per-peer send queues
+	// with bounded backpressure, and writev batch coalescing.
+	TransportTCP
+)
+
+// String returns the transport name.
+func (t Transport) String() string {
+	switch t {
+	case TransportInProcess:
+		return "in-process"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
 
 // Protocol selects one of the four order protocols studied in the paper.
 type Protocol int

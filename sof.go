@@ -6,9 +6,11 @@
 // The library provides four coordinator-based total-order protocols —
 // SC (the paper's signal-on-crash protocol), SCR (its recovery extension),
 // BFT (the Castro-Liskov comparator) and CT (the crash-tolerant strawman)
-// — over two interchangeable substrates: a real-time goroutine runtime
-// with real cryptography, and a virtual-time discrete-event simulator with
-// calibrated 2006-era cost models that regenerates the paper's figures.
+// — over three interchangeable substrates: a real-time goroutine runtime
+// with real cryptography, a real TCP runtime (Config{Transport: TCP})
+// whose processes are actual socket endpoints, and a virtual-time
+// discrete-event simulator with calibrated 2006-era cost models that
+// regenerates the paper's figures.
 //
 // Quick start:
 //
@@ -62,6 +64,22 @@ const (
 	NoSuite     = crypto.NoneSuite
 )
 
+// Transport selects the live substrate's message-passing medium.
+type Transport = types.Transport
+
+// The live transports.
+const (
+	// InProcess passes messages between goroutines in one OS process,
+	// optionally shaped by simulated LAN delays. It is the default.
+	InProcess = types.TransportInProcess
+	// TCP runs every order process as a real TCP endpoint on loopback:
+	// length-prefixed frames, per-peer send queues with bounded
+	// backpressure, reconnect with jitter, and writev batch coalescing.
+	// The outbound path reuses each message's cached wire encoding, so
+	// n-way fan-out costs one Marshal, like the in-process runtimes.
+	TCP = types.TransportTCP
+)
+
 // ReqID identifies a submitted request.
 type ReqID = message.ReqID
 
@@ -93,6 +111,10 @@ type Config struct {
 	// Simulated runs the cluster on the virtual-time simulator instead of
 	// real goroutines; RunFor then advances virtual time.
 	Simulated bool
+	// Transport selects the live substrate's medium: InProcess (the zero
+	// value) or TCP. Incompatible with Simulated (the simulator has its
+	// own virtual substrate).
+	Transport Transport
 	// CommitRetention bounds how many commit events the measurement
 	// recorder retains for replica replay (0 = unlimited). Long-running
 	// clusters should set it (a few thousand is ample: replicas drain the
@@ -101,7 +123,14 @@ type Config struct {
 	// commit waves (one event per process per batch) are raised to that
 	// floor. Whether events are retained or evicted, AwaitCommit stays
 	// O(1): it uses the recorder's committed-request index and, in live
-	// mode, blocks on a commit notification instead of polling.
+	// mode, blocks on a commit notification instead of polling. Bounded
+	// retention also bounds the committed-request index itself: once a
+	// request's commit has been drained (replayed by the replica layer,
+	// or trivially when no StateMachine is configured) and its event has
+	// left the retention ring, the index entry is truncated, so
+	// AwaitCommit on requests committed that long ago (at least
+	// CommitRetention commit events earlier) times out rather than
+	// answering from history.
 	CommitRetention int
 	// Seed seeds simulated network jitter.
 	Seed int64
@@ -148,6 +177,9 @@ type Cluster struct {
 
 // NewCluster builds a cluster (call Start to run it).
 func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Simulated && cfg.Transport != InProcess {
+		return nil, fmt.Errorf("sof: Transport %v requires a live cluster (Simulated: false)", cfg.Transport)
+	}
 	mirror := cfg.Protocol == SC || cfg.Protocol == SCR
 	if cfg.Mirror != nil {
 		mirror = *cfg.Mirror
@@ -164,6 +196,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Net:              netsim.LANDefaults(),
 		Seed:             cfg.Seed,
 		Live:             !cfg.Simulated,
+		Transport:        cfg.Transport,
 		KeepCommits:      true,
 		CommitRetention:  cfg.CommitRetention,
 	}
@@ -250,14 +283,23 @@ func (c *Cluster) committed(id ReqID) bool { return c.h.Events.Committed(id) }
 // replica layer, advancing the cursor so each event is replayed exactly
 // once and each drain costs O(new commits).
 func (c *Cluster) drainReplicas() {
-	if len(c.replicas) == 0 {
-		return
-	}
 	c.drainMu.Lock()
 	defer c.drainMu.Unlock()
+	if len(c.replicas) == 0 {
+		// No replay consumer: everything is trivially drained, so keep
+		// the cursor at end-of-stream and let bounded retention truncate
+		// the committed index the same way it would with replicas.
+		c.commitCursor = c.h.Events.CommitCursor()
+		c.h.Events.PruneCommittedBelow(c.commitCursor)
+		return
+	}
 	events, next, dropped := c.h.Events.CommitsSince(c.commitCursor)
 	c.commitCursor = next
 	c.droppedCommits += dropped
+	// Replicas have now replayed everything below the cursor, so index
+	// entries below it that have also left the retention ring can go; with
+	// CommitRetention unset this is a no-op and the index stays complete.
+	c.h.Events.PruneCommittedBelow(c.commitCursor)
 	for _, ev := range events {
 		rep, ok := c.replicas[ev.Node]
 		if !ok {

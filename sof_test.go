@@ -128,3 +128,80 @@ func TestPublicAPILiveMode(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPublicAPITCPTransport runs the full SC protocol over the TCP
+// runtime: every order process is a real loopback TCP endpoint, requests
+// cross actual sockets, and ordering completes end to end.
+func TestPublicAPITCPTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SC,
+		Transport:     sof.TCP,
+		BatchInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	for i := 0; i < 4; i++ {
+		id, err := cluster.Submit([]byte("over tcp"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.AwaitCommit(id, 15*time.Second); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+// TestPublicAPIRetentionBoundsCommittedIndex is the public-API regression
+// test for the committed-index watermark: with bounded CommitRetention —
+// and no StateMachine, so the replica drain is trivial — the index must
+// hold steady-state size instead of growing with every distinct request.
+func TestPublicAPIRetentionBoundsCommittedIndex(t *testing.T) {
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:        sof.SC,
+		Simulated:       true,
+		BatchInterval:   10 * time.Millisecond,
+		CommitRetention: 64, // raised to the per-wave floor internally
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	const reqs = 300
+	var last sof.ReqID
+	for i := 0; i < reqs; i++ {
+		if last, err = cluster.Submit([]byte("bounded")); err != nil {
+			t.Fatal(err)
+		}
+		cluster.RunFor(5 * time.Millisecond)
+	}
+	if err := cluster.AwaitCommit(last, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cluster.RunFor(100 * time.Millisecond) // let every process finish committing
+	if n := cluster.Harness().Events.CommittedIndexSize(); n >= reqs {
+		t.Errorf("committed index holds %d entries after %d requests; watermark never pruned", n, reqs)
+	}
+	// The most recent request must still be answered from the index.
+	if err := cluster.AwaitCommit(last, time.Second); err != nil {
+		t.Errorf("recent request lost from index: %v", err)
+	}
+}
+
+// TestPublicAPITCPRejectsSimulated pins the config validation: the
+// simulator has no TCP substrate.
+func TestPublicAPITCPRejectsSimulated(t *testing.T) {
+	if _, err := sof.NewCluster(sof.Config{
+		Protocol:  sof.SC,
+		Simulated: true,
+		Transport: sof.TCP,
+	}); err == nil {
+		t.Fatal("Simulated+TCP config accepted")
+	}
+}
