@@ -11,10 +11,12 @@
 //	sofbench -json [-out BENCH_hotpath.json]  # hot-path overhead benchmark, JSON
 //	sofbench -json -transport tcp             # adds the TCP runtime series
 //
-// With -transport tcp the JSON additionally carries "tcp" mode points:
+// With -transport tcp the JSON additionally carries "tcp" mode points —
 // end-to-end wall-clock measurements of the TCP runtime (real loopback
-// sockets, framing, per-peer queues), alongside the simulated overhead
-// series.
+// sockets, framing, per-peer queues) — and "tcp-auth" points measuring
+// the same cluster over frame-v2 authenticated resumable sessions
+// (HMAC-sealed frames, hello/ack handshake, retransmission ring),
+// alongside the simulated overhead series.
 package main
 
 import (
@@ -133,14 +135,19 @@ func runHotPathJSON(path string, seed int64, withTCP bool) error {
 		}
 	}
 	if withTCP {
-		for _, w := range []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second} {
-			pt, err := harness.RunTCPHotPathPoint(w, seed)
-			if err != nil {
-				return err
+		// Plain frames first, then the authenticated-session (frame v2,
+		// resume on) series, so the seal/open overhead is visible as the
+		// delta between the "tcp" and "tcp-auth" points.
+		for _, auth := range []bool{false, true} {
+			for _, w := range []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second} {
+				pt, err := harness.RunTCPHotPathPoint(w, seed, auth)
+				if err != nil {
+					return err
+				}
+				rep.Points = append(rep.Points, pt)
+				fmt.Printf("%-12s window=%-4s batches=%-5d ns/batch=%-12.0f allocs/batch=%-10.1f\n",
+					pt.Mode, w, pt.Batches, pt.NsPerBatch, pt.AllocsPerBatch)
 			}
-			rep.Points = append(rep.Points, pt)
-			fmt.Printf("%-12s window=%-4s batches=%-5d ns/batch=%-12.0f allocs/batch=%-10.1f\n",
-				pt.Mode, w, pt.Batches, pt.NsPerBatch, pt.AllocsPerBatch)
 		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

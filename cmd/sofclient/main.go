@@ -2,6 +2,16 @@
 // its identity from the shared dealer secret, signs each request and
 // multicasts it to every order process (clients "direct their requests to
 // all nodes", Section 3). Watch the sofnode logs for COMMIT lines.
+//
+// With -auth (and optionally -resume) it speaks the same frame-v2
+// authenticated sessions as sofnode; the flags must match the cluster's.
+//
+// With -bench it reports a submission-side load summary on exit:
+// submitted/failed counts, how many processes each submission reached,
+// and a latency summary of the synchronous submit path (sign + frame +
+// fan-out write). This is the first step toward the multi-machine
+// benchmark mode: commit-side latency needs a reply path from the nodes
+// and is measured in-process by sofbench -transport tcp meanwhile.
 package main
 
 import (
@@ -12,6 +22,8 @@ import (
 	"time"
 
 	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/session"
+	"github.com/sof-repro/sof/internal/stats"
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
 )
@@ -27,8 +39,14 @@ func main() {
 		size     = flag.Int("size", 128, "request payload bytes")
 		client   = flag.Int("client", 0, "client index (identity 0..15)")
 		interval = flag.Duration("interval", 50*time.Millisecond, "gap between submissions")
+		auth     = flag.Bool("auth", false, "authenticated frame-v2 sessions (must match the nodes' -auth)")
+		resume   = flag.Bool("resume", false, "resumable sessions (implies -auth; must match the nodes)")
+		bench    = flag.Bool("bench", false, "report submission counts and latency summary on exit")
 	)
 	flag.Parse()
+	if *resume {
+		*auth = true
+	}
 
 	var proto types.Protocol
 	switch strings.ToLower(*protoStr) {
@@ -64,27 +82,61 @@ func main() {
 	for k := 0; k < 16; k++ {
 		ids = append(ids, types.ClientID(k))
 	}
-	idents, _, err := crypto.NewDealer(suite, crypto.WithRand(crypto.NewDRBG(*secret))).Issue(ids)
+	// The Issue/IssueLinks sequence mirrors sofnode's exactly, so the
+	// deterministic dealer hands this client the same link keys.
+	dealer := crypto.NewDealer(suite, crypto.WithRand(crypto.NewDRBG(*secret)))
+	idents, _, err := dealer.Issue(ids)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var clOpts []tcpnet.ClientOption
+	if *auth {
+		links, err := dealer.IssueLinks()
+		if err != nil {
+			log.Fatal(err)
+		}
+		clOpts = append(clOpts, tcpnet.WithSession(&session.Config{Keys: links, Resume: *resume}))
+	}
 	me := types.ClientID(*client)
-	cl := tcpnet.NewClient(me, idents[me], peers)
+	cl := tcpnet.NewClient(me, idents[me], peers, clOpts...)
 	defer cl.Close()
 
+	var (
+		sampler    stats.Sampler
+		submitted  int
+		failed     int
+		reachedAll int
+	)
+	start := time.Now()
 	for i := 0; i < *n; i++ {
 		payload := make([]byte, *size)
 		copy(payload, fmt.Sprintf("req-%d", i))
+		t0 := time.Now()
 		id, reached, err := cl.Submit(payload)
+		sampler.Add(time.Since(t0))
 		if reached == 0 {
 			// Total transport loss is fatal: every peer failed, and err
 			// names each one with its address.
 			log.Fatalf("submit %d reached no process:\n%v", i, err)
 		}
+		submitted++
+		if reached == topo.N() {
+			reachedAll++
+		}
 		if err != nil {
+			failed++
 			log.Printf("submit %d: %d/%d processes unreachable:\n%v", i, topo.N()-reached, topo.N(), err)
 		}
-		fmt.Printf("submitted %v to %d/%d processes\n", id, reached, topo.N())
+		if !*bench {
+			fmt.Printf("submitted %v to %d/%d processes\n", id, reached, topo.N())
+		}
 		time.Sleep(*interval)
+	}
+	if *bench {
+		elapsed := time.Since(start)
+		fmt.Printf("bench: submitted=%d reached_all=%d partial=%d elapsed=%v rate=%.1f req/s\n",
+			submitted, reachedAll, failed, elapsed.Round(time.Millisecond),
+			stats.Rate(submitted, elapsed))
+		fmt.Printf("bench: submit latency %v\n", sampler.Summary())
 	}
 }

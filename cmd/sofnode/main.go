@@ -6,6 +6,13 @@
 // key material on every node, standing in for the paper's trusted dealer
 // (demo-grade key distribution; see internal/crypto.DRBG).
 //
+// With -auth every connection hello and every frame is HMAC-
+// authenticated (frame v2); with -resume reconnects additionally replay
+// in-flight frames from each sender's retransmission ring instead of
+// dropping them. All nodes and clients of a deployment must agree on
+// these flags. On shutdown the node logs its per-peer transport counters
+// (queued/dropped/retransmitted/reconnects).
+//
 // Example 7-node SC cluster (f=2) on one machine:
 //
 //	for i in $(seq 0 6); do
@@ -31,6 +38,7 @@ import (
 	"github.com/sof-repro/sof/internal/ct"
 	"github.com/sof-repro/sof/internal/fsp"
 	"github.com/sof-repro/sof/internal/runtime"
+	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
 )
@@ -45,8 +53,13 @@ func main() {
 		peersStr = flag.String("peers", "", "comma-separated node addresses, index = node ID")
 		batch    = flag.Duration("batch", 100*time.Millisecond, "batching interval")
 		delta    = flag.Duration("delta", 5*time.Second, "pair differential delay estimate")
+		auth     = flag.Bool("auth", false, "authenticate frames: HMAC-sealed frame v2 with authenticated hellos (all nodes and clients must agree)")
+		resume   = flag.Bool("resume", false, "resume sessions across reconnects, replaying in-flight frames (implies -auth)")
 	)
 	flag.Parse()
+	if *resume {
+		*auth = true
+	}
 
 	proto, err := parseProtocol(*protoStr)
 	if err != nil {
@@ -79,9 +92,21 @@ func main() {
 	for k := 0; k < 16; k++ {
 		ids = append(ids, types.ClientID(k))
 	}
-	idents, _, err := crypto.NewDealer(suite, crypto.WithRand(crypto.NewDRBG(*secret))).Issue(ids)
+	dealer := crypto.NewDealer(suite, crypto.WithRand(crypto.NewDRBG(*secret)))
+	idents, _, err := dealer.Issue(ids)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Link keys draw from the same deterministic stream, after the same
+	// Issue call, on every node and client — so all endpoints derive
+	// identical session keys (sofclient performs the same sequence).
+	var topts tcpnet.Options
+	if *auth {
+		links, err := dealer.IssueLinks()
+		if err != nil {
+			log.Fatal(err)
+		}
+		topts.Session = &session.Config{Keys: links, Resume: *resume}
 	}
 
 	logger := log.New(os.Stderr, fmt.Sprintf("sofnode[%d] ", *id), log.Ltime|log.Lmicroseconds)
@@ -90,24 +115,44 @@ func main() {
 		log.Fatal(err)
 	}
 
-	node, err := runtime.NewTCPNode(self, peers[self], idents[self], proc, peers, logger, tcpnet.Options{})
+	node, err := runtime.NewTCPNode(self, peers[self], idents[self], proc, peers, logger, topts)
 	if err != nil {
 		log.Fatalf("sofnode %d: %v", *id, err)
 	}
 	node.Start()
-	logger.Printf("up: %v f=%d n=%d listening on %s", proto, *f, topo.N(), node.Addr())
+	logger.Printf("up: %v f=%d n=%d listening on %s (auth=%v resume=%v)",
+		proto, *f, topo.N(), node.Addr(), *auth, *resume)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fatal := false
 	select {
 	case <-sig:
-		node.Stop()
 	case err := <-node.Fatal():
 		// The transport is unrecoverable (listener died); report which
 		// endpoint failed and exit non-zero so supervisors restart us.
 		logger.Printf("fatal transport loss on %s: %v", node.Addr(), err)
-		node.Stop()
+		fatal = true
+	}
+	logTransportStats(logger, node)
+	node.Stop()
+	if fatal {
 		os.Exit(1)
+	}
+}
+
+// logTransportStats prints the per-peer transport counters — queued,
+// dropped, retransmitted, reconnects, plus the inbound session counters —
+// so an operator shutting a node down can see which links were lossy.
+func logTransportStats(logger *log.Logger, node *runtime.TCPNode) {
+	tr := node.Transport()
+	for id, ps := range tr.Stats() {
+		logger.Printf("peer %v: queued=%d dropped=%d retransmitted=%d session_lost=%d reconnects=%d",
+			id, ps.Queued, ps.Dropped, ps.Retransmitted, ps.SessionLost, ps.Reconnects)
+	}
+	for id, rs := range tr.SessionStats() {
+		logger.Printf("session from %v: delivered=%d duplicates=%d gaps=%d rejected=%d",
+			id, rs.Delivered, rs.Duplicates, rs.Gaps, rs.Rejected)
 	}
 }
 

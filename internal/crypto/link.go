@@ -1,0 +1,92 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// linkKeyLen is the size of the master link secret and of every derived
+// per-direction key.
+const linkKeyLen = 32
+
+// linkKeyLabel domain-separates link-key derivation from every other use
+// of HMAC-SHA256 in the system.
+const linkKeyLabel = "sof/session/v2"
+
+// LinkKeys holds the dealer-issued master secret for transport-session
+// authentication and derives one key per ordered (sender, receiver) pair.
+//
+// The derivation is K(from->to) = HMAC-SHA256(master, label|from|to), so
+// the two directions of a link use distinct keys and a MAC made for one
+// direction never verifies on the other (no reflection). Like the HMAC
+// signature suite, this is dealer-trust symmetric-key material: every
+// party the dealer initialised can derive every link key, so it
+// authenticates the *transport* against outsiders (the Castro-Liskov
+// authenticated-channel role) and does not provide non-repudiation —
+// Byzantine-fault attribution still rests on the message signatures.
+type LinkKeys struct {
+	master []byte
+
+	mu   sync.Mutex
+	dirs map[[2]types.NodeID][]byte
+}
+
+// NewLinkKeys builds a LinkKeys from a master secret (copied).
+func NewLinkKeys(master []byte) *LinkKeys {
+	m := make([]byte, len(master))
+	copy(m, master)
+	return &LinkKeys{master: m, dirs: make(map[[2]types.NodeID][]byte)}
+}
+
+// IssueLinks draws a fresh master link secret from the dealer's entropy
+// source. With a deterministic dealer (DRBG seeded from the shared
+// deployment secret) every node that performs the same Issue/IssueLinks
+// sequence derives the same link keys, standing in for the trusted
+// dealer's pairwise key distribution (Assumption 2).
+func (d *Dealer) IssueLinks() (*LinkKeys, error) {
+	master := make([]byte, linkKeyLen)
+	if _, err := io.ReadFull(d.rng, master); err != nil {
+		return nil, fmt.Errorf("crypto: issuing link keys: %w", err)
+	}
+	return &LinkKeys{master: master, dirs: make(map[[2]types.NodeID][]byte)}, nil
+}
+
+// DirKey returns the MAC key for frames flowing from -> to, memoizing the
+// derivation. The returned slice is shared and must not be modified.
+// Because the cache is unbounded, callers handling *unauthenticated*
+// claims (a transport checking an inbound hello) must use DirKeyUncached
+// until the claim verifies, or an attacker cycling claimed IDs grows the
+// cache without limit.
+func (lk *LinkKeys) DirKey(from, to types.NodeID) []byte {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	pair := [2]types.NodeID{from, to}
+	if k, ok := lk.dirs[pair]; ok {
+		return k
+	}
+	k := lk.derive(from, to)
+	lk.dirs[pair] = k
+	return k
+}
+
+// DirKeyUncached derives the MAC key for from -> to without touching the
+// cache; see DirKey.
+func (lk *LinkKeys) DirKeyUncached(from, to types.NodeID) []byte {
+	return lk.derive(from, to)
+}
+
+func (lk *LinkKeys) derive(from, to types.NodeID) []byte {
+	var ids [8]byte
+	binary.BigEndian.PutUint32(ids[0:], uint32(int32(from)))
+	binary.BigEndian.PutUint32(ids[4:], uint32(int32(to)))
+	m := hmac.New(sha256.New, lk.master)
+	m.Write([]byte(linkKeyLabel))
+	m.Write(ids[:])
+	return m.Sum(nil)
+}

@@ -14,6 +14,8 @@ import (
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/netsim"
 	"github.com/sof-repro/sof/internal/runtime"
+	"github.com/sof-repro/sof/internal/session"
+	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
 )
 
@@ -55,6 +57,15 @@ type Options struct {
 	// passing (default) or real loopback TCP sockets with framed,
 	// queue-backed peer links. Ignored when Live is false.
 	Transport types.Transport
+	// AuthFrames upgrades the TCP transport to frame v2: the dealer
+	// issues link keys, hellos are authenticated, and every frame
+	// carries a per-direction sequence number and an HMAC-SHA256
+	// trailer. Requires the live TCP transport.
+	AuthFrames bool
+	// SessionResume additionally replays the unacknowledged frame window
+	// from each sender's retransmission ring after a reconnect, so a
+	// dropped connection loses nothing. Implies AuthFrames.
+	SessionResume bool
 
 	NumClients  int
 	Load        *LoadSpec
@@ -92,6 +103,9 @@ func (o Options) withDefaults() Options {
 	if o.Protocol == types.SCR && o.RecoveryInterval == 0 {
 		o.RecoveryInterval = o.Delta
 	}
+	if o.SessionResume {
+		o.AuthFrames = true // resume rides on the authenticated handshake
+	}
 	return o
 }
 
@@ -118,6 +132,9 @@ type Cluster struct {
 // New builds (but does not start) a cluster.
 func New(opts Options) (*Cluster, error) {
 	opts = opts.withDefaults()
+	if opts.AuthFrames && (!opts.Live || opts.Transport != types.TransportTCP) {
+		return nil, fmt.Errorf("harness: AuthFrames/SessionResume require the live TCP transport")
+	}
 	topo, err := types.NewTopology(opts.Protocol, opts.F)
 	if err != nil {
 		return nil, err
@@ -163,6 +180,15 @@ func New(opts Options) (*Cluster, error) {
 		c.tcp = runtime.NewTCPCluster()
 		if opts.Logger != nil {
 			c.tcp.SetLogger(opts.Logger)
+		}
+		if opts.AuthFrames {
+			links, err := dealer.IssueLinks()
+			if err != nil {
+				return nil, err
+			}
+			c.tcp.SetTransportOptions(tcpnet.Options{
+				Session: &session.Config{Keys: links, Resume: opts.SessionResume},
+			})
 		}
 		c.sub = c.tcp
 	case opts.Live:

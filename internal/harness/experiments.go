@@ -127,7 +127,7 @@ func RunLatencyThroughputPoint(proto types.Protocol, suite crypto.SuiteName, f i
 // (RunTCPHotPathPoint) run on the wall clock over the TCP runtime
 // instead, so their NsPerBatch is end-to-end wire time, not overhead.
 type HotPathPoint struct {
-	Mode           string        `json:"mode"` // "cursor", "legacy-scan" or "tcp"
+	Mode           string        `json:"mode"` // "cursor", "legacy-scan", "tcp" or "tcp-auth"
 	Window         time.Duration `json:"window_ns"`
 	Batches        int           `json:"batches"`
 	CommitEvents   int           `json:"commit_events"`
@@ -247,8 +247,11 @@ func RunHotPathPoint(window time.Duration, seed int64, legacyScan bool) (HotPath
 // window), these points include real time — protocol execution, HMAC
 // signing, framing, socket I/O — so NsPerBatch tracks the delivered
 // batch rate of the wire path and AllocsPerBatch its allocation cost,
-// which is where encode-once fan-out and buffer pooling show up.
-func RunTCPHotPathPoint(window time.Duration, seed int64) (HotPathPoint, error) {
+// which is where encode-once fan-out and buffer pooling show up. With
+// auth the cluster runs frame-v2 authenticated resumable sessions
+// (mode "tcp-auth"), quantifying the per-frame seal/open overhead
+// against the plain "tcp" series.
+func RunTCPHotPathPoint(window time.Duration, seed int64, auth bool) (HotPathPoint, error) {
 	const interval = 10 * time.Millisecond
 	opts := Options{
 		Protocol:         types.SC,
@@ -266,6 +269,8 @@ func RunTCPHotPathPoint(window time.Duration, seed int64) (HotPathPoint, error) 
 		CommitRetention:  4096,
 		Live:             true,
 		Transport:        types.TransportTCP,
+		AuthFrames:       auth,
+		SessionResume:    auth,
 	}
 	c, err := New(opts)
 	if err != nil {
@@ -308,8 +313,12 @@ func RunTCPHotPathPoint(window time.Duration, seed int64) (HotPathPoint, error) 
 	if err != nil {
 		return HotPathPoint{}, err
 	}
+	mode := "tcp"
+	if auth {
+		mode = "tcp-auth"
+	}
 	return HotPathPoint{
-		Mode:           "tcp",
+		Mode:           mode,
 		Window:         window,
 		Batches:        batches,
 		CommitEvents:   commitEvents,

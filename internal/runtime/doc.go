@@ -15,4 +15,13 @@
 // consume the message's memoized wire encoding, so an n-way fan-out costs
 // a single Marshal, and self-addressed messages are delivered decoded
 // without touching the wire.
+//
+// The two real-time substrates are a single code path: the shared
+// delivery engine (engine.go) owns the event queue, its draining
+// goroutine, the encode-once fan-out, the decoded self-loopback, timers
+// and the crypto-backed Env surface. LiveCluster nodes and TCP endpoints
+// embed it and supply only their delivery medium — fabric-delayed
+// in-process handoff vs. tcpnet peer queues — so transport features like
+// the authenticated session layer plug in beneath the engine without the
+// substrates diverging.
 package runtime

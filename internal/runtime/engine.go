@@ -1,0 +1,212 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// liveEvent is one unit of work in a real-time node's event loop: a
+// delivered wire message (raw != nil), an already-decoded self-loopback
+// message (msg != nil), or a callback.
+type liveEvent struct {
+	from types.NodeID
+	raw  []byte
+	msg  message.Message
+	fn   func()
+}
+
+// engine is the delivery core shared by every real-time substrate
+// (in-process LiveCluster nodes and TCP endpoints): a condition-variable
+// event queue drained by one goroutine that serialises Init, Receive and
+// timer callbacks, the encode-once fan-out, the decoded self-loopback,
+// and the identity-backed Env surface (time, timers, crypto, logging).
+// Substrates embed it and add only what actually differs — how a raw
+// encoding crosses to another node (fabric delays vs. peer send queues).
+//
+// env points back at the embedding substrate node, so protocol callbacks
+// receive the full Env (the engine itself has no Send/Multicast).
+type engine struct {
+	id    types.NodeID
+	ident *crypto.Identity
+	proc  Process
+	env   Env
+	logf  func(format string, args ...any)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []liveEvent
+	closed bool
+	down   bool
+}
+
+// attach wires the engine to its owner; env is the embedding node.
+func (e *engine) attach(id types.NodeID, ident *crypto.Identity, proc Process, env Env,
+	logf func(format string, args ...any)) {
+	e.id, e.ident, e.proc, e.env, e.logf = id, ident, proc, env, logf
+	e.cond = sync.NewCond(&e.mu)
+}
+
+func (e *engine) enqueue(ev liveEvent) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.queue = append(e.queue, ev)
+	e.cond.Signal()
+}
+
+// enqueueInit schedules the process's Init inside the event loop.
+func (e *engine) enqueueInit() {
+	e.enqueue(liveEvent{fn: func() { e.proc.Init(e.env) }})
+}
+
+// loopback delivers a self-addressed message without touching the wire:
+// messages are immutable and the event loop serialises handling, so the
+// decoded form is handed over as-is.
+func (e *engine) loopback(m message.Message) {
+	e.enqueue(liveEvent{from: e.id, msg: m})
+}
+
+// closeLoop stops the event loop; events still queued are dropped.
+func (e *engine) closeLoop() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	e.cond.Broadcast()
+}
+
+func (e *engine) setDown() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.down = true
+}
+
+func (e *engine) isDown() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.down
+}
+
+// loop drains the event queue, decoding wire payloads and dispatching to
+// the process until closeLoop.
+func (e *engine) loop() {
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		ev := e.queue[0]
+		e.queue = e.queue[1:]
+		down := e.down
+		e.mu.Unlock()
+
+		if down {
+			continue
+		}
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		if ev.msg != nil {
+			e.proc.Receive(e.env, ev.from, ev.msg)
+			continue
+		}
+		m, err := message.Decode(ev.raw)
+		if err != nil {
+			e.Logf("dropping undecodable message from %v: %v", ev.from, err)
+			continue
+		}
+		e.proc.Receive(e.env, ev.from, m)
+	}
+}
+
+// fanOut is the encode-once fan-out: m is marshalled exactly once (and
+// concrete message types additionally cache the encoding on the message
+// itself) and deliver is invoked for every destination with the shared
+// encoding. deliver decides how the bytes cross — including how a
+// self-addressed copy bypasses the wire.
+func (e *engine) fanOut(tos []types.NodeID, m message.Message, deliver func(to types.NodeID, m message.Message, raw []byte)) {
+	if e.isDown() {
+		return
+	}
+	raw := m.Marshal()
+	for _, to := range tos {
+		deliver(to, m, raw)
+	}
+}
+
+// ID implements Env.
+func (e *engine) ID() types.NodeID { return e.id }
+
+// Now implements Env.
+func (e *engine) Now() time.Time { return time.Now() }
+
+// Charge implements Env (no-op: live operations take real time).
+func (e *engine) Charge(time.Duration) {}
+
+// SetTimer implements Env.
+func (e *engine) SetTimer(d time.Duration, fn func()) Timer {
+	lt := &liveTimer{}
+	lt.timer = time.AfterFunc(d, func() {
+		e.enqueue(liveEvent{fn: func() {
+			if lt.expired() {
+				return
+			}
+			fn()
+		}})
+	})
+	return lt
+}
+
+// Digest implements Env.
+func (e *engine) Digest(data []byte) []byte { return e.ident.Digest(data) }
+
+// Sign implements Env.
+func (e *engine) Sign(digest []byte) (crypto.Signature, error) { return e.ident.Sign(digest) }
+
+// Verify implements Env.
+func (e *engine) Verify(signer types.NodeID, digest []byte, sig crypto.Signature) error {
+	return e.ident.Verify(signer, digest, sig)
+}
+
+// Logf implements Env.
+func (e *engine) Logf(format string, args ...any) { e.logf(format, args...) }
+
+// liveTimer implements Timer over time.Timer, with a stopped flag that
+// also wins the race where the callback is already queued in the loop.
+type liveTimer struct {
+	mu      sync.Mutex
+	stopped bool
+	timer   *time.Timer
+}
+
+// Stop implements Timer.
+func (t *liveTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	t.timer.Stop()
+	return true
+}
+
+func (t *liveTimer) expired() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return true
+	}
+	t.stopped = true
+	return false
+}

@@ -73,7 +73,7 @@ func (c *LiveCluster) Start() {
 			defer c.wg.Done()
 			n.loop()
 		}()
-		n.enqueue(liveEvent{fn: func() { n.proc.Init(n) }})
+		n.enqueueInit()
 	}
 }
 
@@ -87,7 +87,7 @@ func (c *LiveCluster) Stop() {
 	}
 	c.mu.Unlock()
 	for _, n := range nodes {
-		n.close()
+		n.closeLoop()
 	}
 	c.wg.Wait()
 }
@@ -122,216 +122,67 @@ func (c *LiveCluster) node(id types.NodeID) (*liveNode, bool) {
 	return n, ok
 }
 
-// liveEvent is one unit of work in a node's event loop: a delivered wire
-// message (raw != nil), an already-decoded self-loopback message (msg !=
-// nil), or a callback.
-type liveEvent struct {
-	from types.NodeID
-	raw  []byte
-	msg  message.Message
-	fn   func()
-}
-
-// liveNode implements Env in real time. Its event loop serialises Init,
-// Receive and timer callbacks.
+// liveNode runs one process over the shared delivery engine; all that is
+// substrate-specific here is how encodings cross node boundaries — via
+// the cluster's node map, optionally shaped by fabric delays.
 type liveNode struct {
-	c     *LiveCluster
-	id    types.NodeID
-	ident *crypto.Identity
-	proc  Process
-
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []liveEvent
-	closed bool
-	down   bool
+	engine
+	c *LiveCluster
 }
 
 var _ Env = (*liveNode)(nil)
 
 func newLiveNode(c *LiveCluster, id types.NodeID, ident *crypto.Identity, proc Process) *liveNode {
-	n := &liveNode{c: c, id: id, ident: ident, proc: proc}
-	n.cond = sync.NewCond(&n.mu)
+	n := &liveNode{c: c}
+	n.attach(id, ident, proc, n, func(format string, args ...any) {
+		c.logger.Printf("[%s %v] %s",
+			time.Now().Format("15:04:05.000000"), id, fmt.Sprintf(format, args...))
+	})
 	return n
 }
 
-func (n *liveNode) enqueue(e liveEvent) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return
-	}
-	n.queue = append(n.queue, e)
-	n.cond.Signal()
-}
-
-func (n *liveNode) close() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.closed = true
-	n.cond.Broadcast()
-}
-
-func (n *liveNode) setDown() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.down = true
-}
-
-func (n *liveNode) isDown() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.down
-}
-
-func (n *liveNode) loop() {
-	for {
-		n.mu.Lock()
-		for len(n.queue) == 0 && !n.closed {
-			n.cond.Wait()
-		}
-		if n.closed {
-			n.mu.Unlock()
-			return
-		}
-		e := n.queue[0]
-		n.queue = n.queue[1:]
-		down := n.down
-		n.mu.Unlock()
-
-		if down {
-			continue
-		}
-		if e.fn != nil {
-			e.fn()
-			continue
-		}
-		if e.msg != nil {
-			n.proc.Receive(n, e.from, e.msg)
-			continue
-		}
-		m, err := message.Decode(e.raw)
-		if err != nil {
-			n.Logf("dropping undecodable message from %v: %v", e.from, err)
-			continue
-		}
-		n.proc.Receive(n, e.from, m)
-	}
-}
-
-// ID implements Env.
-func (n *liveNode) ID() types.NodeID { return n.id }
-
-// Now implements Env.
-func (n *liveNode) Now() time.Time { return time.Now() }
-
-// Charge implements Env (no-op: live operations take real time).
-func (n *liveNode) Charge(time.Duration) {}
-
 // Send implements Env.
 func (n *liveNode) Send(to types.NodeID, m message.Message) {
-	n.deliver(to, m, m.Marshal())
-}
-
-// Multicast implements Env. The message is marshalled exactly once for all
-// destinations (and concrete message types additionally cache the encoding
-// on the message itself).
-func (n *liveNode) Multicast(tos []types.NodeID, m message.Message) {
-	raw := m.Marshal()
-	for _, to := range tos {
-		n.deliver(to, m, raw)
-	}
-}
-
-func (n *liveNode) deliver(to types.NodeID, m message.Message, raw []byte) {
 	if n.isDown() {
 		return
 	}
+	n.deliver(to, m, m.Marshal())
+}
+
+// Multicast implements Env via the engine's encode-once fan-out.
+func (n *liveNode) Multicast(tos []types.NodeID, m message.Message) {
+	n.fanOut(tos, m, n.deliver)
+}
+
+// deliver crosses one encoding to one destination: fabric delay and drop
+// modelling, wire accounting, and the decoded self-loopback (which is
+// still subject to the modelled delay — local delivery takes fabric time
+// in the in-process substrate).
+func (n *liveNode) deliver(to types.NodeID, m message.Message, raw []byte) {
 	target, ok := n.c.node(to)
 	if !ok {
 		return
 	}
 	var delay time.Duration
 	if n.c.fabric != nil {
-		d, deliverable := n.c.fabric.Delay(n.id, to, len(raw))
+		d, deliverable := n.c.fabric.Delay(n.ID(), to, len(raw))
 		if !deliverable {
 			return
 		}
 		delay = d
-		if to != n.id {
+		if to != n.ID() {
 			n.c.fabric.Record(m.Type(), len(raw))
 		}
 	}
-	ev := liveEvent{from: n.id, raw: raw}
-	if to == n.id {
+	ev := liveEvent{from: n.ID(), raw: raw}
+	if to == n.ID() {
 		// Self-loopback skips the wire: messages are immutable, the event
 		// loop is this goroutine, so the decoded form is delivered as-is.
-		ev = liveEvent{from: n.id, msg: m}
+		ev = liveEvent{from: n.ID(), msg: m}
 	}
 	if delay <= 0 {
 		target.enqueue(ev)
 		return
 	}
 	time.AfterFunc(delay, func() { target.enqueue(ev) })
-}
-
-// liveTimer implements Timer over time.Timer, with a stopped flag that
-// also wins the race where the callback is already queued in the loop.
-type liveTimer struct {
-	mu      sync.Mutex
-	stopped bool
-	timer   *time.Timer
-}
-
-// Stop implements Timer.
-func (t *liveTimer) Stop() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.stopped {
-		return false
-	}
-	t.stopped = true
-	t.timer.Stop()
-	return true
-}
-
-func (t *liveTimer) expired() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.stopped {
-		return true
-	}
-	t.stopped = true
-	return false
-}
-
-// SetTimer implements Env.
-func (n *liveNode) SetTimer(d time.Duration, fn func()) Timer {
-	lt := &liveTimer{}
-	lt.timer = time.AfterFunc(d, func() {
-		n.enqueue(liveEvent{fn: func() {
-			if lt.expired() {
-				return
-			}
-			fn()
-		}})
-	})
-	return lt
-}
-
-// Digest implements Env.
-func (n *liveNode) Digest(data []byte) []byte { return n.ident.Digest(data) }
-
-// Sign implements Env.
-func (n *liveNode) Sign(digest []byte) (crypto.Signature, error) { return n.ident.Sign(digest) }
-
-// Verify implements Env.
-func (n *liveNode) Verify(signer types.NodeID, digest []byte, sig crypto.Signature) error {
-	return n.ident.Verify(signer, digest, sig)
-}
-
-// Logf implements Env.
-func (n *liveNode) Logf(format string, args ...any) {
-	n.c.logger.Printf("[%s %v] %s",
-		time.Now().Format("15:04:05.000000"), n.id, fmt.Sprintf(format, args...))
 }

@@ -5,7 +5,6 @@ import (
 	"io"
 	"log"
 	"sync"
-	"time"
 
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/message"
@@ -14,29 +13,22 @@ import (
 )
 
 // TCPNode runs one protocol process as a real TCP endpoint: inbound frames
-// from a tcpnet.Transport feed the node's event loop, and outbound sends
-// go through the transport's per-peer queues. It is the third substrate —
-// the same reactor code that runs on the simulator and the in-process live
-// runtime runs here over real sockets.
+// from a tcpnet.Transport feed the shared delivery engine's event loop,
+// and outbound sends go through the transport's per-peer queues. It is the
+// third substrate — the same reactor code that runs on the simulator and
+// the in-process live runtime runs here over real sockets.
 //
 // The outbound path is encode-once: Send and Multicast hand the
 // transport the message's cached wire encoding (message.Message.Marshal
 // memoizes it), so an n-way fan-out costs one Marshal and zero copies,
 // exactly like the in-process runtimes. Self-addressed messages skip the
-// wire and are delivered decoded.
+// wire and are delivered decoded. With tcpnet.Options.Session the frames
+// beneath this node are sequenced, HMAC-authenticated and resumable; the
+// engine above is oblivious.
 type TCPNode struct {
-	id    types.NodeID
-	ident *crypto.Identity
-	proc  Process
-	tr    *tcpnet.Transport
-	log   *log.Logger
-
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []liveEvent
-	closed bool
-	down   bool
-	wg     sync.WaitGroup
+	engine
+	tr *tcpnet.Transport
+	wg sync.WaitGroup
 }
 
 var _ Env = (*TCPNode)(nil)
@@ -54,15 +46,18 @@ func NewTCPNode(id types.NodeID, addr string, ident *crypto.Identity, proc Proce
 	if err != nil {
 		return nil, err
 	}
-	n := &TCPNode{id: id, ident: ident, proc: proc, tr: tr, log: logger}
-	n.cond = sync.NewCond(&n.mu)
+	n := &TCPNode{tr: tr}
+	n.attach(id, ident, proc, n, func(format string, args ...any) {
+		logger.Printf("[%v] %s", id, fmt.Sprintf(format, args...))
+	})
 	return n, nil
 }
 
 // Addr returns the node's bound listen address.
 func (n *TCPNode) Addr() string { return n.tr.Addr() }
 
-// Transport exposes the underlying transport (peer wiring, stats).
+// Transport exposes the underlying transport (peer wiring, stats,
+// connection fault injection).
 func (n *TCPNode) Transport() *tcpnet.Transport { return n.tr }
 
 // Fatal reports an unrecoverable transport failure; callers that own the
@@ -80,85 +75,15 @@ func (n *TCPNode) Start() {
 	n.tr.Start(func(from types.NodeID, frame []byte) {
 		n.enqueue(liveEvent{from: from, raw: frame})
 	})
-	n.enqueue(liveEvent{fn: func() { n.proc.Init(n) }})
+	n.enqueueInit()
 }
 
 // Stop closes the transport and the event loop and waits for both.
 func (n *TCPNode) Stop() {
 	n.tr.Close()
-	n.mu.Lock()
-	n.closed = true
-	n.cond.Broadcast()
-	n.mu.Unlock()
+	n.closeLoop()
 	n.wg.Wait()
 }
-
-func (n *TCPNode) enqueue(e liveEvent) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return
-	}
-	n.queue = append(n.queue, e)
-	n.cond.Signal()
-}
-
-func (n *TCPNode) setDown() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.down = true
-}
-
-func (n *TCPNode) isDown() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.down
-}
-
-// loop serialises Init, Receive and timer callbacks, mirroring liveNode.
-func (n *TCPNode) loop() {
-	for {
-		n.mu.Lock()
-		for len(n.queue) == 0 && !n.closed {
-			n.cond.Wait()
-		}
-		if n.closed {
-			n.mu.Unlock()
-			return
-		}
-		e := n.queue[0]
-		n.queue = n.queue[1:]
-		down := n.down
-		n.mu.Unlock()
-
-		if down {
-			continue
-		}
-		if e.fn != nil {
-			e.fn()
-			continue
-		}
-		if e.msg != nil {
-			n.proc.Receive(n, e.from, e.msg)
-			continue
-		}
-		m, err := message.Decode(e.raw)
-		if err != nil {
-			n.Logf("dropping undecodable message from %v: %v", e.from, err)
-			continue
-		}
-		n.proc.Receive(n, e.from, m)
-	}
-}
-
-// ID implements Env.
-func (n *TCPNode) ID() types.NodeID { return n.id }
-
-// Now implements Env.
-func (n *TCPNode) Now() time.Time { return time.Now() }
-
-// Charge implements Env (no-op: real CPU time is real).
-func (n *TCPNode) Charge(time.Duration) {}
 
 // Send implements Env. Self-addressed messages skip the wire and are
 // delivered decoded; everything else ships the cached encoding.
@@ -166,57 +91,27 @@ func (n *TCPNode) Send(to types.NodeID, m message.Message) {
 	if n.isDown() {
 		return
 	}
-	if to == n.id {
-		n.enqueue(liveEvent{from: n.id, msg: m})
+	if to == n.ID() {
+		n.loopback(m)
 		return
 	}
 	n.tr.Send(to, m.Marshal())
 }
 
-// Multicast implements Env: the message is marshalled exactly once and the
-// same encoding is enqueued to every destination's peer queue.
+// Multicast implements Env via the engine's encode-once fan-out: the same
+// encoding is enqueued to every destination's peer queue.
 func (n *TCPNode) Multicast(tos []types.NodeID, m message.Message) {
-	if n.isDown() {
+	n.fanOut(tos, m, n.deliver)
+}
+
+// deliver crosses one encoding to one destination: the decoded loopback
+// for self, the transport's peer queue for everyone else.
+func (n *TCPNode) deliver(to types.NodeID, m message.Message, raw []byte) {
+	if to == n.ID() {
+		n.loopback(m)
 		return
 	}
-	raw := m.Marshal()
-	for _, to := range tos {
-		if to == n.id {
-			n.enqueue(liveEvent{from: n.id, msg: m})
-			continue
-		}
-		n.tr.Send(to, raw)
-	}
-}
-
-// SetTimer implements Env.
-func (n *TCPNode) SetTimer(d time.Duration, fn func()) Timer {
-	lt := &liveTimer{}
-	lt.timer = time.AfterFunc(d, func() {
-		n.enqueue(liveEvent{fn: func() {
-			if lt.expired() {
-				return
-			}
-			fn()
-		}})
-	})
-	return lt
-}
-
-// Digest implements Env.
-func (n *TCPNode) Digest(data []byte) []byte { return n.ident.Digest(data) }
-
-// Sign implements Env.
-func (n *TCPNode) Sign(digest []byte) (crypto.Signature, error) { return n.ident.Sign(digest) }
-
-// Verify implements Env.
-func (n *TCPNode) Verify(signer types.NodeID, digest []byte, sig crypto.Signature) error {
-	return n.ident.Verify(signer, digest, sig)
-}
-
-// Logf implements Env.
-func (n *TCPNode) Logf(format string, args ...any) {
-	n.log.Printf("[%v] %s", n.id, fmt.Sprintf(format, args...))
+	n.tr.Send(to, raw)
 }
 
 // TCPCluster runs a whole cluster as real TCP endpoints on loopback: one
@@ -246,7 +141,8 @@ func NewTCPCluster() *TCPCluster {
 // before AddNode.
 func (c *TCPCluster) SetLogger(l *log.Logger) { c.logger = l }
 
-// SetTransportOptions overrides transport tuning for nodes added later.
+// SetTransportOptions overrides transport tuning (including the session
+// config) for nodes added later.
 func (c *TCPCluster) SetTransportOptions(opts tcpnet.Options) { c.opts = opts }
 
 // AddNode registers a process before Start: it binds a loopback listener
@@ -330,4 +226,19 @@ func (c *TCPCluster) Node(id types.NodeID) (*TCPNode, bool) {
 	defer c.mu.Unlock()
 	n, ok := c.nodes[id]
 	return n, ok
+}
+
+// BounceConns forcibly closes every live connection of every node's
+// transport, as a cluster-wide network fault would; senders redial and,
+// with sessions, resume. Fault-injection hook for resume tests.
+func (c *TCPCluster) BounceConns() {
+	c.mu.Lock()
+	nodes := make([]*TCPNode, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.Transport().BounceConns()
+	}
 }

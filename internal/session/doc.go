@@ -1,0 +1,44 @@
+// Package session implements per-peer sequenced, HMAC-authenticated,
+// resumable sessions over the tcpnet framed transport ("frame v2").
+//
+// The v1 TCP wire accepts any 4-byte hello as a peer identity and
+// abandons in-flight frames when a connection dies; only the protocol
+// signatures inside messages authenticate content. This package closes
+// both gaps beneath the protocol layer, in the spirit of the
+// authenticated point-to-point channels BFT-style systems assume
+// (Castro-Liskov session MACs):
+//
+//   - every data frame carries a version byte, a per-direction sequence
+//     number and an HMAC-SHA256 trailer keyed from the trusted dealer's
+//     link keys (crypto.LinkKeys), so a frame that was not produced by
+//     the claimed sender for this direction is rejected before it
+//     reaches protocol code;
+//   - the bare hello is replaced by an authenticated hello/ack exchange:
+//     the dialler proves it owns the direction key, and the acceptor
+//     answers with the highest sequence number it has delivered;
+//   - each sender keeps a bounded retransmission ring of sealed frames
+//     and, on reconnect, replays exactly the gap the ack reveals, so a
+//     dropped connection loses nothing as long as the gap fits the ring.
+//
+// The split of one session into a Sender (owned by the single sender
+// goroutine of a tcpnet peer) and a Receiver (shared by the acceptor's
+// connection readers, internally locked) mirrors how tcpnet uses one
+// unidirectional TCP connection per direction.
+//
+// Wire layout, carried inside a v1 length-prefixed frame:
+//
+//	data:  ver(1)=2 | kind(1)=1 | epoch(8) | seq(8) | body | mac(32)
+//	hello: ver(1)=2 | kind(1)=2 | from(4) | to(4) | epoch(8) | mac(32)
+//	ack:   ver(1)=2 | kind(1)=3 | from(4) | to(4) | epoch(8) |
+//	       lastDelivered(8) | mac(32)
+//
+// The MAC covers everything before it; data and hello MACs are keyed
+// with the sender's direction key K(from->to), the ack with the
+// acceptor's K(to->from). Sequence numbers start at 1 and never repeat
+// within a sender incarnation; the epoch (the sender's start time, so
+// incarnations are monotonically ordered) scopes them, letting a
+// restarted process supersede its predecessor's delivery watermark
+// while replayed hellos or frames from superseded incarnations are
+// rejected as stale. Within one epoch, replayed frames are dropped as
+// duplicates by the receiver's in-order delivery check.
+package session

@@ -11,6 +11,7 @@ import (
 
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/types"
 )
 
@@ -19,24 +20,60 @@ import (
 // to all nodes", Section 3). Unlike the peer senders, its writes are
 // synchronous so each submission can report exactly which peers were
 // reached and why the others were not.
+//
+// With a session config the client speaks frame v2: the authenticated
+// hello/ack handshake on every (re)dial, sealed frames, and — with
+// resume — replay of requests the node had not delivered when the
+// previous connection died.
 type Client struct {
-	id    types.NodeID
-	ident *crypto.Identity
-	peers map[types.NodeID]string
+	id        types.NodeID
+	ident     *crypto.Identity
+	peers     map[types.NodeID]string
+	sess      *session.Config
+	hsTimeout time.Duration
 
 	mu    sync.Mutex // guards conns and seq
 	conns map[types.NodeID]net.Conn
 	seq   uint64
 
 	// sendMu serialises whole submissions: concurrent Submit calls on one
-	// Client must not interleave frame bytes on a shared connection.
+	// Client must not interleave frame bytes on a shared connection. The
+	// per-peer session senders (tx) are only touched under it.
 	sendMu sync.Mutex
+	tx     map[types.NodeID]*session.Sender
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithSession makes the client speak authenticated frame-v2 sessions; the
+// target nodes must run with the same session config.
+func WithSession(cfg *session.Config) ClientOption {
+	return func(c *Client) { c.sess = cfg }
+}
+
+// WithHandshakeTimeout bounds the wait for a node's hello-ack (default
+// 5 s). Only meaningful with WithSession.
+func WithHandshakeTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.hsTimeout = d }
 }
 
 // NewClient returns a client with the given identity. peers maps every
 // order process ID to its address (client IDs in the map are ignored).
-func NewClient(id types.NodeID, ident *crypto.Identity, peers map[types.NodeID]string) *Client {
-	return &Client{id: id, ident: ident, peers: peers, conns: make(map[types.NodeID]net.Conn)}
+func NewClient(id types.NodeID, ident *crypto.Identity, peers map[types.NodeID]string,
+	opts ...ClientOption) *Client {
+	c := &Client{
+		id:        id,
+		ident:     ident,
+		peers:     peers,
+		hsTimeout: 5 * time.Second,
+		conns:     make(map[types.NodeID]net.Conn),
+		tx:        make(map[types.NodeID]*session.Sender),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Submit signs and sends one request to every order process. It returns
@@ -57,6 +94,13 @@ func (c *Client) Submit(payload []byte) (message.ReqID, int, error) {
 	}
 	req.Sig = sig
 	raw := req.Marshal()
+	max := MaxFrame
+	if c.sess != nil {
+		max -= session.Overhead
+	}
+	if len(raw) > max {
+		return message.ReqID{}, 0, fmt.Errorf("tcpnet: request frame is %d bytes, exceeding the %d-byte frame limit", len(raw), max)
+	}
 
 	// Deterministic order so error output is stable.
 	targets := make([]types.NodeID, 0, len(c.peers))
@@ -81,6 +125,17 @@ func (c *Client) Submit(payload []byte) (message.ReqID, int, error) {
 	return req.ID(), reached, errors.Join(errs...)
 }
 
+// sender returns (creating if needed) the session sender for to. Called
+// with sendMu held.
+func (c *Client) sender(to types.NodeID) *session.Sender {
+	tx, ok := c.tx[to]
+	if !ok {
+		tx = c.sess.NewSender(c.id, to)
+		c.tx[to] = tx
+	}
+	return tx
+}
+
 func (c *Client) sendRaw(to types.NodeID, raw []byte) error {
 	addr := c.peers[to]
 	c.mu.Lock()
@@ -92,20 +147,44 @@ func (c *Client) sendRaw(to types.NodeID, raw []byte) error {
 		if err != nil {
 			return fmt.Errorf("dial peer %v (%s): %w", to, addr, err)
 		}
-		var hello [4]byte
-		binary.BigEndian.PutUint32(hello[:], uint32(int32(c.id)))
-		if _, err := conn.Write(hello[:]); err != nil {
-			_ = conn.Close()
-			return fmt.Errorf("hello to peer %v (%s): %w", to, addr, err)
+		if c.sess == nil {
+			var hello [4]byte
+			binary.BigEndian.PutUint32(hello[:], uint32(int32(c.id)))
+			if _, err := conn.Write(hello[:]); err != nil {
+				_ = conn.Close()
+				return fmt.Errorf("hello to peer %v (%s): %w", to, addr, err)
+			}
+		} else {
+			replay, err := handshake(conn, c.sender(to), c.hsTimeout)
+			if err != nil {
+				_ = conn.Close()
+				return fmt.Errorf("session handshake with peer %v (%s): %w", to, addr, err)
+			}
+			for _, f := range replay {
+				if err := writeSessionFrame(conn, f); err != nil {
+					_ = conn.Close()
+					return fmt.Errorf("replay to peer %v (%s): %w", to, addr, err)
+				}
+			}
 		}
 		c.mu.Lock()
 		c.conns[to] = conn
 		c.mu.Unlock()
 	}
-	var hdr [frameHeaderLen]byte
-	putFrameHeader(hdr[:], len(raw))
-	bufs := net.Buffers{hdr[:], raw}
-	if _, err := bufs.WriteTo(conn); err != nil {
+	var err error
+	if c.sess != nil {
+		// With resume, sealing before a failed write is still safe: the
+		// frame lands in the retransmission ring and the next dial's
+		// handshake replays it. Without resume a failed write loses the
+		// frame (authenticated v1 behaviour); the caller sees the error.
+		err = writeSessionFrame(conn, c.sender(to).Seal(raw))
+	} else {
+		var hdr [frameHeaderLen]byte
+		putFrameHeader(hdr[:], len(raw))
+		bufs := net.Buffers{hdr[:], raw}
+		_, err = bufs.WriteTo(conn)
+	}
+	if err != nil {
 		c.mu.Lock()
 		delete(c.conns, to)
 		c.mu.Unlock()
@@ -113,6 +192,16 @@ func (c *Client) sendRaw(to types.NodeID, raw []byte) error {
 		return fmt.Errorf("write to peer %v (%s): %w", to, addr, err)
 	}
 	return nil
+}
+
+// writeSessionFrame writes one sealed frame — length prefix and the three
+// sealed segments gathered — with a single writev.
+func writeSessionFrame(conn net.Conn, f session.Frame) error {
+	var hdr [frameHeaderLen]byte
+	putFrameHeader(hdr[:], f.WireLen())
+	bufs := net.Buffers{hdr[:], f.Hdr, f.Body, f.MAC}
+	_, err := bufs.WriteTo(conn)
+	return err
 }
 
 // Close closes all client connections.

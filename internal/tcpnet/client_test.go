@@ -1,0 +1,184 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// clientIdent issues a client identity plus node identities 0..n-1 from
+// one dealer so signatures verify across the pair.
+func clientIdent(t *testing.T, n int) (*crypto.Identity, map[types.NodeID]*crypto.Identity) {
+	t.Helper()
+	ids := make([]types.NodeID, 0, n+1)
+	for i := 0; i < n; i++ {
+		ids = append(ids, types.NodeID(i))
+	}
+	me := types.ClientID(0)
+	ids = append(ids, me)
+	dealer := crypto.NewDealer(crypto.NewHMACSuite(), crypto.WithKeyCache(crypto.SharedKeyCache()))
+	idents, _, err := dealer.Issue(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idents[me], idents
+}
+
+// TestClientDialFailure checks the error path for an unreachable node: no
+// panic, zero reached, and an error naming the peer and its address.
+func TestClientDialFailure(t *testing.T) {
+	ident, _ := clientIdent(t, 1)
+	// Bind-then-close yields an address nobody is listening on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cl := NewClient(types.ClientID(0), ident, map[types.NodeID]string{0: addr})
+	defer cl.Close()
+	_, reached, err := cl.Submit([]byte("nobody home"))
+	if reached != 0 {
+		t.Fatalf("reached %d processes through a closed port", reached)
+	}
+	if err == nil || !strings.Contains(err.Error(), "dial peer") || !strings.Contains(err.Error(), addr) {
+		t.Errorf("dial failure error does not name the peer and address: %v", err)
+	}
+}
+
+// TestClientOversizedRequest checks a request whose frame would exceed
+// MaxFrame is refused before any bytes hit the wire.
+func TestClientOversizedRequest(t *testing.T) {
+	ident, _ := clientIdent(t, 1)
+	b, bch := listenT(t, 0, Options{})
+	cl := NewClient(types.ClientID(0), ident, map[types.NodeID]string{0: b.Addr()})
+	defer cl.Close()
+
+	_, reached, err := cl.Submit(make([]byte, MaxFrame))
+	if err == nil || reached != 0 {
+		t.Fatalf("oversized request accepted: reached=%d err=%v", reached, err)
+	}
+	if !strings.Contains(err.Error(), "frame") {
+		t.Errorf("oversize error unclear: %v", err)
+	}
+	select {
+	case f := <-bch:
+		t.Fatalf("oversized request produced a frame: %d bytes", len(f.raw))
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+// TestClientHandshakeTimeout checks the session handshake gives up — with
+// an error naming the peer — against a listener that accepts but never
+// answers the hello.
+func TestClientHandshakeTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // read nothing, ack nothing
+		}
+	}()
+
+	ident, _ := clientIdent(t, 1)
+	cl := NewClient(types.ClientID(0), ident, map[types.NodeID]string{0: ln.Addr().String()},
+		WithSession(sessionConfig(true)), WithHandshakeTimeout(200*time.Millisecond))
+	defer cl.Close()
+
+	start := time.Now()
+	_, reached, err := cl.Submit([]byte("hello?"))
+	if reached != 0 || err == nil || !strings.Contains(err.Error(), "handshake") {
+		t.Fatalf("expected handshake error, got reached=%d err=%v", reached, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("handshake timeout took %v, want ~200ms", elapsed)
+	}
+}
+
+// TestClientSessionResume checks the synchronous client path recovers a
+// request written into a dying connection: the sealed frame stays in the
+// ring and the next dial's handshake replays it, so the node sees every
+// request exactly once.
+func TestClientSessionResume(t *testing.T) {
+	cfg := sessionConfig(true)
+	node, nch := listenT(t, 0, Options{Session: cfg})
+	ident, _ := clientIdent(t, 1)
+	cl := NewClient(types.ClientID(0), ident, map[types.NodeID]string{0: node.Addr()},
+		WithSession(cfg))
+	defer cl.Close()
+
+	if _, reached, err := cl.Submit([]byte("req-000")); reached != 1 || err != nil {
+		t.Fatalf("initial submit: reached=%d err=%v", reached, err)
+	}
+	node.BounceConns()
+
+	// Post-bounce submits may land in the dead socket (a TCP write after
+	// the peer closed often succeeds locally); the first write that does
+	// error drops the connection, and the next submit's redial handshake
+	// replays everything the node never delivered. Keep submitting fresh
+	// requests — each one is another chance to trip the error and resume
+	// — until every submitted request has been delivered. The handler
+	// sees marshalled Request frames, so requests are matched by their
+	// distinctive fixed-width payloads.
+	submitted := []string{"req-000"}
+	var frames []string
+	drain := func() {
+		for {
+			select {
+			case f := <-nch:
+				frames = append(frames, string(f.raw))
+			default:
+				return
+			}
+		}
+	}
+	deliveries := func(payload string) int {
+		n := 0
+		for _, f := range frames {
+			if strings.Contains(f, payload) {
+				n++
+			}
+		}
+		return n
+	}
+	allSeen := func() bool {
+		for _, p := range submitted {
+			if deliveries(p) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 1; ; i++ {
+		payload := fmt.Sprintf("req-%03d", i)
+		_, _, _ = cl.Submit([]byte(payload)) // an error here still lands the frame in the ring
+		submitted = append(submitted, payload)
+		time.Sleep(20 * time.Millisecond)
+		drain()
+		if allSeen() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only some of %d submitted requests arrived; a request was lost across the disconnect", len(submitted))
+		}
+	}
+	for _, p := range submitted {
+		if n := deliveries(p); n != 1 {
+			t.Errorf("request %q delivered %d times, want exactly once", p, n)
+		}
+	}
+}

@@ -8,10 +8,22 @@
 // (TCPNode, TCPCluster) on top of it, and cmd/sofnode / cmd/sofclient use
 // it directly.
 //
-// Wire format: on connect, the dialer sends a 4-byte big-endian NodeID
-// hello; thereafter each message is a 4-byte big-endian length prefix
-// followed by the marshalled message (a frame). Connections identify the
-// sender; message-level signatures still authenticate content.
+// Wire format v1 (Options.Session == nil): on connect, the dialer sends a
+// 4-byte big-endian NodeID hello; thereafter each message is a 4-byte
+// big-endian length prefix followed by the marshalled message (a frame).
+// Connections identify the sender by claim only; message-level signatures
+// still authenticate content.
+//
+// Wire format v2 (Options.Session != nil): the same length-prefixed
+// framing, but the bare hello becomes an HMAC-authenticated hello/ack
+// handshake and every frame payload carries a version byte, a
+// per-direction sequence number and an HMAC-SHA256 trailer (see
+// internal/session). Sender identity is then cryptographically bound to
+// the dealer's link keys, tampered frames are rejected before reaching
+// protocol code, and — with Session.Resume — each sender's bounded
+// retransmission ring replays the in-flight window after a reconnect
+// instead of losing it. All endpoints of a deployment must agree on the
+// setting.
 //
 // Performance model:
 //

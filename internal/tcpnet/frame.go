@@ -39,10 +39,12 @@ func AppendFrame(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
-// ReadFrame reads one length-prefixed frame from r. The payload is freshly
-// allocated: callers hand it to message.Decode, which aliases it, so frame
-// buffers must not be pooled or reused.
-func ReadFrame(r *bufio.Reader) ([]byte, error) {
+// ReadFrame reads one length-prefixed frame from r (the read loops pass a
+// pooled bufio.Reader; the session handshake reads its single ack straight
+// off the conn). The payload is freshly allocated: callers hand it to
+// message.Decode, which aliases it, so frame buffers must not be pooled or
+// reused.
+func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err

@@ -10,14 +10,24 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/types"
 )
 
-// PeerStats reports one peer sender's drop and reconnect counters.
+// PeerStats reports one peer sender's queue, drop, retransmission and
+// reconnect counters.
 type PeerStats struct {
+	// Queued counts frames accepted into the peer's bounded send queue.
+	Queued uint64
 	// Dropped counts frames discarded because the peer's bounded send
 	// queue was full (backpressure from a slow or unreachable peer).
 	Dropped uint64
+	// Retransmitted counts frames replayed from the session ring after a
+	// reconnect (always 0 without sessions or with resume off).
+	Retransmitted uint64
+	// SessionLost counts frames a session reconnect could not recover
+	// (evicted from the retransmission ring, or resume disabled).
+	SessionLost uint64
 	// Reconnects counts connections torn down after a write error and
 	// redialled.
 	Reconnects uint64
@@ -30,11 +40,21 @@ type PeerStats struct {
 // The queue bound is the backpressure contract: enqueue never blocks the
 // caller (a protocol event loop), and a peer that stops reading costs the
 // sender at most QueueLen retained frames before new ones are dropped.
+//
+// With sessions enabled the sender additionally seals every frame
+// (sequence number + HMAC trailer) and keeps the sealed frames in the
+// session's retransmission ring; a reconnect handshakes, learns what the
+// peer delivered, and replays the gap before sending anything new.
 type peer struct {
 	self, id types.NodeID
 	addr     string
 	opts     Options
 	logger   *log.Logger
+
+	// tx is the session sender for this direction (nil when sessions are
+	// off). It is owned by the run goroutine; only Stats reads it from
+	// outside.
+	tx *session.Sender
 
 	ch   chan []byte
 	stop chan struct{}
@@ -46,12 +66,13 @@ type peer struct {
 	conn   net.Conn
 	closed bool
 
+	queued     atomic.Uint64
 	dropped    atomic.Uint64
 	reconnects atomic.Uint64
 }
 
 func newPeer(self, id types.NodeID, addr string, opts Options, logger *log.Logger) *peer {
-	return &peer{
+	p := &peer{
 		self:   self,
 		id:     id,
 		addr:   addr,
@@ -60,6 +81,10 @@ func newPeer(self, id types.NodeID, addr string, opts Options, logger *log.Logge
 		ch:     make(chan []byte, opts.QueueLen),
 		stop:   make(chan struct{}),
 	}
+	if opts.Session != nil {
+		p.tx = opts.Session.NewSender(self, id)
+	}
+	return p
 }
 
 // enqueue hands raw to the sender without copying; raw must be immutable
@@ -68,6 +93,7 @@ func newPeer(self, id types.NodeID, addr string, opts Options, logger *log.Logge
 func (p *peer) enqueue(raw []byte) bool {
 	select {
 	case p.ch <- raw:
+		p.queued.Add(1)
 		return true
 	default:
 		p.dropped.Add(1)
@@ -113,7 +139,17 @@ func (p *peer) dropCurrentConn() {
 }
 
 func (p *peer) stats() PeerStats {
-	return PeerStats{Dropped: p.dropped.Load(), Reconnects: p.reconnects.Load()}
+	ps := PeerStats{
+		Queued:     p.queued.Load(),
+		Dropped:    p.dropped.Load(),
+		Reconnects: p.reconnects.Load(),
+	}
+	if p.tx != nil {
+		st := p.tx.Stats()
+		ps.Retransmitted = st.Retransmitted
+		ps.SessionLost = st.Lost
+	}
+	return ps
 }
 
 func (p *peer) isClosed() bool {
@@ -122,36 +158,122 @@ func (p *peer) isClosed() bool {
 	return p.closed
 }
 
-// dial opens and hellos a connection to the peer. Errors name the peer and
-// its address so operators can tell which link is failing.
-func (p *peer) dial() (net.Conn, error) {
+// dial opens a connection to the peer and identifies this endpoint on it:
+// the bare v1 hello, or — with sessions — the authenticated hello/ack
+// handshake, whose ack yields the frames to replay before new traffic.
+// Errors name the peer and its address so operators can tell which link
+// is failing.
+func (p *peer) dial() (net.Conn, []session.Frame, error) {
 	c, err := net.DialTimeout("tcp", p.addr, p.opts.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("dial peer %v (%s): %w", p.id, p.addr, err)
+		return nil, nil, fmt.Errorf("dial peer %v (%s): %w", p.id, p.addr, err)
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true) // the sender already coalesces; don't let the kernel re-delay
 	}
-	var hello [4]byte
-	binary.BigEndian.PutUint32(hello[:], uint32(int32(p.self)))
-	if _, err := c.Write(hello[:]); err != nil {
-		_ = c.Close()
-		return nil, fmt.Errorf("hello to peer %v (%s): %w", p.id, p.addr, err)
+	if p.tx == nil {
+		var hello [4]byte
+		binary.BigEndian.PutUint32(hello[:], uint32(int32(p.self)))
+		if _, err := c.Write(hello[:]); err != nil {
+			_ = c.Close()
+			return nil, nil, fmt.Errorf("hello to peer %v (%s): %w", p.id, p.addr, err)
+		}
+		return c, nil, nil
 	}
-	return c, nil
+	replay, err := handshake(c, p.tx, p.opts.HandshakeTimeout)
+	if err != nil {
+		_ = c.Close()
+		return nil, nil, fmt.Errorf("session handshake with peer %v (%s): %w", p.id, p.addr, err)
+	}
+	if lost := p.tx.Stats().Lost; lost > 0 {
+		p.logger.Printf("tcpnet %v: session to peer %v: %d frame(s) total lost beyond the retransmission ring", p.self, p.id, lost)
+	}
+	return c, replay, nil
+}
+
+// handshake runs the dial-side session handshake on c: send the
+// authenticated hello, await the authenticated ack (bounded by timeout),
+// and compute the resume replay. Shared by peer senders and the
+// synchronous Client.
+func handshake(c net.Conn, tx *session.Sender, timeout time.Duration) ([]session.Frame, error) {
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	defer c.SetDeadline(time.Time{})
+	if _, err := c.Write(AppendFrame(nil, tx.Hello())); err != nil {
+		return nil, fmt.Errorf("hello: %w", err)
+	}
+	ack, err := ReadFrame(c)
+	if err != nil {
+		return nil, fmt.Errorf("awaiting hello-ack: %w", err)
+	}
+	replay, _, err := tx.HandleAck(ack)
+	if err != nil {
+		return nil, err
+	}
+	return replay, nil
 }
 
 // run is the sender loop. It blocks for the first queued frame, then
 // drains up to MaxBatch-1 more without blocking and writes the whole batch
-// — length prefixes and payloads gathered — with one writev syscall.
+// — length prefixes and payloads gathered — with one writev syscall. With
+// sessions, each frame is sealed (in order, by this goroutine) just
+// before the write, and a reconnect replays the unacknowledged window
+// immediately instead of waiting for new traffic.
 func (p *peer) run() {
 	var conn net.Conn
 	defer p.dropCurrentConn()
 	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(p.id)<<20 ^ int64(p.self)))
 	backoff := p.opts.RedialMin
 	pending := make([][]byte, 0, p.opts.MaxBatch)
+	frames := make([]session.Frame, 0, p.opts.MaxBatch)
 	hdrs := make([]byte, frameHeaderLen*p.opts.MaxBatch)
-	vecs := make([][]byte, 0, 2*p.opts.MaxBatch)
+	vecs := make([][]byte, 0, 4*p.opts.MaxBatch)
+
+	// sleep waits out the current backoff step; false means stop.
+	sleep := func() bool {
+		select {
+		case <-time.After(jitter(rng, backoff)):
+		case <-p.stop:
+			return false
+		}
+		backoff *= 2
+		if backoff > p.opts.RedialMax {
+			backoff = p.opts.RedialMax
+		}
+		return true
+	}
+	// connect dials (and, with sessions, handshakes and replays) until a
+	// connection is live; nil means the peer was closed.
+	connect := func() net.Conn {
+		for {
+			c, replay, err := p.dial()
+			if err != nil {
+				p.logger.Printf("tcpnet %v: %v (retrying in ~%v)", p.self, err, backoff)
+				if !sleep() {
+					return nil
+				}
+				continue
+			}
+			if !p.adoptConn(c) {
+				return nil // closed while dialling
+			}
+			if len(replay) > 0 {
+				if err := p.writeFrames(c, replay, hdrs, &vecs); err != nil {
+					p.reconnects.Add(1)
+					if !p.isClosed() {
+						p.logger.Printf("tcpnet %v: replay to peer %v (%s): %v; reconnecting", p.self, p.id, p.addr, err)
+					}
+					p.dropCurrentConn()
+					if !sleep() {
+						return nil
+					}
+					continue
+				}
+			}
+			backoff = p.opts.RedialMin
+			return c
+		}
+	}
+
 	for {
 		select {
 		case raw := <-p.ch:
@@ -168,51 +290,81 @@ func (p *peer) run() {
 				break coalesce
 			}
 		}
-		for conn == nil {
-			c, err := p.dial()
-			if err == nil {
-				if !p.adoptConn(c) {
-					return // closed while dialling
-				}
-				conn = c
-				backoff = p.opts.RedialMin
-				break
-			}
-			p.logger.Printf("tcpnet %v: %v (retrying in ~%v)", p.self, err, backoff)
-			select {
-			case <-time.After(jitter(rng, backoff)):
-			case <-p.stop:
+		if conn == nil {
+			if conn = connect(); conn == nil {
 				return
 			}
-			backoff *= 2
-			if backoff > p.opts.RedialMax {
-				backoff = p.opts.RedialMax
+		}
+		var err error
+		if p.tx != nil {
+			frames = frames[:0]
+			for _, raw := range pending {
+				frames = append(frames, p.tx.Seal(raw))
 			}
+			err = p.writeFrames(conn, frames, hdrs, &vecs)
+			for i := range frames {
+				frames[i] = session.Frame{} // the ring keeps its own references
+			}
+		} else {
+			vecs = vecs[:0]
+			for i, raw := range pending {
+				h := hdrs[i*frameHeaderLen : (i+1)*frameHeaderLen]
+				putFrameHeader(h, len(raw))
+				vecs = append(vecs, h, raw)
+			}
+			bufs := net.Buffers(vecs)
+			_, err = bufs.WriteTo(conn)
 		}
-		vecs = vecs[:0]
-		for i, raw := range pending {
-			h := hdrs[i*frameHeaderLen : (i+1)*frameHeaderLen]
-			putFrameHeader(h, len(raw))
-			vecs = append(vecs, h, raw)
-		}
-		bufs := net.Buffers(vecs)
-		if _, err := bufs.WriteTo(conn); err != nil {
-			// The batch is abandoned: after a partial write the stream
-			// framing is unknown, so resending could corrupt it. The
-			// asynchronous model tolerates the loss; the connection is
-			// redialled for the next batch.
+		if err != nil {
+			// Without sessions the batch is abandoned: after a partial
+			// write the stream framing is unknown, so resending could
+			// corrupt it, and the asynchronous model tolerates the loss.
+			// With sessions the sealed frames sit in the retransmission
+			// ring; reconnect now and replay them rather than waiting for
+			// new traffic to trigger the redial.
 			p.reconnects.Add(1)
 			if !p.isClosed() {
 				p.logger.Printf("tcpnet %v: write to peer %v (%s): %v; reconnecting", p.self, p.id, p.addr, err)
 			}
 			p.dropCurrentConn()
 			conn = nil
+			if p.tx != nil {
+				if conn = connect(); conn == nil {
+					return
+				}
+			}
 		}
 		for i := range pending {
 			pending[i] = nil // release payload references while idle
 		}
 		pending = pending[:0]
 	}
+}
+
+// writeFrames writes sealed session frames — length prefix, session
+// header, body and MAC gathered per frame — in MaxBatch-sized writev
+// calls.
+func (p *peer) writeFrames(conn net.Conn, frames []session.Frame, hdrs []byte, vecs *[][]byte) error {
+	for len(frames) > 0 {
+		n := len(frames)
+		if n > p.opts.MaxBatch {
+			n = p.opts.MaxBatch
+		}
+		v := (*vecs)[:0]
+		for i, f := range frames[:n] {
+			h := hdrs[i*frameHeaderLen : (i+1)*frameHeaderLen]
+			putFrameHeader(h, f.WireLen())
+			v = append(v, h, f.Hdr, f.Body, f.MAC)
+		}
+		bufs := net.Buffers(v)
+		_, err := bufs.WriteTo(conn)
+		*vecs = v[:0]
+		if err != nil {
+			return err
+		}
+		frames = frames[n:]
+	}
+	return nil
 }
 
 // jitter spreads a backoff delay over [d/2, d) so restarted peers are not

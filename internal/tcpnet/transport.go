@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/types"
 )
 
@@ -31,6 +32,15 @@ type Options struct {
 	// RedialMin and RedialMax bound the jittered exponential backoff
 	// between redial attempts to a dead peer (defaults 50 ms and 2 s).
 	RedialMin, RedialMax time.Duration
+	// Session, when non-nil, upgrades the wire to frame v2: HMAC-
+	// authenticated hellos and data frames with per-direction sequence
+	// numbers, and (with Session.Resume) gap replay on reconnect. Every
+	// endpoint of a deployment must agree on this setting — a v2
+	// endpoint rejects bare v1 hellos and vice versa.
+	Session *session.Config
+	// HandshakeTimeout bounds the dial-side wait for the session
+	// hello-ack (default 5 s). Ignored without Session.
+	HandshakeTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -48,6 +58,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RedialMax == 0 {
 		o.RedialMax = 2 * time.Second
+	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 5 * time.Second
 	}
 	return o
 }
@@ -70,6 +83,7 @@ type Transport struct {
 	mu            sync.Mutex
 	peers         map[types.NodeID]string
 	senders       map[types.NodeID]*peer
+	recvs         map[types.NodeID]*session.Receiver
 	inbound       map[net.Conn]struct{}
 	unknownLogged map[types.NodeID]struct{}
 	handler       Handler
@@ -98,6 +112,7 @@ func Listen(id types.NodeID, addr string, peers map[types.NodeID]string,
 		opts:          opts.withDefaults(),
 		peers:         make(map[types.NodeID]string),
 		senders:       make(map[types.NodeID]*peer),
+		recvs:         make(map[types.NodeID]*session.Receiver),
 		inbound:       make(map[net.Conn]struct{}),
 		unknownLogged: make(map[types.NodeID]struct{}),
 		fatal:         make(chan error, 1),
@@ -163,10 +178,22 @@ func (t *Transport) Close() {
 
 // Send enqueues raw (which must be immutable — the cached wire encoding
 // is) to one peer, dialling it lazily. It never blocks: it reports false
-// if the frame was dropped because the peer is unknown, its queue is full,
-// or the transport is closed. A self-addressed frame is delivered straight
-// to the handler.
+// if the frame was dropped because it cannot fit a wire frame, the peer
+// is unknown, its queue is full, or the transport is closed. A
+// self-addressed frame is delivered straight to the handler.
 func (t *Transport) Send(to types.NodeID, raw []byte) bool {
+	maxBody := MaxFrame
+	if t.opts.Session != nil {
+		maxBody -= session.Overhead
+	}
+	if len(raw) > maxBody {
+		// Never let an unsendable frame into a peer queue: the receiver
+		// would reject it, and with resume it would sit unacknowledged in
+		// the retransmission ring and wedge the link by being replayed on
+		// every reconnect.
+		t.logger.Printf("tcpnet %v: dropping %d-byte frame to %v: exceeds the %d-byte frame limit", t.id, len(raw), to, maxBody)
+		return false
+	}
 	if to == t.id {
 		t.mu.Lock()
 		h, closed := t.handler, t.closed
@@ -184,8 +211,9 @@ func (t *Transport) Send(to types.NodeID, raw []byte) bool {
 	return p.enqueue(raw)
 }
 
-// Stats returns the per-peer drop/reconnect counters of every sender
-// created so far.
+// Stats returns a snapshot of the per-peer queue/drop/retransmit/
+// reconnect counters of every sender created so far (cmd/sofnode logs it
+// on shutdown).
 func (t *Transport) Stats() map[types.NodeID]PeerStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -194,6 +222,64 @@ func (t *Transport) Stats() map[types.NodeID]PeerStats {
 		out[id] = p.stats()
 	}
 	return out
+}
+
+// SessionStats returns the inbound session counters (delivered watermark,
+// duplicates, gaps, rejected frames) per sending peer. Empty without
+// sessions.
+func (t *Transport) SessionStats() map[types.NodeID]session.ReceiverStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[types.NodeID]session.ReceiverStats, len(t.recvs))
+	for id, r := range t.recvs {
+		out[id] = r.Stats()
+	}
+	return out
+}
+
+// BounceConns forcibly closes every live connection — inbound readers and
+// outbound senders — without closing the transport, as a network fault
+// would. Senders redial (and, with sessions, handshake and replay the
+// unacknowledged window); inbound session state survives, so delivery
+// continuity is preserved. Reconnect and resume tests use this hook.
+func (t *Transport) BounceConns() {
+	t.mu.Lock()
+	conns := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	senders := make([]*peer, 0, len(t.senders))
+	for _, p := range t.senders {
+		senders = append(senders, p)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	for _, p := range senders {
+		p.dropCurrentConn()
+	}
+}
+
+// lookupReceiver returns the session receiver for from, if one exists.
+func (t *Transport) lookupReceiver(from types.NodeID) (*session.Receiver, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.recvs[from]
+	return r, ok
+}
+
+// receiver returns (creating if needed) the session receiver for frames
+// sent by from. Only called for authenticated senders (see readLoop).
+func (t *Transport) receiver(from types.NodeID) *session.Receiver {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.recvs[from]
+	if !ok {
+		r = t.opts.Session.NewReceiver(t.id, from)
+		t.recvs[from] = r
+	}
+	return r
 }
 
 // sender returns (creating and starting if needed) the peer sender for to,
@@ -257,7 +343,8 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
-// readLoop consumes one inbound connection: hello, then frames.
+// readLoop consumes one inbound connection: hello (bare v1, or the
+// authenticated v2 hello/ack exchange), then frames.
 func (t *Transport) readLoop(conn net.Conn) {
 	defer func() {
 		t.mu.Lock()
@@ -270,12 +357,53 @@ func (t *Transport) readLoop(conn net.Conn) {
 	// A connection that never identifies itself must not pin a goroutine
 	// and a pooled reader forever (port scans, TCP health probes).
 	_ = conn.SetReadDeadline(time.Now().Add(helloTimeout))
-	var hello [4]byte
-	if _, err := io.ReadFull(br, hello[:]); err != nil {
-		return
+	var from types.NodeID
+	var rx *session.Receiver
+	if t.opts.Session != nil {
+		hello, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		hfrom, hto, err := session.ParseHello(hello)
+		if err != nil || hto != t.id {
+			t.logger.Printf("tcpnet %v: rejecting connection from %s: malformed session hello", t.id, conn.RemoteAddr())
+			return
+		}
+		// Authenticate the claimed sender before allocating anything
+		// keyed by it: forged hellos must not grow the receiver map (or
+		// the link-key cache) — CheckHello is stateless.
+		if _, ok := t.lookupReceiver(hfrom); !ok {
+			if err := t.opts.Session.CheckHello(t.id, hello); err != nil {
+				t.logger.Printf("tcpnet %v: rejecting connection claiming %v from %s: %v", t.id, hfrom, conn.RemoteAddr(), err)
+				return
+			}
+		}
+		rx = t.receiver(hfrom)
+		if err := rx.VerifyHello(hello); err != nil {
+			t.logger.Printf("tcpnet %v: rejecting connection claiming %v from %s: %v", t.id, hfrom, conn.RemoteAddr(), err)
+			if errors.Is(err, session.ErrStaleEpoch) {
+				// Answer with the current ack anyway (authenticated, so
+				// harmless to a replayer): a genuine sender whose clock
+				// regressed across a restart learns the epoch to adopt
+				// and succeeds on its next redial.
+				_, _ = conn.Write(AppendFrame(nil, rx.Ack()))
+			}
+			return
+		}
+		// The ack carries the delivery watermark a resuming sender
+		// replays from.
+		if _, err := conn.Write(AppendFrame(nil, rx.Ack())); err != nil {
+			return
+		}
+		from = hfrom
+	} else {
+		var hello [4]byte
+		if _, err := io.ReadFull(br, hello[:]); err != nil {
+			return
+		}
+		from = types.NodeID(int32(binary.BigEndian.Uint32(hello[:])))
 	}
 	_ = conn.SetReadDeadline(time.Time{}) // frames may be arbitrarily far apart
-	from := types.NodeID(int32(binary.BigEndian.Uint32(hello[:])))
 	for {
 		raw, err := ReadFrame(br)
 		if err != nil {
@@ -288,6 +416,20 @@ func (t *Transport) readLoop(conn net.Conn) {
 				t.logger.Printf("tcpnet %v: read from %v (%s): %v", t.id, from, conn.RemoteAddr(), err)
 			}
 			return
+		}
+		if rx != nil {
+			body, err := rx.Open(raw)
+			if err != nil {
+				// Tampered or corrupt stream: the frame never reaches
+				// protocol code, and the connection is dropped (a
+				// legitimate sender redials and resumes).
+				t.logger.Printf("tcpnet %v: rejecting frame from %v (%s): %v", t.id, from, conn.RemoteAddr(), err)
+				return
+			}
+			if body == nil {
+				continue // duplicate of an already-delivered frame
+			}
+			raw = body
 		}
 		t.mu.Lock()
 		h, closed := t.handler, t.closed

@@ -115,6 +115,19 @@ type Config struct {
 	// value) or TCP. Incompatible with Simulated (the simulator has its
 	// own virtual substrate).
 	Transport Transport
+	// AuthFrames (TCP transport only) upgrades the wire to frame v2:
+	// the trusted dealer issues link keys, connection hellos are
+	// HMAC-authenticated instead of claimed, and every frame carries a
+	// per-direction sequence number plus an HMAC-SHA256 trailer, so a
+	// frame not produced by the claimed sender is rejected before it
+	// reaches protocol code.
+	AuthFrames bool
+	// SessionResume (TCP transport only) makes the authenticated
+	// sessions resumable: each sender keeps a bounded retransmission
+	// ring and, after a reconnect, replays exactly the frames the peer
+	// had not delivered, so a dropped connection loses nothing in
+	// flight. Implies AuthFrames.
+	SessionResume bool
 	// CommitRetention bounds how many commit events the measurement
 	// recorder retains for replica replay (0 = unlimited). Long-running
 	// clusters should set it (a few thousand is ample: replicas drain the
@@ -180,6 +193,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Simulated && cfg.Transport != InProcess {
 		return nil, fmt.Errorf("sof: Transport %v requires a live cluster (Simulated: false)", cfg.Transport)
 	}
+	if (cfg.AuthFrames || cfg.SessionResume) && cfg.Transport != TCP {
+		return nil, fmt.Errorf("sof: AuthFrames/SessionResume require Transport: TCP")
+	}
 	mirror := cfg.Protocol == SC || cfg.Protocol == SCR
 	if cfg.Mirror != nil {
 		mirror = *cfg.Mirror
@@ -197,6 +213,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Seed:             cfg.Seed,
 		Live:             !cfg.Simulated,
 		Transport:        cfg.Transport,
+		AuthFrames:       cfg.AuthFrames,
+		SessionResume:    cfg.SessionResume,
 		KeepCommits:      true,
 		CommitRetention:  cfg.CommitRetention,
 	}

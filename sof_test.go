@@ -2,6 +2,7 @@ package sof_test
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
@@ -203,5 +204,83 @@ func TestPublicAPITCPRejectsSimulated(t *testing.T) {
 		Transport: sof.TCP,
 	}); err == nil {
 		t.Fatal("Simulated+TCP config accepted")
+	}
+}
+
+// TestPublicAPIAuthRequiresTCP pins the config validation: authenticated
+// sessions are a TCP-transport feature.
+func TestPublicAPIAuthRequiresTCP(t *testing.T) {
+	if _, err := sof.NewCluster(sof.Config{Protocol: sof.SC, AuthFrames: true}); err == nil {
+		t.Fatal("AuthFrames accepted without Transport: TCP")
+	}
+	if _, err := sof.NewCluster(sof.Config{Protocol: sof.SC, SessionResume: true}); err == nil {
+		t.Fatal("SessionResume accepted without Transport: TCP")
+	}
+}
+
+// TestPublicAPISessionResumeNoFrameLoss is the kill-and-restart
+// acceptance test: an SC cluster over TCP with authenticated resumable
+// sessions has every live connection forcibly killed repeatedly while
+// requests are in flight, and still commits every submitted request at
+// every order process — zero frame loss. (Without SessionResume the
+// transport abandons in-flight frames on reconnect, so nodes behind a
+// killed connection would miss order batches forever in a fail-free run.)
+func TestPublicAPISessionResumeNoFrameLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SC,
+		F:             1,
+		Transport:     sof.TCP,
+		AuthFrames:    true,
+		SessionResume: true,
+		BatchInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	h := cluster.Harness()
+	const reqs = 30
+	ids := make([]sof.ReqID, 0, reqs)
+	for i := 0; i < reqs; i++ {
+		id, err := cluster.Submit([]byte("survives disconnects"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if i%5 == 2 {
+			// Kill every live connection in the cluster — client links
+			// and node-to-node links — while frames are in flight.
+			h.TCP().BounceConns()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i, id := range ids {
+		if err := cluster.AwaitCommit(id, 20*time.Second); err != nil {
+			t.Fatalf("request %d lost across a forced disconnect: %v", i, err)
+		}
+	}
+	// Zero frame loss means every order process — not just the first to
+	// commit — eventually commits every entry.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		lagging := ""
+		for _, node := range h.Topo.AllProcesses() {
+			if n := h.Events.CommittedEntries(node); n < reqs {
+				lagging = fmt.Sprintf("process %v committed %d/%d entries", node, n, reqs)
+				break
+			}
+		}
+		if lagging == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("frame loss despite SessionResume: %s", lagging)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
