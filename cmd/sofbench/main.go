@@ -13,10 +13,12 @@
 //
 // With -transport tcp the JSON additionally carries "tcp" mode points —
 // end-to-end wall-clock measurements of the TCP runtime (real loopback
-// sockets, framing, per-peer queues) — and "tcp-auth" points measuring
+// sockets, framing, per-peer queues) — plus "tcp-auth" points measuring
 // the same cluster over frame-v2 authenticated resumable sessions
-// (HMAC-sealed frames, hello/ack handshake, retransmission ring),
-// alongside the simulated overhead series.
+// (HMAC-sealed frames, hello/ack handshake, retransmission ring) and
+// "tcp-durable" points adding the write-ahead-logged durable node state
+// (session journals + commit stream, group-committed on the batching
+// interval), alongside the simulated overhead series.
 package main
 
 import (
@@ -135,12 +137,13 @@ func runHotPathJSON(path string, seed int64, withTCP bool) error {
 		}
 	}
 	if withTCP {
-		// Plain frames first, then the authenticated-session (frame v2,
-		// resume on) series, so the seal/open overhead is visible as the
-		// delta between the "tcp" and "tcp-auth" points.
-		for _, auth := range []bool{false, true} {
+		// Plain frames first, then authenticated sessions, then durable
+		// write-ahead-logged sessions — so the seal/open overhead shows as
+		// the "tcp"->"tcp-auth" delta and the group-committed fsync
+		// overhead as the "tcp-auth"->"tcp-durable" delta.
+		for _, mode := range harness.TCPModes {
 			for _, w := range []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second} {
-				pt, err := harness.RunTCPHotPathPoint(w, seed, auth)
+				pt, err := harness.RunTCPHotPathPoint(w, seed, mode)
 				if err != nil {
 					return err
 				}

@@ -9,39 +9,119 @@
 // With -bench it reports a submission-side load summary on exit:
 // submitted/failed counts, how many processes each submission reached,
 // and a latency summary of the synchronous submit path (sign + frame +
-// fan-out write). This is the first step toward the multi-machine
-// benchmark mode: commit-side latency needs a reply path from the nodes
-// and is measured in-process by sofbench -transport tcp meanwhile.
+// fan-out write). Adding -listen (an address the nodes were given via
+// their -clients flag) completes the multi-machine benchmark mode: the
+// client runs a listener, the nodes send a signed commit-observation
+// Reply for every committed entry, and the bench additionally reports
+// commit-side latency — submit-to-first-reply, and submit-to-(f+1)
+// verified replies, the point at which a real client accepts the result.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/stats"
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
 )
 
+// replyTracker accumulates commit-observation replies per request.
+type replyTracker struct {
+	mu        sync.Mutex
+	submitted map[message.ReqID]time.Time
+	replies   map[message.ReqID]map[types.NodeID]struct{}
+	first     stats.Sampler // submit -> first verified reply
+	quorum    stats.Sampler // submit -> (f+1)-th verified reply
+	observed  int           // requests with >= 1 reply
+	accepted  int           // requests with >= f+1 replies
+	bad       int           // replies failing signature verification
+	need      int           // f+1
+}
+
+func newReplyTracker(need int) *replyTracker {
+	return &replyTracker{
+		submitted: make(map[message.ReqID]time.Time),
+		replies:   make(map[message.ReqID]map[types.NodeID]struct{}),
+		need:      need,
+	}
+}
+
+func (rt *replyTracker) submit(id message.ReqID, at time.Time) {
+	rt.mu.Lock()
+	rt.submitted[id] = at
+	rt.mu.Unlock()
+}
+
+func (rt *replyTracker) onReply(verifier *crypto.Identity, from types.NodeID, rep *message.Reply) {
+	if rep.From != from {
+		return // a node may not speak for another
+	}
+	if err := rep.VerifySig(verifier); err != nil {
+		rt.mu.Lock()
+		rt.bad++
+		rt.mu.Unlock()
+		return
+	}
+	id := message.ReqID{Client: rep.Client, ClientSeq: rep.ClientSeq}
+	now := time.Now()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	t0, known := rt.submitted[id]
+	if !known {
+		return // a reply for someone else's request (or a stale run)
+	}
+	seen := rt.replies[id]
+	if seen == nil {
+		seen = make(map[types.NodeID]struct{})
+		rt.replies[id] = seen
+	}
+	if _, dup := seen[rep.From]; dup {
+		return // duplicate from the same node (resume replay etc.)
+	}
+	seen[rep.From] = struct{}{}
+	switch len(seen) {
+	case 1:
+		rt.observed++
+		rt.first.Add(now.Sub(t0))
+	case rt.need:
+		rt.accepted++
+		rt.quorum.Add(now.Sub(t0))
+	}
+}
+
+// done reports whether every submitted request has reached the acceptance
+// quorum.
+func (rt *replyTracker) done() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.accepted == len(rt.submitted)
+}
+
 func main() {
 	var (
-		f        = flag.Int("f", 2, "fault-tolerance parameter (to size the identity set)")
-		protoStr = flag.String("protocol", "sc", "protocol of the target cluster")
-		suiteStr = flag.String("suite", string(crypto.HMACSHA256), "signature suite")
-		secret   = flag.String("secret", "streets-of-byzantium", "shared dealer secret")
-		peersStr = flag.String("peers", "", "comma-separated node addresses, index = node ID")
-		n        = flag.Int("n", 10, "number of requests to submit")
-		size     = flag.Int("size", 128, "request payload bytes")
-		client   = flag.Int("client", 0, "client index (identity 0..15)")
-		interval = flag.Duration("interval", 50*time.Millisecond, "gap between submissions")
-		auth     = flag.Bool("auth", false, "authenticated frame-v2 sessions (must match the nodes' -auth)")
-		resume   = flag.Bool("resume", false, "resumable sessions (implies -auth; must match the nodes)")
-		bench    = flag.Bool("bench", false, "report submission counts and latency summary on exit")
+		f         = flag.Int("f", 2, "fault-tolerance parameter (to size the identity set)")
+		protoStr  = flag.String("protocol", "sc", "protocol of the target cluster")
+		suiteStr  = flag.String("suite", string(crypto.HMACSHA256), "signature suite")
+		secret    = flag.String("secret", "streets-of-byzantium", "shared dealer secret")
+		peersStr  = flag.String("peers", "", "comma-separated node addresses, index = node ID")
+		n         = flag.Int("n", 10, "number of requests to submit")
+		size      = flag.Int("size", 128, "request payload bytes")
+		client    = flag.Int("client", 0, "client index (identity 0..15)")
+		interval  = flag.Duration("interval", 50*time.Millisecond, "gap between submissions")
+		auth      = flag.Bool("auth", false, "authenticated frame-v2 sessions (must match the nodes' -auth)")
+		resume    = flag.Bool("resume", false, "resumable sessions (implies -auth; must match the nodes)")
+		bench     = flag.Bool("bench", false, "report submission counts and latency summary on exit")
+		listen    = flag.String("listen", "", "listen address for commit-observation replies (give it to the nodes via -clients); enables commit-side latency in -bench")
+		replyWait = flag.Duration("reply-wait", 5*time.Second, "after the last submission, how long to wait for outstanding commit replies")
 	)
 	flag.Parse()
 	if *resume {
@@ -90,14 +170,40 @@ func main() {
 		log.Fatal(err)
 	}
 	var clOpts []tcpnet.ClientOption
+	var sessCfg *session.Config
 	if *auth {
 		links, err := dealer.IssueLinks()
 		if err != nil {
 			log.Fatal(err)
 		}
-		clOpts = append(clOpts, tcpnet.WithSession(&session.Config{Keys: links, Resume: *resume}))
+		sessCfg = &session.Config{Keys: links, Resume: *resume}
+		clOpts = append(clOpts, tcpnet.WithSession(sessCfg))
 	}
 	me := types.ClientID(*client)
+
+	// The commit-observation listener: nodes dial this address (their
+	// -clients flag) and send a signed Reply per committed entry.
+	var tracker *replyTracker
+	if *listen != "" {
+		tracker = newReplyTracker(*f + 1)
+		logger := log.New(os.Stderr, fmt.Sprintf("sofclient[%d] ", *client), log.Ltime)
+		tr, err := tcpnet.Listen(me, *listen, nil, logger, tcpnet.Options{Session: sessCfg})
+		if err != nil {
+			log.Fatalf("listening for commit replies: %v", err)
+		}
+		defer tr.Close()
+		tr.Start(func(from types.NodeID, frame []byte) {
+			m, err := message.Decode(frame)
+			if err != nil {
+				return
+			}
+			if rep, ok := m.(*message.Reply); ok {
+				tracker.onReply(idents[me], from, rep)
+			}
+		})
+		fmt.Printf("listening for commit replies on %s (give the nodes -clients %s)\n", tr.Addr(), tr.Addr())
+	}
+
 	cl := tcpnet.NewClient(me, idents[me], peers, clOpts...)
 	defer cl.Close()
 
@@ -114,6 +220,9 @@ func main() {
 		t0 := time.Now()
 		id, reached, err := cl.Submit(payload)
 		sampler.Add(time.Since(t0))
+		if tracker != nil {
+			tracker.submit(id, t0)
+		}
 		if reached == 0 {
 			// Total transport loss is fatal: every peer failed, and err
 			// names each one with its address.
@@ -132,11 +241,27 @@ func main() {
 		}
 		time.Sleep(*interval)
 	}
+	if tracker != nil {
+		// Let stragglers arrive: commit-side latency includes batching,
+		// ordering and the reply leg.
+		deadline := time.Now().Add(*replyWait)
+		for !tracker.done() && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
 	if *bench {
 		elapsed := time.Since(start)
 		fmt.Printf("bench: submitted=%d reached_all=%d partial=%d elapsed=%v rate=%.1f req/s\n",
 			submitted, reachedAll, failed, elapsed.Round(time.Millisecond),
 			stats.Rate(submitted, elapsed))
 		fmt.Printf("bench: submit latency %v\n", sampler.Summary())
+		if tracker != nil {
+			tracker.mu.Lock()
+			fmt.Printf("bench: commit observed=%d/%d accepted(f+1)=%d/%d bad_sig=%d\n",
+				tracker.observed, submitted, tracker.accepted, submitted, tracker.bad)
+			fmt.Printf("bench: commit latency (first reply) %v\n", tracker.first.Summary())
+			fmt.Printf("bench: commit latency (f+1 replies) %v\n", tracker.quorum.Summary())
+			tracker.mu.Unlock()
+		}
 	}
 }

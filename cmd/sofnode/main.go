@@ -13,6 +13,19 @@
 // these flags. On shutdown the node logs its per-peer transport counters
 // (queued/dropped/retransmitted/reconnects).
 //
+// With -data-dir (requires -auth) the node's session state — epochs,
+// delivery watermarks and the sealed-but-unacknowledged frame window —
+// is journalled to a write-ahead log under that directory, group-
+// committed on the batching interval. A *restarted* node (same -id, same
+// -data-dir) then resumes its previous incarnation's sessions and, with
+// -resume, replays the frames the dead incarnation had sealed but never
+// delivered, so a crash loses at most one batching interval of frames.
+//
+// With -clients (comma-separated client listen addresses, index = client
+// number) the node sends a signed commit-observation Reply to the
+// request's client whenever it commits an entry; `sofclient -bench
+// -listen` consumes these to measure commit-side latency end to end.
+//
 // Example 7-node SC cluster (f=2) on one machine:
 //
 //	for i in $(seq 0 6); do
@@ -28,6 +41,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -37,10 +51,12 @@ import (
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/ct"
 	"github.com/sof-repro/sof/internal/fsp"
+	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/runtime"
 	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
+	"github.com/sof-repro/sof/internal/wal/sessionlog"
 )
 
 func main() {
@@ -55,10 +71,15 @@ func main() {
 		delta    = flag.Duration("delta", 5*time.Second, "pair differential delay estimate")
 		auth     = flag.Bool("auth", false, "authenticate frames: HMAC-sealed frame v2 with authenticated hellos (all nodes and clients must agree)")
 		resume   = flag.Bool("resume", false, "resume sessions across reconnects, replaying in-flight frames (implies -auth)")
+		dataDir  = flag.String("data-dir", "", "journal session state to this directory so a restarted node resumes its sessions and replays its dead incarnation's in-flight frames (requires -auth)")
+		clients  = flag.String("clients", "", "comma-separated client listen addresses (index = client number) to send commit-observation replies to")
 	)
 	flag.Parse()
 	if *resume {
 		*auth = true
+	}
+	if *dataDir != "" && !*auth {
+		log.Fatal("-data-dir requires -auth (durable state is the session journal)")
 	}
 
 	proto, err := parseProtocol(*protoStr)
@@ -97,31 +118,79 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	logger := log.New(os.Stderr, fmt.Sprintf("sofnode[%d] ", *id), log.Ltime|log.Lmicroseconds)
+
 	// Link keys draw from the same deterministic stream, after the same
 	// Issue call, on every node and client — so all endpoints derive
 	// identical session keys (sofclient performs the same sequence).
 	var topts tcpnet.Options
+	var journal *sessionlog.Store
 	if *auth {
 		links, err := dealer.IssueLinks()
 		if err != nil {
 			log.Fatal(err)
 		}
-		topts.Session = &session.Config{Keys: links, Resume: *resume}
+		cfg := &session.Config{Keys: links, Resume: *resume}
+		if *dataDir != "" {
+			journal, err = sessionlog.Open(sessionlog.Options{
+				Dir:          filepath.Join(*dataDir, "session"),
+				SyncInterval: *batch,
+				Logger:       logger,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Journal = journal
+		}
+		topts.Session = cfg
 	}
 
-	logger := log.New(os.Stderr, fmt.Sprintf("sofnode[%d] ", *id), log.Ltime|log.Lmicroseconds)
-	proc, err := buildProcess(self, topo, idents, proto, *batch, *delta, logger)
+	// Known client endpoints for the commit-observation reply path.
+	replyTo := make(map[types.NodeID]string)
+	if *clients != "" {
+		for k, a := range strings.Split(*clients, ",") {
+			replyTo[types.ClientID(k)] = strings.TrimSpace(a)
+		}
+		for cid, a := range replyTo {
+			peers[cid] = a
+		}
+	}
+
+	var node *runtime.TCPNode
+	sendReply := func(ev core.CommitEvent) {
+		n := node // set before Start; commits only happen after
+		if n == nil || len(replyTo) == 0 {
+			return
+		}
+		for i := range ev.Entries {
+			e := &ev.Entries[i]
+			if _, known := replyTo[e.Req.Client]; !known {
+				continue
+			}
+			rep := &message.Reply{
+				From: self, Client: e.Req.Client, ClientSeq: e.Req.ClientSeq,
+				Seq: ev.FirstSeq + types.Seq(i),
+			}
+			sig, err := message.SignSingle(idents[self], rep.SignedBody())
+			if err != nil {
+				continue
+			}
+			rep.Sig = sig
+			n.Transport().Send(e.Req.Client, rep.Marshal())
+		}
+	}
+	proc, err := buildProcess(self, topo, idents, proto, *batch, *delta, logger, sendReply)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	node, err := runtime.NewTCPNode(self, peers[self], idents[self], proc, peers, logger, topts)
+	node, err = runtime.NewTCPNode(self, peers[self], idents[self], proc, peers, logger, topts)
 	if err != nil {
 		log.Fatalf("sofnode %d: %v", *id, err)
 	}
 	node.Start()
-	logger.Printf("up: %v f=%d n=%d listening on %s (auth=%v resume=%v)",
-		proto, *f, topo.N(), node.Addr(), *auth, *resume)
+	logger.Printf("up: %v f=%d n=%d listening on %s (auth=%v resume=%v durable=%v)",
+		proto, *f, topo.N(), node.Addr(), *auth, *resume, *dataDir != "")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -136,6 +205,14 @@ func main() {
 	}
 	logTransportStats(logger, node)
 	node.Stop()
+	if journal != nil {
+		// Clean shutdown: flush the journal so the successor incarnation
+		// recovers everything (a crash would lose at most one batching
+		// interval).
+		if err := journal.Close(); err != nil {
+			logger.Printf("closing session journal: %v", err)
+		}
+	}
 	if fatal {
 		os.Exit(1)
 	}
@@ -173,10 +250,12 @@ func parseProtocol(s string) (types.Protocol, error) {
 
 func buildProcess(self types.NodeID, topo types.Topology,
 	idents map[types.NodeID]*crypto.Identity, proto types.Protocol,
-	batch, delta time.Duration, logger *log.Logger) (runtime.Process, error) {
+	batch, delta time.Duration, logger *log.Logger,
+	sendReply func(core.CommitEvent)) (runtime.Process, error) {
 
 	onCommit := func(ev core.CommitEvent) {
 		logger.Printf("COMMIT view=%d seqs=[%d..%d] entries=%d", ev.View, ev.FirstSeq, ev.LastSeq, len(ev.Entries))
+		sendReply(ev)
 	}
 	switch proto {
 	case types.SC, types.SCR:

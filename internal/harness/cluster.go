@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"log"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"github.com/sof-repro/sof/internal/bft"
@@ -17,6 +19,8 @@ import (
 	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
+	"github.com/sof-repro/sof/internal/wal/commitlog"
+	"github.com/sof-repro/sof/internal/wal/sessionlog"
 )
 
 // LoadSpec describes the open-loop client workload: each client submits a
@@ -66,6 +70,24 @@ type Options struct {
 	// from each sender's retransmission ring after a reconnect, so a
 	// dropped connection loses nothing. Implies AuthFrames.
 	SessionResume bool
+	// Durable persists per-node state under DataDir in write-ahead logs:
+	// the recorder's commit stream (so CommitsSince serves evicted
+	// cursors from disk and commit history survives a crash), and — with
+	// SessionResume — each node's session state, so a *restarted* process
+	// keeps its session epoch and replays the frames its dead incarnation
+	// had sealed but not delivered. Group commit batches fsyncs on the
+	// BatchInterval; a crash loses at most that window. Requires Live and
+	// a non-empty DataDir.
+	Durable bool
+	// DataDir is the root directory for durable node state (one
+	// subdirectory per node plus the shared commit stream).
+	DataDir string
+	// TCPShaping applies the simulated network fabric's link model to the
+	// real TCP transport: per-link propagation/bandwidth delays from Net,
+	// and fabric cuts/isolations blackhole the corresponding socket
+	// links, so WAN-profile and partition experiments run on the real
+	// substrate. Requires the live TCP transport.
+	TCPShaping bool
 
 	NumClients  int
 	Load        *LoadSpec
@@ -127,6 +149,15 @@ type Cluster struct {
 	CT      map[types.NodeID]*ct.Process
 	BFT     map[types.NodeID]*bft.Process
 	clients map[types.NodeID]*clientProc
+
+	// Durable state (Options.Durable): the shared commit stream plus one
+	// session journal per node. links is the dealer link-key material,
+	// kept for rebuilding session configs on RestartNode.
+	links         *crypto.LinkKeys
+	commitStore   *commitlog.Store
+	storeMu       sync.Mutex
+	sessionStores map[types.NodeID]*sessionlog.Store
+	stopped       bool
 }
 
 // New builds (but does not start) a cluster.
@@ -134,6 +165,17 @@ func New(opts Options) (*Cluster, error) {
 	opts = opts.withDefaults()
 	if opts.AuthFrames && (!opts.Live || opts.Transport != types.TransportTCP) {
 		return nil, fmt.Errorf("harness: AuthFrames/SessionResume require the live TCP transport")
+	}
+	if opts.TCPShaping && (!opts.Live || opts.Transport != types.TransportTCP) {
+		return nil, fmt.Errorf("harness: TCPShaping requires the live TCP transport")
+	}
+	if opts.Durable {
+		if !opts.Live {
+			return nil, fmt.Errorf("harness: Durable requires a live cluster (the simulator has no disk)")
+		}
+		if opts.DataDir == "" {
+			return nil, fmt.Errorf("harness: Durable requires DataDir")
+		}
 	}
 	topo, err := types.NewTopology(opts.Protocol, opts.F)
 	if err != nil {
@@ -151,13 +193,14 @@ func New(opts Options) (*Cluster, error) {
 		opts.CommitRetention = min
 	}
 	c := &Cluster{
-		Opts:    opts,
-		Topo:    topo,
-		Events:  NewRecorder(opts.KeepCommits, opts.CommitRetention),
-		SC:      make(map[types.NodeID]*core.Process),
-		CT:      make(map[types.NodeID]*ct.Process),
-		BFT:     make(map[types.NodeID]*bft.Process),
-		clients: make(map[types.NodeID]*clientProc),
+		Opts:          opts,
+		Topo:          topo,
+		Events:        NewRecorder(opts.KeepCommits, opts.CommitRetention),
+		SC:            make(map[types.NodeID]*core.Process),
+		CT:            make(map[types.NodeID]*ct.Process),
+		BFT:           make(map[types.NodeID]*bft.Process),
+		clients:       make(map[types.NodeID]*clientProc),
+		sessionStores: make(map[types.NodeID]*sessionlog.Store),
 	}
 	// Identities for every order process and client, from the trusted
 	// dealer; the shared cache keeps RSA/DSA setup fast across runs.
@@ -176,7 +219,7 @@ func New(opts Options) (*Cluster, error) {
 	switch {
 	case opts.Live && opts.Transport == types.TransportTCP:
 		// Real loopback sockets; the fabric's simulated delays do not
-		// apply — latency comes from the actual network stack.
+		// apply unless TCPShaping imposes them on the socket path.
 		c.tcp = runtime.NewTCPCluster()
 		if opts.Logger != nil {
 			c.tcp.SetLogger(opts.Logger)
@@ -186,9 +229,22 @@ func New(opts Options) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			c.tcp.SetTransportOptions(tcpnet.Options{
-				Session: &session.Config{Keys: links, Resume: opts.SessionResume},
-			})
+			c.links = links
+			if opts.Durable {
+				// One session journal per node: each process owns (and
+				// recovers) its own incarnation lineage.
+				for _, id := range ids {
+					st, err := sessionlog.Open(c.sessionlogOptions(id))
+					if err != nil {
+						c.closeStores(true)
+						return nil, err
+					}
+					c.sessionStores[id] = st
+				}
+			}
+		}
+		if c.links != nil || opts.TCPShaping {
+			c.tcp.SetNodeOptions(c.tcpOptionsFor)
 		}
 		c.sub = c.tcp
 	case opts.Live:
@@ -207,12 +263,31 @@ func New(opts Options) (*Cluster, error) {
 	}
 
 	// The TCP substrate binds a real listener per AddNode, so a failure
-	// partway through assembly must release the ones already bound.
+	// partway through assembly must release the ones already bound (and
+	// close any durable stores already open).
 	fail := func(err error) (*Cluster, error) {
 		if c.tcp != nil {
 			c.tcp.Stop()
 		}
+		c.closeStores(true)
 		return nil, err
+	}
+	// The durable commit stream: recover history into the recorder before
+	// anything commits, so stream positions and the committed index
+	// continue where the previous incarnation stopped.
+	if opts.Durable && opts.KeepCommits {
+		store, err := commitlog.Open(commitlog.Options{
+			Dir:          filepath.Join(opts.DataDir, "commits"),
+			SyncInterval: opts.BatchInterval,
+			Logger:       opts.Logger,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		c.commitStore = store
+		if err := c.Events.AttachCommitStore(store); err != nil {
+			return fail(err)
+		}
 	}
 	// Order processes.
 	for _, id := range topo.AllProcesses() {
@@ -224,7 +299,14 @@ func New(opts Options) (*Cluster, error) {
 			return fail(err)
 		}
 	}
-	// Clients.
+	// Clients. With a recovered commit store, continue the durable
+	// request-ID namespace: a client of the new incarnation must not
+	// reuse a ClientSeq that committed in a previous one (the recovered
+	// committed index would answer for the wrong request).
+	var committedSeqs map[types.NodeID]uint64
+	if c.commitStore != nil {
+		committedSeqs = c.commitStore.MaxClientSeqs()
+	}
 	for k := 0; k < opts.NumClients; k++ {
 		id := types.ClientID(k)
 		cp := &clientProc{
@@ -233,12 +315,77 @@ func New(opts Options) (*Cluster, error) {
 			load:    opts.Load,
 			seed:    opts.Seed + int64(k),
 		}
+		if max := committedSeqs[id]; max > cp.seq {
+			cp.seq = max
+		}
 		c.clients[id] = cp
 		if err := c.addNode(id, cp); err != nil {
 			return fail(err)
 		}
 	}
 	return c, nil
+}
+
+// sessionlogOptions builds the per-node session-journal options: one
+// directory per node under DataDir, group-committed on the batching
+// interval so the fsync cadence matches the protocol's own batching.
+func (c *Cluster) sessionlogOptions(id types.NodeID) sessionlog.Options {
+	return sessionlog.Options{
+		Dir:          filepath.Join(c.Opts.DataDir, fmt.Sprintf("node-%d", int32(id)), "session"),
+		SyncInterval: c.Opts.BatchInterval,
+		Logger:       c.Opts.Logger,
+	}
+}
+
+// tcpOptionsFor is the per-node transport-options factory: each node gets
+// its own session config (sharing the dealer link keys, owning its own
+// journal) and, with TCPShaping, a Shape hook that consults the fabric
+// from its own vantage point.
+func (c *Cluster) tcpOptionsFor(id types.NodeID) tcpnet.Options {
+	var o tcpnet.Options
+	if c.links != nil {
+		cfg := &session.Config{Keys: c.links, Resume: c.Opts.SessionResume}
+		c.storeMu.Lock()
+		if st := c.sessionStores[id]; st != nil {
+			cfg.Journal = st
+		}
+		c.storeMu.Unlock()
+		o.Session = cfg
+	}
+	if c.Opts.TCPShaping {
+		from := id
+		o.Shape = func(to types.NodeID, size int) (time.Duration, bool) {
+			return c.Fabric.Delay(from, to, size)
+		}
+	}
+	return o
+}
+
+// closeStores closes (or, on the crash path, drops) every durable store.
+func (c *Cluster) closeStores(crash bool) {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, st := range c.sessionStores {
+		if st == nil {
+			continue
+		}
+		if crash {
+			st.Crash()
+		} else if err := st.Close(); err != nil && c.Opts.Logger != nil {
+			c.Opts.Logger.Printf("harness: closing session store: %v", err)
+		}
+	}
+	if c.commitStore != nil {
+		if crash {
+			c.commitStore.Crash()
+		} else if err := c.commitStore.Close(); err != nil && c.Opts.Logger != nil {
+			c.Opts.Logger.Printf("harness: closing commit store: %v", err)
+		}
+	}
 }
 
 func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
@@ -323,7 +470,8 @@ func (c *Cluster) addNode(id types.NodeID, proc runtime.Process) error {
 func (c *Cluster) Start() { c.sub.Start() }
 
 // Stop shuts the cluster down (live substrates only; the simulator simply
-// stops being driven).
+// stops being driven). Durable stores are flushed and closed, so a clean
+// shutdown loses nothing.
 func (c *Cluster) Stop() {
 	if c.live != nil {
 		c.live.Stop()
@@ -331,6 +479,105 @@ func (c *Cluster) Stop() {
 	if c.tcp != nil {
 		c.tcp.Stop()
 	}
+	c.closeStores(false)
+}
+
+// SyncDurable forces a group commit of every durable store, so tests can
+// place the durability point deterministically instead of waiting out the
+// sync interval. No-op without Options.Durable.
+func (c *Cluster) SyncDurable() error {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if c.commitStore != nil {
+		if err := c.commitStore.Sync(); err != nil {
+			return err
+		}
+	}
+	for _, st := range c.sessionStores {
+		if st == nil {
+			continue
+		}
+		if err := st.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KillNode crashes one TCP node: its listener, connections and event loop
+// die immediately and its durable session journal is dropped without a
+// flush — exactly what a process death does. The shared commit stream is
+// not crashed (in a real deployment it belongs to the measurement side,
+// and in-process it outlives individual nodes). Restart the node with
+// RestartNode.
+func (c *Cluster) KillNode(id types.NodeID) error {
+	if c.tcp == nil {
+		return fmt.Errorf("harness: KillNode requires the live TCP transport")
+	}
+	if err := c.tcp.Kill(id); err != nil {
+		return err
+	}
+	c.storeMu.Lock()
+	if st := c.sessionStores[id]; st != nil {
+		st.Crash()
+		c.sessionStores[id] = nil
+	}
+	c.storeMu.Unlock()
+	return nil
+}
+
+// RestartNode brings a killed node back as a new incarnation on the same
+// address. With Durable it reopens the node's session journal first, so
+// the incarnation recovers its predecessor's session epoch, sequence
+// numbers and unacknowledged frame window, and replays that window after
+// the authenticated handshake. Order processes restart with fresh
+// protocol state (the order protocols' own state is not durable — a
+// restarted replica rejoins the transport but re-derives ordering from
+// its peers); client processes are reused, preserving their request-ID
+// namespace.
+func (c *Cluster) RestartNode(id types.NodeID) error {
+	if c.tcp == nil {
+		return fmt.Errorf("harness: RestartNode requires the live TCP transport")
+	}
+	if !c.tcp.WasKilled(id) {
+		// Never open the journal of a node that is still alive (its own
+		// store holds the active segment) or was never added.
+		return fmt.Errorf("harness: node %v was not killed", id)
+	}
+	var reopened *sessionlog.Store
+	if c.Opts.Durable && c.links != nil {
+		st, err := sessionlog.Open(c.sessionlogOptions(id))
+		if err != nil {
+			return err
+		}
+		reopened = st
+		c.storeMu.Lock()
+		c.sessionStores[id] = st
+		c.storeMu.Unlock()
+	}
+	failRestart := func(err error) error {
+		if reopened != nil {
+			c.storeMu.Lock()
+			c.sessionStores[id] = nil
+			c.storeMu.Unlock()
+			_ = reopened.Close()
+		}
+		return err
+	}
+	var proc runtime.Process
+	if cp, ok := c.clients[id]; ok {
+		proc = cp
+	} else {
+		p, err := c.buildProcess(id)
+		if err != nil {
+			return failRestart(err)
+		}
+		proc = p
+	}
+	if err := c.tcp.Restart(id, c.idents[id], proc); err != nil {
+		return failRestart(err)
+	}
+	return nil
 }
 
 // RunFor advances the cluster by d: virtual time on the simulator, wall

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	stdruntime "runtime"
 	"time"
 
@@ -127,7 +128,7 @@ func RunLatencyThroughputPoint(proto types.Protocol, suite crypto.SuiteName, f i
 // (RunTCPHotPathPoint) run on the wall clock over the TCP runtime
 // instead, so their NsPerBatch is end-to-end wire time, not overhead.
 type HotPathPoint struct {
-	Mode           string        `json:"mode"` // "cursor", "legacy-scan", "tcp" or "tcp-auth"
+	Mode           string        `json:"mode"` // "cursor", "legacy-scan", or a TCPModes entry
 	Window         time.Duration `json:"window_ns"`
 	Batches        int           `json:"batches"`
 	CommitEvents   int           `json:"commit_events"`
@@ -240,6 +241,13 @@ func RunHotPathPoint(window time.Duration, seed int64, legacyScan bool) (HotPath
 	}, nil
 }
 
+// TCPModes are the TCP hot-path benchmark variants, in measurement
+// order: plain frames, authenticated resumable sessions, and
+// authenticated resumable sessions with the durable write-ahead logs on —
+// so the seal/open overhead and the group-committed fsync overhead are
+// each visible as a delta against the previous series.
+var TCPModes = []string{"tcp", "tcp-auth", "tcp-durable"}
+
 // RunTCPHotPathPoint measures the TCP runtime end to end over a
 // wall-clock window: a live SC cluster whose processes are real loopback
 // TCP endpoints, driven by the saturating open-loop client load. Unlike
@@ -247,11 +255,15 @@ func RunHotPathPoint(window time.Duration, seed int64, legacyScan bool) (HotPath
 // window), these points include real time — protocol execution, HMAC
 // signing, framing, socket I/O — so NsPerBatch tracks the delivered
 // batch rate of the wire path and AllocsPerBatch its allocation cost,
-// which is where encode-once fan-out and buffer pooling show up. With
-// auth the cluster runs frame-v2 authenticated resumable sessions
-// (mode "tcp-auth"), quantifying the per-frame seal/open overhead
-// against the plain "tcp" series.
-func RunTCPHotPathPoint(window time.Duration, seed int64, auth bool) (HotPathPoint, error) {
+// which is where encode-once fan-out and buffer pooling show up. mode
+// selects the variant (see TCPModes): "tcp-auth" adds frame-v2
+// authenticated resumable sessions, quantifying the per-frame seal/open
+// overhead against the plain "tcp" series, and "tcp-durable"
+// additionally journals session state and the commit stream to
+// write-ahead logs in a throwaway directory, quantifying the durability
+// overhead — which group commit keeps off the hot path, so its ms/batch
+// and allocs/batch stay within a few percent of "tcp-auth".
+func RunTCPHotPathPoint(window time.Duration, seed int64, mode string) (HotPathPoint, error) {
 	const interval = 10 * time.Millisecond
 	opts := Options{
 		Protocol:         types.SC,
@@ -269,8 +281,24 @@ func RunTCPHotPathPoint(window time.Duration, seed int64, auth bool) (HotPathPoi
 		CommitRetention:  4096,
 		Live:             true,
 		Transport:        types.TransportTCP,
-		AuthFrames:       auth,
-		SessionResume:    auth,
+	}
+	switch mode {
+	case "tcp":
+	case "tcp-auth":
+		opts.AuthFrames = true
+		opts.SessionResume = true
+	case "tcp-durable":
+		opts.AuthFrames = true
+		opts.SessionResume = true
+		opts.Durable = true
+		dir, err := os.MkdirTemp("", "sof-durable-bench-*")
+		if err != nil {
+			return HotPathPoint{}, err
+		}
+		defer os.RemoveAll(dir)
+		opts.DataDir = dir
+	default:
+		return HotPathPoint{}, fmt.Errorf("harness: unknown TCP hot-path mode %q", mode)
 	}
 	c, err := New(opts)
 	if err != nil {
@@ -312,10 +340,6 @@ func RunTCPHotPathPoint(window time.Duration, seed int64, auth bool) (HotPathPoi
 	probeNode, err := c.Topo.ReplicaID(c.Topo.NumReplicas())
 	if err != nil {
 		return HotPathPoint{}, err
-	}
-	mode := "tcp"
-	if auth {
-		mode = "tcp-auth"
 	}
 	return HotPathPoint{
 		Mode:           mode,

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -103,6 +104,11 @@ type Recorder struct {
 	commitLog   []committedAt
 	logHead     int
 	waiters     map[message.ReqID][]chan struct{}
+
+	// store, when set, is the durable commit stream: OnCommit appends to
+	// it, CommitsSince serves below-ring cursors from it, and recovery
+	// rebuilt the committed index from it (AttachCommitStore).
+	store CommitStore
 }
 
 // committedAt is one commitLog entry: the request and the stream position
@@ -114,6 +120,18 @@ type committedAt struct {
 
 // closedCommit is returned by CommitNotify for already-committed requests.
 var closedCommit = func() chan struct{} { ch := make(chan struct{}); close(ch); return ch }()
+
+// CommitStore is the durable backing of the commit stream (implemented by
+// wal/commitlog.Store): every event is appended at its stream position,
+// and cursors that have fallen below the in-memory retention ring read
+// from it instead of losing events. TruncateBefore follows the replica
+// drain watermark when retention is bounded.
+type CommitStore interface {
+	Append(pos uint64, ev core.CommitEvent)
+	ReadSince(cursor uint64, max int) ([]core.CommitEvent, uint64, error)
+	Count() uint64
+	TruncateBefore(pos uint64)
+}
 
 // NewRecorder returns an empty recorder. keepCommits retains commit events
 // for replay (the replica layer and tests use it); retain bounds how many
@@ -130,6 +148,49 @@ func NewRecorder(keepCommits bool, retain int) *Recorder {
 		committed:      make(map[message.ReqID]uint64),
 		waiters:        make(map[message.ReqID][]chan struct{}),
 	}
+}
+
+// AttachCommitStore makes the commit stream durable: the recorder's
+// stream position continues where the store's persisted stream ends, the
+// committed-request index is rebuilt from history (so AwaitCommit-style
+// checks answer for pre-crash commits), and every future commit event is
+// appended to the store. Call once, before the cluster starts committing.
+func (r *Recorder) AttachCommitStore(s CommitStore) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = s
+	total := s.Count()
+	if total == 0 {
+		return nil
+	}
+	// Resume the stream position past history: the in-memory ring starts
+	// empty at position `total`, and cursors below it read from disk.
+	r.commits.total = total
+	prunable := r.keepCommits && r.commits.limit > 0
+	for cursor := uint64(0); cursor < total; {
+		events, next, err := s.ReadSince(cursor, 8192)
+		if err != nil {
+			return fmt.Errorf("harness: recovering commit history: %w", err)
+		}
+		if next <= cursor {
+			break // head pruned away and nothing further
+		}
+		pos := next - uint64(len(events))
+		for i := range events {
+			for _, e := range events[i].Entries {
+				if _, dup := r.committed[e.Req]; dup {
+					continue
+				}
+				r.committed[e.Req] = pos
+				if prunable {
+					r.commitLog = append(r.commitLog, committedAt{pos: pos, id: e.Req})
+				}
+			}
+			pos++
+		}
+		cursor = next
+	}
+	return nil
 }
 
 // StartWindow begins the measurement window for throughput counting and
@@ -162,6 +223,10 @@ func (r *Recorder) OnCommit(ev core.CommitEvent) {
 	pos := r.commits.total // stream position this event gets if retained
 	if r.keepCommits {
 		r.commits.append(ev)
+		if r.store != nil {
+			// Buffered append; the store's group commit batches the fsync.
+			r.store.Append(pos, ev)
+		}
 	}
 	prunable := r.keepCommits && r.commits.limit > 0
 	for i := range ev.Entries {
@@ -257,6 +322,13 @@ func (r *Recorder) PruneCommittedBelow(cursor uint64) int {
 		r.commitLog = r.commitLog[:n]
 		r.logHead = 0
 	}
+	if r.store != nil && r.commits.limit > 0 {
+		// Bounded retention is the operator's opt-in to forgetting: the
+		// durable stream follows the same watermark, so disk usage tracks
+		// the drain cursor instead of growing with history. Unbounded
+		// retention keeps the full stream on disk.
+		r.store.TruncateBefore(w)
+	}
 	return pruned
 }
 
@@ -297,13 +369,68 @@ func (r *Recorder) CancelNotify(id message.ReqID, ch <-chan struct{}) {
 
 // CommitsSince returns the retained commit events at stream positions
 // [cursor, ...), the cursor to pass next time, and how many requested
-// events were already evicted from the retention ring. Pass cursor 0 on
-// the first call. Cost is O(events returned), independent of history
-// length.
+// events were evicted before they could be read. Pass cursor 0 on the
+// first call. Cost is O(events returned), independent of history length.
+// With a durable commit store attached, cursors below the in-memory
+// retention ring are served from disk, so eviction from the ring no
+// longer loses them; only events pruned from the store itself (below the
+// drain watermark) count as dropped.
 func (r *Recorder) CommitsSince(cursor uint64) (events []core.CommitEvent, next uint64, dropped uint64) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.commits.since(cursor)
+	if r.store == nil || cursor >= r.commits.oldest() {
+		defer r.mu.Unlock()
+		return r.commits.since(cursor)
+	}
+	// Below the ring: serve the whole request from the durable stream (it
+	// holds the ring's events too, so no stitching is needed). The disk
+	// read runs WITHOUT r.mu — the store is internally synchronized and
+	// positions are immutable once appended — so a replica catching up
+	// over history never stalls the OnCommit hot path.
+	next = r.commits.total
+	store := r.store
+	r.mu.Unlock()
+	for cursor < next {
+		chunk, chunkNext, err := store.ReadSince(cursor, 8192)
+		if err != nil || chunkNext <= cursor {
+			// Unreadable or missing on disk: whatever the ring still has
+			// can serve the tail; the rest of the request is dropped.
+			r.mu.Lock()
+			evs, evsNext, _ := r.commits.since(cursor)
+			r.mu.Unlock()
+			// Trim ring events beyond the snapshot end so the answer
+			// matches the [cursor, next) request.
+			served := uint64(0)
+			start := evsNext - uint64(len(evs))
+			for i := range evs {
+				if start+uint64(i) >= next {
+					break
+				}
+				events = append(events, evs[i])
+				served++
+			}
+			dropped += next - cursor - served
+			return events, next, dropped
+		}
+		first := chunkNext - uint64(len(chunk))
+		if first > cursor {
+			gapEnd := first
+			if gapEnd > next {
+				gapEnd = next
+			}
+			dropped += gapEnd - cursor // pruned head
+		}
+		for i := range chunk {
+			if first+uint64(i) >= next {
+				break // appended after our snapshot; later cursors get it
+			}
+			events = append(events, chunk[i])
+		}
+		cursor = chunkNext
+		if cursor > next {
+			cursor = next
+		}
+	}
+	return events, next, dropped
 }
 
 // CommitCursor returns the current end-of-stream cursor (the position the

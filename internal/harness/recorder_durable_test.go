@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sof-repro/sof/internal/core"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/types"
+	"github.com/sof-repro/sof/internal/wal/commitlog"
+)
+
+func commitEvent(pos int) core.CommitEvent {
+	return core.CommitEvent{
+		Node: types.NodeID(0), View: 1, Kind: message.SubjectBatch,
+		FirstSeq: types.Seq(pos + 1), LastSeq: types.Seq(pos + 1), At: time.Unix(0, int64(pos)),
+		Entries: []message.OrderEntry{{
+			Req: message.ReqID{Client: types.ClientID(0), ClientSeq: uint64(pos + 1)},
+		}},
+	}
+}
+
+// TestRecorderServesEvictedEventsFromStore: with bounded retention plus a
+// durable store, a cursor that fell below the in-memory ring reads the
+// evicted events from disk — CommitsSince reports zero dropped where the
+// memory-only recorder would have lost them.
+func TestRecorderServesEvictedEventsFromStore(t *testing.T) {
+	store, err := commitlog.Open(commitlog.Options{Dir: t.TempDir(), SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	const retain = 8 // below the events appended, so the ring evicts
+	r := NewRecorder(true, retain)
+	if err := r.AttachCommitStore(store); err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		r.OnCommit(commitEvent(i))
+	}
+	events, next, dropped := r.CommitsSince(0)
+	if dropped != 0 {
+		t.Fatalf("%d events dropped despite the durable store", dropped)
+	}
+	if len(events) != n || next != n {
+		t.Fatalf("got %d events next=%d, want %d", len(events), next, n)
+	}
+	for i, ev := range events {
+		if ev.FirstSeq != types.Seq(i+1) {
+			t.Fatalf("event %d out of order: %+v", i, ev)
+		}
+	}
+	// A memory-only recorder with the same retention provably drops them.
+	rm := NewRecorder(true, retain)
+	for i := 0; i < n; i++ {
+		rm.OnCommit(commitEvent(i))
+	}
+	if _, _, droppedMem := rm.CommitsSince(0); droppedMem == 0 {
+		t.Fatal("sensitivity check broken: memory-only recorder dropped nothing")
+	}
+}
+
+// TestRecorderRecoversHistoryAcrossRestart: a recorder attached to a
+// reopened store resumes the stream position and answers Committed for
+// requests that committed before the crash.
+func TestRecorderRecoversHistoryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := commitlog.Open(commitlog.Options{Dir: dir, SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRecorder(true, 0)
+	if err := r1.AttachCommitStore(store); err != nil {
+		t.Fatal(err)
+	}
+	const n = 15
+	for i := 0; i < n; i++ {
+		r1.OnCommit(commitEvent(i))
+	}
+	if err := store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	store.Crash() // the process dies
+
+	store2, err := commitlog.Open(commitlog.Options{Dir: dir, SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	r2 := NewRecorder(true, 0)
+	if err := r2.AttachCommitStore(store2); err != nil {
+		t.Fatal(err)
+	}
+	if cur := r2.CommitCursor(); cur != n {
+		t.Fatalf("recovered commit cursor = %d, want %d", cur, n)
+	}
+	for i := 0; i < n; i++ {
+		id := message.ReqID{Client: types.ClientID(0), ClientSeq: uint64(i + 1)}
+		if !r2.Committed(id) {
+			t.Fatalf("pre-crash commit of %v forgotten", id)
+		}
+	}
+	// History reads come from disk (the ring is empty after recovery).
+	events, next, dropped := r2.CommitsSince(0)
+	if len(events) != n || next != n || dropped != 0 {
+		t.Fatalf("history read: %d events next=%d dropped=%d", len(events), next, dropped)
+	}
+	// New commits continue the stream without position collisions.
+	r2.OnCommit(commitEvent(n))
+	if cur := r2.CommitCursor(); cur != n+1 {
+		t.Fatalf("cursor after post-recovery commit = %d, want %d", cur, n+1)
+	}
+	if c := store2.Count(); c != n+1 {
+		t.Fatalf("store count = %d, want %d", c, n+1)
+	}
+}
+
+// TestRecorderStorePruneFollowsWatermark: with bounded retention the
+// durable stream is pruned at the drain watermark — events below every
+// consumer's cursor stop occupying disk.
+func TestRecorderStorePruneFollowsWatermark(t *testing.T) {
+	store, err := commitlog.Open(commitlog.Options{Dir: t.TempDir(), SyncInterval: -1, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	r := NewRecorder(true, 8)
+	if err := r.AttachCommitStore(store); err != nil {
+		t.Fatal(err)
+	}
+	const n = 80
+	cursor := uint64(0)
+	for i := 0; i < n; i++ {
+		r.OnCommit(commitEvent(i))
+		if i%10 == 9 {
+			// A consumer drains and the watermark advances.
+			_, next, _ := r.CommitsSince(cursor)
+			cursor = next
+			r.PruneCommittedBelow(cursor)
+		}
+	}
+	if st := store.Stats(); st.PrunedSegments == 0 {
+		t.Fatalf("durable stream never pruned at the watermark: %+v", st)
+	}
+}

@@ -86,6 +86,31 @@ func LANDefaults() Params {
 	}
 }
 
+// WANDefaults returns a wide-area profile for shaped-TCP experiments:
+// ~20 ms propagation with a few ms of jitter on inter-node links and a
+// 10 MB/s bandwidth cap, with the intra-pair links kept metropolitan
+// (the paper's pairs share a site). Use with harness
+// Options{TCPShaping: true} to run WAN-profile experiments on the real
+// TCP substrate.
+func WANDefaults() Params {
+	return Params{
+		LAN: LinkParams{
+			BaseDelay:   20 * time.Millisecond,
+			Jitter:      3 * time.Millisecond,
+			BytesPerSec: 10_000_000,
+		},
+		Pair: LinkParams{
+			BaseDelay:   2 * time.Millisecond,
+			Jitter:      500 * time.Microsecond,
+			BytesPerSec: 12_500_000,
+		},
+		SendCPUBase:  380 * time.Microsecond,
+		SendCPUPerKB: 320 * time.Microsecond,
+		RecvCPUBase:  520 * time.Microsecond,
+		RecvCPUPerKB: 320 * time.Microsecond,
+	}
+}
+
 // Fabric is the connectivity state: which links exist, which are cut, and
 // traffic counters. It is safe for concurrent use (the live runtime sends
 // from many goroutines).

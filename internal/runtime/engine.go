@@ -65,6 +65,23 @@ func (e *engine) enqueueInit() {
 	e.enqueue(liveEvent{fn: func() { e.proc.Init(e.env) }})
 }
 
+// startLoop launches the event loop under wg with Init as the first queued
+// event. Substrates must call it BEFORE opening their inbound path
+// (transport handler, fabric delivery): the queue is FIFO, so anything a
+// peer delivers afterwards — including a session layer's recovered-frame
+// replay the instant the first handshake completes — is processed after
+// Init, never ahead of it. Restarted nodes depend on this ordering: the
+// replay of their dead incarnation's window must meet an initialised
+// process.
+func (e *engine) startLoop(wg *sync.WaitGroup) {
+	e.enqueueInit()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.loop()
+	}()
+}
+
 // loopback delivers a self-addressed message without touching the wire:
 // messages are immutable and the event loop serialises handling, so the
 // decoded form is handed over as-is.

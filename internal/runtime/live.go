@@ -67,13 +67,7 @@ func (c *LiveCluster) Start() {
 	defer c.mu.Unlock()
 	c.started = true
 	for _, id := range c.order {
-		n := c.nodes[id]
-		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			n.loop()
-		}()
-		n.enqueueInit()
+		c.nodes[id].startLoop(&c.wg)
 	}
 }
 

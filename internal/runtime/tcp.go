@@ -64,18 +64,15 @@ func (n *TCPNode) Transport() *tcpnet.Transport { return n.tr }
 // OS process (cmd/sofnode) should treat it as reason to exit non-zero.
 func (n *TCPNode) Fatal() <-chan error { return n.tr.Fatal() }
 
-// Start launches the event loop, begins accepting connections, and runs
-// the process's Init inside the loop.
+// Start launches the event loop with the process's Init as its first
+// event, then begins accepting connections — in that order, so inbound
+// frames (and a recovered session's replay, which can arrive the moment
+// the transport is up) are never processed ahead of Init.
 func (n *TCPNode) Start() {
-	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		n.loop()
-	}()
+	n.startLoop(&n.wg)
 	n.tr.Start(func(from types.NodeID, frame []byte) {
 		n.enqueue(liveEvent{from: from, raw: frame})
 	})
-	n.enqueueInit()
 }
 
 // Stop closes the transport and the event loop and waits for both.
@@ -119,12 +116,14 @@ func (n *TCPNode) deliver(to types.NodeID, m message.Message, raw []byte) {
 // OS process so the harness can drive it, but with every message crossing
 // real sockets. It implements the same substrate surface as LiveCluster.
 type TCPCluster struct {
-	logger *log.Logger
-	opts   tcpnet.Options
+	logger  *log.Logger
+	opts    tcpnet.Options
+	optsFor func(types.NodeID) tcpnet.Options
 
 	mu      sync.Mutex
 	nodes   map[types.NodeID]*TCPNode
 	order   []types.NodeID
+	killed  map[types.NodeID]string // id -> listen address, for Restart
 	started bool
 }
 
@@ -134,6 +133,7 @@ func NewTCPCluster() *TCPCluster {
 	return &TCPCluster{
 		logger: log.New(io.Discard, "", 0),
 		nodes:  make(map[types.NodeID]*TCPNode),
+		killed: make(map[types.NodeID]string),
 	}
 }
 
@@ -144,6 +144,20 @@ func (c *TCPCluster) SetLogger(l *log.Logger) { c.logger = l }
 // SetTransportOptions overrides transport tuning (including the session
 // config) for nodes added later.
 func (c *TCPCluster) SetTransportOptions(opts tcpnet.Options) { c.opts = opts }
+
+// SetNodeOptions installs a per-node transport-options factory, taking
+// precedence over SetTransportOptions. Durable deployments need it: each
+// node owns its own session journal (one directory per process), and
+// shaped deployments derive each node's Shape hook from its own identity.
+// Call before AddNode.
+func (c *TCPCluster) SetNodeOptions(fn func(types.NodeID) tcpnet.Options) { c.optsFor = fn }
+
+func (c *TCPCluster) nodeOpts(id types.NodeID) tcpnet.Options {
+	if c.optsFor != nil {
+		return c.optsFor(id)
+	}
+	return c.opts
+}
 
 // AddNode registers a process before Start: it binds a loopback listener
 // immediately (so Start can distribute the full address map) but serves
@@ -157,12 +171,81 @@ func (c *TCPCluster) AddNode(id types.NodeID, ident *crypto.Identity, proc Proce
 	if _, dup := c.nodes[id]; dup {
 		return fmt.Errorf("runtime: duplicate node %v", id)
 	}
-	n, err := NewTCPNode(id, "127.0.0.1:0", ident, proc, nil, c.logger, c.opts)
+	n, err := NewTCPNode(id, "127.0.0.1:0", ident, proc, nil, c.logger, c.nodeOpts(id))
 	if err != nil {
 		return err
 	}
 	c.nodes[id] = n
 	c.order = append(c.order, id)
+	return nil
+}
+
+// Kill hard-stops one node, as a process crash would: its listener and
+// connections close and its event loop stops processing, but nothing is
+// flushed or handed over — peers see the connections die and keep
+// redialling the (now dead) address. The address is remembered so Restart
+// can bind the successor incarnation in its place. Callers owning durable
+// state for the node (session journals) crash it separately; the transport
+// never flushes it.
+func (c *TCPCluster) Kill(id types.NodeID) error {
+	c.mu.Lock()
+	n, ok := c.nodes[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("runtime: no node %v to kill", id)
+	}
+	delete(c.nodes, id)
+	c.killed[id] = n.Addr()
+	c.mu.Unlock()
+	n.Stop()
+	return nil
+}
+
+// WasKilled reports whether id was stopped by Kill and awaits Restart.
+func (c *TCPCluster) WasKilled(id types.NodeID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.killed[id]
+	return ok
+}
+
+// Restart brings a killed node back as a new incarnation: a fresh TCPNode
+// for the same ID on the same address (so peers' redial loops find it),
+// running proc. With a durable session journal in the node's transport
+// options, the new incarnation recovers its predecessor's session state
+// and replays the unacknowledged window; protocol state is whatever proc
+// carries — the order protocols start fresh (their state is not durable),
+// client processes are typically reused across the restart.
+func (c *TCPCluster) Restart(id types.NodeID, ident *crypto.Identity, proc Process) error {
+	c.mu.Lock()
+	addr, ok := c.killed[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("runtime: node %v was not killed", id)
+	}
+	opts := c.nodeOpts(id)
+	logger := c.logger
+	addrs := make(map[types.NodeID]string, len(c.nodes)+1)
+	for nid, n := range c.nodes {
+		addrs[nid] = n.Addr()
+	}
+	addrs[id] = addr
+	c.mu.Unlock()
+
+	n, err := NewTCPNode(id, addr, ident, proc, addrs, logger, opts)
+	if err != nil {
+		return fmt.Errorf("runtime: restarting %v: %w", id, err)
+	}
+	c.mu.Lock()
+	if _, dup := c.nodes[id]; dup {
+		c.mu.Unlock()
+		n.tr.Close()
+		return fmt.Errorf("runtime: node %v already restarted", id)
+	}
+	delete(c.killed, id)
+	c.nodes[id] = n
+	c.mu.Unlock()
+	n.Start()
 	return nil
 }
 

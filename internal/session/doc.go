@@ -41,4 +41,16 @@
 // while replayed hellos or frames from superseded incarnations are
 // rejected as stale. Within one epoch, replayed frames are dropped as
 // duplicates by the receiver's in-order delivery check.
+//
+// With Config.Journal (implemented by wal/sessionlog over the write-
+// ahead log) the session state is durable: Seal journals every sealed
+// frame, HandleAck the acknowledgement watermark, Open/VerifyHello the
+// delivery watermark and epoch supersessions. A new Sender or Receiver
+// then *recovers* its predecessor's state instead of starting fresh —
+// same epoch, continued sequence numbers, the unacknowledged frame
+// window reloaded into the retransmission ring — so a restarted process
+// resumes its sessions where its dead incarnation stopped and replays
+// exactly the frames that incarnation had sealed but never delivered.
+// Journal writes are buffered and group-committed off the hot path; the
+// crash-loss window is the journal's sync interval.
 package session

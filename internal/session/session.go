@@ -76,6 +76,64 @@ type Config struct {
 	// RingLen bounds the retransmission ring, in frames (default
 	// DefaultRingLen). Gaps larger than the ring are reported as lost.
 	RingLen int
+	// Journal, when non-nil, makes the endpoint's session state durable:
+	// sealed frames, acknowledgement watermarks and delivery watermarks
+	// are journalled as they change, and new senders/receivers recover
+	// the previous incarnation's state — epoch, sequence numbers and the
+	// unacknowledged frame window — instead of starting fresh. A
+	// restarted process therefore keeps its session epoch and replays
+	// exactly what its dead incarnation had sealed but not delivered.
+	Journal Journal
+}
+
+// SenderState is a recovered sending direction: the incarnation epoch to
+// keep using, the next sequence number minus one, the acknowledgement
+// floor (the highest sequence known delivered or forgotten — sequences
+// at or below it are NOT in Unacked and can never be replayed), and the
+// sealed frames the peer has not acknowledged, ascending by sequence.
+type SenderState struct {
+	Epoch   uint64
+	NextSeq uint64
+	Acked   uint64
+	Unacked []Frame
+}
+
+// ReceiverState is a recovered receiving direction: the sender epoch whose
+// delivery watermark is held, and the watermark itself.
+type ReceiverState struct {
+	Epoch     uint64
+	EpochSet  bool
+	Delivered uint64
+}
+
+// Journal persists per-direction session state so a restarted process can
+// resume its previous incarnation's sessions. Implementations must be safe
+// for concurrent use (directions journal from independent goroutines) and
+// must never call back into this package's Sender/Receiver. The write
+// methods are hot-path calls: they are expected to buffer and group-commit
+// rather than touch the disk synchronously.
+type Journal interface {
+	// RecoverSender returns the persisted state of the self->peer sending
+	// direction, if any. The sender takes ownership of the returned
+	// frames.
+	RecoverSender(self, peer types.NodeID) (SenderState, bool)
+	// SealedFrame records a newly sealed frame for self->peer (epoch and
+	// sequence travel in f.Hdr). The frame segments must be treated as
+	// immutable.
+	SealedFrame(self, peer types.NodeID, f Frame)
+	// Acked records the peer's delivery watermark for self->peer learned
+	// from a verified hello-ack; frames at or below it can be forgotten.
+	Acked(self, peer types.NodeID, epoch, delivered uint64)
+	// RecoverReceiver returns the persisted state of the from->self
+	// receiving direction, if any.
+	RecoverReceiver(from, self types.NodeID) (ReceiverState, bool)
+	// Delivered records the from->self delivery watermark after a frame
+	// is accepted (or an epoch supersession resets it to 0).
+	Delivered(from, self types.NodeID, epoch, seq uint64)
+	// PendingReplay lists the peers for which recovered, still
+	// unacknowledged frames exist, so a transport can dial them eagerly
+	// at startup and replay without waiting for new traffic.
+	PendingReplay(self types.NodeID) []types.NodeID
 }
 
 func (c *Config) ringLen() int {
@@ -109,19 +167,43 @@ func newEpoch() uint64 {
 // process's start time), so a restarted process — whose sequence numbers
 // begin again at 1 — supersedes its previous incarnation's delivery
 // state at the peer instead of colliding with it.
+//
+// With a Journal, a direction the previous incarnation used is recovered
+// instead: the sender keeps that incarnation's epoch, continues its
+// sequence numbers, and reloads its unacknowledged frames into the
+// retransmission ring, so the first handshake replays what the dead
+// process had in flight.
 func (c *Config) NewSender(self, peer types.NodeID) *Sender {
 	s := &Sender{
-		self:   self,
-		peer:   peer,
-		epoch:  newEpoch(),
-		resume: c.Resume,
-		mac:    hmac.New(sha256.New, c.Keys.DirKey(self, peer)),
-		ackMAC: hmac.New(sha256.New, c.Keys.DirKey(peer, self)),
+		self:    self,
+		peer:    peer,
+		epoch:   newEpoch(),
+		resume:  c.Resume,
+		journal: c.Journal,
+		mac:     hmac.New(sha256.New, c.Keys.DirKey(self, peer)),
+		ackMAC:  hmac.New(sha256.New, c.Keys.DirKey(peer, self)),
 	}
 	if c.Resume {
 		// Without resume the ring would pin frame bodies that can never
 		// be replayed, so it exists only when replay does.
 		s.ring = make([]Frame, c.ringLen())
+	}
+	if c.Journal != nil {
+		if st, ok := c.Journal.RecoverSender(self, peer); ok {
+			s.epoch = st.Epoch
+			atomic.StoreUint64(&s.nextSeq, st.NextSeq)
+			if s.ring != nil {
+				for _, f := range st.Unacked {
+					s.ring[f.Seq%uint64(len(s.ring))] = f
+				}
+				s.recovered = len(st.Unacked) > 0
+				// Ring slots at or below the recovered acknowledgement
+				// floor are empty, not sealed frames: a peer that lost its
+				// own watermark and acks below the floor must never be
+				// "replayed" zero-value frames from those slots.
+				s.ringFloor = st.Acked
+			}
+		}
 	}
 	return s
 }
@@ -147,14 +229,27 @@ func (c *Config) CheckHello(self types.NodeID, p []byte) error {
 	return nil
 }
 
-// NewReceiver builds the receiving half of the from->self direction.
+// NewReceiver builds the receiving half of the from->self direction. With
+// a Journal the previous incarnation's epoch and delivery watermark are
+// recovered, so a restarted receiver acknowledges where it really was —
+// the sender replays only the gap, and stale-epoch replays stay rejected
+// across the restart.
 func (c *Config) NewReceiver(self, from types.NodeID) *Receiver {
-	return &Receiver{
-		self:   self,
-		from:   from,
-		mac:    hmac.New(sha256.New, c.Keys.DirKey(from, self)),
-		ackMAC: hmac.New(sha256.New, c.Keys.DirKey(self, from)),
+	r := &Receiver{
+		self:    self,
+		from:    from,
+		journal: c.Journal,
+		mac:     hmac.New(sha256.New, c.Keys.DirKey(from, self)),
+		ackMAC:  hmac.New(sha256.New, c.Keys.DirKey(self, from)),
 	}
+	if c.Journal != nil {
+		if st, ok := c.Journal.RecoverReceiver(from, self); ok {
+			r.epoch = st.Epoch
+			r.epochSet = st.EpochSet
+			r.lastDelivered = st.Delivered
+		}
+	}
+	return r
 }
 
 // Frame is one sealed data frame, held as three gather segments so the
@@ -187,10 +282,13 @@ type Sender struct {
 	self, peer types.NodeID
 	epoch      uint64
 	resume     bool
+	journal    Journal
+	recovered  bool      // ring holds a dead incarnation's frames awaiting replay
 	mac        hash.Hash // keyed K(self->peer): data frames and hello
 	ackMAC     hash.Hash // keyed K(peer->self): verifies the peer's acks
 	nextSeq    uint64    // sequence the next Seal assigns, minus one frames exist
 	ring       []Frame   // nil when resume is off
+	ringFloor  uint64    // highest sequence NOT present in the ring (recovery)
 	lossFloor  uint64    // highest sequence already accounted as unrecoverable
 
 	retransmitted atomic.Uint64
@@ -219,6 +317,12 @@ func (s *Sender) Stats() SenderStats {
 	}
 }
 
+// NeedsReplay reports whether the sender holds recovered frames from a
+// previous incarnation that have not yet been offered to the peer; a
+// transport should dial and handshake eagerly instead of waiting for new
+// traffic to trigger the connection.
+func (s *Sender) NeedsReplay() bool { return s.recovered }
+
 // Seal assigns body the next sequence number, MACs it, stores the sealed
 // frame in the retransmission ring and returns it. body must be
 // immutable (the cached wire encoding is).
@@ -237,6 +341,11 @@ func (s *Sender) Seal(body []byte) Frame {
 	f := Frame{Seq: seq, Hdr: hdr, Body: body, MAC: mac}
 	if s.ring != nil {
 		s.ring[seq%uint64(len(s.ring))] = f
+	}
+	if s.journal != nil {
+		// Buffered append; the journal's group commit makes it durable on
+		// the next sync interval, off this hot path.
+		s.journal.SealedFrame(s.self, s.peer, f)
 	}
 	return f
 }
@@ -291,6 +400,12 @@ func (s *Sender) HandleAck(p []byte) (replay []Frame, lost uint64, err error) {
 	if delivered > latest {
 		return nil, 0, fmt.Errorf("%w: ack beyond %d sealed frames", ErrMalformed, latest)
 	}
+	// The handshake completed: whatever was recovered is now offered to
+	// the peer (as replay below, or proven delivered by the watermark).
+	s.recovered = false
+	if s.journal != nil {
+		s.journal.Acked(s.self, s.peer, s.epoch, delivered)
+	}
 	if delivered == latest {
 		return nil, 0, nil
 	}
@@ -311,6 +426,12 @@ func (s *Sender) HandleAck(p []byte) (replay []Frame, lost uint64, err error) {
 	if n := uint64(len(s.ring)); latest > n {
 		oldest = latest - n + 1
 	}
+	if s.ringFloor+1 > oldest {
+		// Recovery did not reload sequences at or below the floor (the
+		// journal had already forgotten them as acknowledged/evicted);
+		// their ring slots are empty.
+		oldest = s.ringFloor + 1
+	}
 	if first < oldest {
 		// Sequences in (delivered, oldest) were evicted before the peer
 		// acknowledged them; count each at most once (see above).
@@ -323,7 +444,15 @@ func (s *Sender) HandleAck(p []byte) (replay []Frame, lost uint64, err error) {
 	}
 	replay = make([]Frame, 0, latest-first+1)
 	for q := first; q <= latest; q++ {
-		replay = append(replay, s.ring[q%uint64(len(s.ring))])
+		// Belt and braces: a slot that does not hold exactly sequence q
+		// (overwritten or never filled) must not reach the wire as a
+		// zero-value frame; account it as lost instead.
+		if f := s.ring[q%uint64(len(s.ring))]; f.Seq == q && f.Hdr != nil {
+			replay = append(replay, f)
+		} else {
+			s.lost.Add(1)
+			lost++
+		}
 	}
 	s.retransmitted.Add(uint64(len(replay)))
 	return replay, lost, nil
@@ -335,6 +464,7 @@ func (s *Sender) HandleAck(p []byte) (replay []Frame, lost uint64, err error) {
 type Receiver struct {
 	mu         sync.Mutex
 	self, from types.NodeID
+	journal    Journal
 	mac        hash.Hash // keyed K(from->self): data frames and hello
 	ackMAC     hash.Hash // keyed K(self->from): signs acks
 
@@ -418,6 +548,11 @@ func (r *Receiver) VerifyHello(p []byte) error {
 		r.epoch = epoch
 		r.epochSet = true
 		r.lastDelivered = 0
+		if r.journal != nil {
+			// Persist the supersession: after a restart the receiver must
+			// keep rejecting the old incarnation's epochs.
+			r.journal.Delivered(r.from, r.self, r.epoch, 0)
+		}
 	case epoch < r.epoch:
 		r.rejected++
 		return fmt.Errorf("%w: %d (current %d)", ErrStaleEpoch, epoch, r.epoch)
@@ -484,6 +619,9 @@ func (r *Receiver) Open(p []byte) ([]byte, error) {
 		r.gaps += seq - r.lastDelivered - 1
 	}
 	r.lastDelivered = seq
+	if r.journal != nil {
+		r.journal.Delivered(r.from, r.self, r.epoch, seq)
+	}
 	return body, nil
 }
 

@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,6 +14,10 @@ import (
 	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/types"
 )
+
+// errLinkCut reports a send refused by the Shape hook: the modelled link
+// is currently severed.
+var errLinkCut = errors.New("tcpnet: link is cut (shaped)")
 
 // PeerStats reports one peer sender's queue, drop, retransmission and
 // reconnect counters.
@@ -164,6 +169,11 @@ func (p *peer) isClosed() bool {
 // Errors name the peer and its address so operators can tell which link
 // is failing.
 func (p *peer) dial() (net.Conn, []session.Frame, error) {
+	if p.opts.Shape != nil {
+		if _, ok := p.opts.Shape(p.id, 0); !ok {
+			return nil, nil, fmt.Errorf("dial peer %v (%s): %w", p.id, p.addr, errLinkCut)
+		}
+	}
 	c, err := net.DialTimeout("tcp", p.addr, p.opts.DialTimeout)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dial peer %v (%s): %w", p.id, p.addr, err)
@@ -215,9 +225,12 @@ func handshake(c net.Conn, tx *session.Sender, timeout time.Duration) ([]session
 // run is the sender loop. It blocks for the first queued frame, then
 // drains up to MaxBatch-1 more without blocking and writes the whole batch
 // — length prefixes and payloads gathered — with one writev syscall. With
-// sessions, each frame is sealed (in order, by this goroutine) just
-// before the write, and a reconnect replays the unacknowledged window
-// immediately instead of waiting for new traffic.
+// sessions, each drained frame is sealed (in order, by this goroutine)
+// *before* any connection is required — sealing journals the frame when a
+// durability journal is configured, so frames bound for an unreachable
+// peer are crash-safe while the dial loop backs off — and a reconnect
+// replays the unacknowledged window immediately instead of waiting for
+// new traffic.
 func (p *peer) run() {
 	var conn net.Conn
 	defer p.dropCurrentConn()
@@ -241,10 +254,29 @@ func (p *peer) run() {
 		}
 		return true
 	}
+	// drainSeal seals (and, with a journal, persists) everything queued
+	// for an unreachable peer, so frames keep becoming replayable — and
+	// crash-safe — while the dial loop backs off. Only meaningful with
+	// sessions; order is preserved because the caller has already sealed
+	// everything it drained before calling connect.
+	drainSeal := func() {
+		if p.tx == nil {
+			return
+		}
+		for {
+			select {
+			case raw := <-p.ch:
+				p.tx.Seal(raw)
+			default:
+				return
+			}
+		}
+	}
 	// connect dials (and, with sessions, handshakes and replays) until a
 	// connection is live; nil means the peer was closed.
 	connect := func() net.Conn {
 		for {
+			drainSeal()
 			c, replay, err := p.dial()
 			if err != nil {
 				p.logger.Printf("tcpnet %v: %v (retrying in ~%v)", p.self, err, backoff)
@@ -274,6 +306,16 @@ func (p *peer) run() {
 		}
 	}
 
+	// A sender recovered from a durability journal holds a dead
+	// incarnation's unacknowledged frames: connect — whose handshake
+	// computes and writes the replay — now, rather than waiting for new
+	// outbound traffic to trigger the first dial.
+	if p.tx != nil && p.tx.NeedsReplay() {
+		if conn = connect(); conn == nil {
+			return
+		}
+	}
+
 	for {
 		select {
 		case raw := <-p.ch:
@@ -290,54 +332,100 @@ func (p *peer) run() {
 				break coalesce
 			}
 		}
+		if p.tx != nil {
+			// Seal — and, with a journal, persist — before any connection
+			// is required: a frame is replayable (and crash-safe) from the
+			// moment it is sealed, so an unreachable peer costs nothing
+			// but ring slots while the dial loop backs off.
+			frames = frames[:0]
+			for _, raw := range pending {
+				frames = append(frames, p.tx.Seal(raw))
+			}
+			for i := range pending {
+				pending[i] = nil // release payload references while idle
+			}
+			pending = pending[:0]
+			if conn == nil {
+				// connect's handshake learns the peer's delivery watermark
+				// and replays everything unacknowledged — including the
+				// frames just sealed — so they must not be written twice.
+				if conn = connect(); conn == nil {
+					return
+				}
+			} else if err := p.writeFrames(conn, frames, hdrs, &vecs); err != nil {
+				// The sealed frames sit in the retransmission ring;
+				// reconnect now and replay them rather than waiting for
+				// new traffic to trigger the redial.
+				p.reconnects.Add(1)
+				if !p.isClosed() {
+					p.logger.Printf("tcpnet %v: write to peer %v (%s): %v; reconnecting", p.self, p.id, p.addr, err)
+				}
+				p.dropCurrentConn()
+				if conn = connect(); conn == nil {
+					return
+				}
+			}
+			for i := range frames {
+				frames[i] = session.Frame{} // the ring keeps its own references
+			}
+			continue
+		}
+		// Plain v1 path: the batch exists nowhere but here, so a
+		// connection comes first and a failed write abandons it — after a
+		// partial write the stream framing is unknown, so resending could
+		// corrupt it, and the asynchronous model tolerates the loss.
 		if conn == nil {
 			if conn = connect(); conn == nil {
 				return
 			}
 		}
-		var err error
-		if p.tx != nil {
-			frames = frames[:0]
-			for _, raw := range pending {
-				frames = append(frames, p.tx.Seal(raw))
-			}
-			err = p.writeFrames(conn, frames, hdrs, &vecs)
-			for i := range frames {
-				frames[i] = session.Frame{} // the ring keeps its own references
-			}
-		} else {
-			vecs = vecs[:0]
-			for i, raw := range pending {
-				h := hdrs[i*frameHeaderLen : (i+1)*frameHeaderLen]
-				putFrameHeader(h, len(raw))
-				vecs = append(vecs, h, raw)
-			}
+		vecs = vecs[:0]
+		size := 0
+		for i, raw := range pending {
+			h := hdrs[i*frameHeaderLen : (i+1)*frameHeaderLen]
+			putFrameHeader(h, len(raw))
+			vecs = append(vecs, h, raw)
+			size += len(raw)
+		}
+		err := p.shapeWait(size)
+		if err == nil {
 			bufs := net.Buffers(vecs)
 			_, err = bufs.WriteTo(conn)
 		}
 		if err != nil {
-			// Without sessions the batch is abandoned: after a partial
-			// write the stream framing is unknown, so resending could
-			// corrupt it, and the asynchronous model tolerates the loss.
-			// With sessions the sealed frames sit in the retransmission
-			// ring; reconnect now and replay them rather than waiting for
-			// new traffic to trigger the redial.
 			p.reconnects.Add(1)
 			if !p.isClosed() {
 				p.logger.Printf("tcpnet %v: write to peer %v (%s): %v; reconnecting", p.self, p.id, p.addr, err)
 			}
 			p.dropCurrentConn()
 			conn = nil
-			if p.tx != nil {
-				if conn = connect(); conn == nil {
-					return
-				}
-			}
 		}
 		for i := range pending {
 			pending[i] = nil // release payload references while idle
 		}
 		pending = pending[:0]
+	}
+}
+
+// shapeWait imposes the Shape hook's modelled link delay for a write of
+// size bytes, interruptibly. It returns errLinkCut when the link is
+// severed and net.ErrClosed when the peer is stopping.
+func (p *peer) shapeWait(size int) error {
+	if p.opts.Shape == nil {
+		return nil
+	}
+	d, ok := p.opts.Shape(p.id, size)
+	if !ok {
+		return errLinkCut
+	}
+	if d <= 0 {
+		return nil
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-p.stop:
+		return net.ErrClosed
 	}
 }
 
@@ -351,10 +439,16 @@ func (p *peer) writeFrames(conn net.Conn, frames []session.Frame, hdrs []byte, v
 			n = p.opts.MaxBatch
 		}
 		v := (*vecs)[:0]
+		size := 0
 		for i, f := range frames[:n] {
 			h := hdrs[i*frameHeaderLen : (i+1)*frameHeaderLen]
 			putFrameHeader(h, f.WireLen())
 			v = append(v, h, f.Hdr, f.Body, f.MAC)
+			size += f.WireLen()
+		}
+		if err := p.shapeWait(size); err != nil {
+			*vecs = v[:0]
+			return err
 		}
 		bufs := net.Buffers(v)
 		_, err := bufs.WriteTo(conn)

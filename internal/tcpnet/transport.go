@@ -36,11 +36,22 @@ type Options struct {
 	// authenticated hellos and data frames with per-direction sequence
 	// numbers, and (with Session.Resume) gap replay on reconnect. Every
 	// endpoint of a deployment must agree on this setting — a v2
-	// endpoint rejects bare v1 hellos and vice versa.
+	// endpoint rejects bare v1 hellos and vice versa. With
+	// Session.Journal the session state is durable and Start eagerly
+	// redials peers whose previous-incarnation frames await replay.
 	Session *session.Config
 	// HandshakeTimeout bounds the dial-side wait for the session
 	// hello-ack (default 5 s). Ignored without Session.
 	HandshakeTimeout time.Duration
+	// Shape, when non-nil, imposes simulated link conditions on outbound
+	// traffic (the netsim fabric wired onto real sockets for WAN-profile
+	// experiments): for a write of size bytes to peer `to` it returns the
+	// delay to impose first and whether the link is deliverable at all.
+	// A cut link (ok=false) fails dials and writes; with sessions the
+	// sealed frames wait in the retransmission ring and replay when the
+	// link heals, without sessions the batch is dropped as a real
+	// blackholed link would drop it. Dial probes pass size 0.
+	Shape func(to types.NodeID, size int) (time.Duration, bool)
 }
 
 func (o Options) withDefaults() Options {
@@ -140,6 +151,9 @@ func (t *Transport) SetPeers(peers map[types.NodeID]string) {
 }
 
 // Start begins accepting inbound connections, delivering each frame to h.
+// With a durable session journal it also starts a sender for every peer
+// whose previous-incarnation frames await replay, so recovery does not
+// wait for new outbound traffic to trigger the dial.
 func (t *Transport) Start(h Handler) {
 	t.mu.Lock()
 	t.handler = h
@@ -149,6 +163,14 @@ func (t *Transport) Start(h Handler) {
 		defer t.wg.Done()
 		t.acceptLoop()
 	}()
+	if t.opts.Session != nil && t.opts.Session.Journal != nil {
+		for _, id := range t.opts.Session.Journal.PendingReplay(t.id) {
+			if id == t.id {
+				continue
+			}
+			t.sender(id) // spawns the sender loop, which replays eagerly
+		}
+	}
 }
 
 // Fatal reports an unrecoverable transport failure (the listener died

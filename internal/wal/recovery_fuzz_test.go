@@ -1,0 +1,132 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// FuzzRecovery is the torn-write/corruption fuzz: build a log from the
+// fuzzed record set, then damage the on-disk bytes at a fuzzed position
+// (truncation or a byte flip, as a crashed machine or bit rot would) and
+// reopen. Recovery must always (a) succeed, (b) yield a clean prefix of
+// the appended records — never an invented, reordered or corrupt record —
+// and (c) leave the log accepting appends that continue the LSN stream.
+func FuzzRecovery(f *testing.F) {
+	f.Add([]byte("seed"), uint16(4), true)
+	f.Add(bytes.Repeat([]byte{0xab}, 300), uint16(77), false)
+	f.Add([]byte{}, uint16(0), true)
+	f.Add([]byte("0123456789abcdef0123456789abcdef"), uint16(9), false)
+
+	f.Fuzz(func(t *testing.T, blob []byte, pos uint16, truncate bool) {
+		dir := t.TempDir()
+		l, err := Open(Options{Dir: dir, SyncInterval: -1, SegmentBytes: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Derive a deterministic record set from the blob: records of
+		// varying sizes, content tagged with their index so any mixup is
+		// detectable.
+		var want [][]byte
+		n := len(blob)%13 + 3
+		for i := 0; i < n; i++ {
+			size := 3 + (i*7+len(blob))%90
+			rec := make([]byte, size)
+			for j := range rec {
+				rec[j] = byte(i)
+			}
+			binary.BigEndian.PutUint16(rec[:2], uint16(i))
+			if len(blob) > 0 {
+				rec[size-1] = blob[i%len(blob)]
+			}
+			if _, err := l.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, rec)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Damage the files at a fuzzed position.
+		segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+		sort.Strings(segs)
+		var total int64
+		sizes := make([]int64, len(segs))
+		for i, s := range segs {
+			fi, err := os.Stat(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes[i] = fi.Size()
+			total += fi.Size()
+		}
+		if total > 0 {
+			off := int64(pos) % total
+			idx := 0
+			for off >= sizes[idx] {
+				off -= sizes[idx]
+				idx++
+			}
+			if truncate {
+				if err := os.Truncate(segs[idx], off); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				data, err := os.ReadFile(segs[idx])
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[off] ^= 0x5a
+				if err := os.WriteFile(segs[idx], data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		l2, err := Open(Options{Dir: dir, SyncInterval: -1, SegmentBytes: 128})
+		if err != nil {
+			t.Fatalf("recovery failed: %v", err)
+		}
+		defer l2.Close()
+		var got [][]byte
+		prev := LSN(0)
+		err = l2.Replay(0, func(lsn LSN, rec []byte) error {
+			if prev != 0 && lsn != prev+1 {
+				return fmt.Errorf("LSN gap: %d after %d", lsn, prev)
+			}
+			prev = lsn
+			got = append(got, append([]byte(nil), rec...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replay after recovery: %v", err)
+		}
+		if len(got) > len(want) {
+			t.Fatalf("recovered %d records, only %d were appended", len(got), len(want))
+		}
+		// Recovered records must be a prefix *by position*: got[i] is
+		// exactly want[first-1+i]. When the head was pruned... it never is
+		// here, so the prefix starts at record 0.
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("recovered record %d differs from what was appended:\n got %x\nwant %x", i, got[i], want[i])
+			}
+		}
+		// The log must keep working after recovery.
+		lsn, err := l2.Append([]byte("post-recovery"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != LSN(len(got))+1 {
+			t.Fatalf("append after recovery got LSN %d, want %d", lsn, len(got)+1)
+		}
+		if err := l2.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,622 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LSN is the 1-based position of a record in the log's append stream. 0
+// means "no record". LSNs are assigned densely at Append and survive
+// restarts: the i-th record ever appended has LSN i whether or not its
+// segment has since been pruned.
+type LSN uint64
+
+const (
+	// segMagic opens every segment file, followed by the segment's first
+	// LSN; a file that does not start with it is not replayed.
+	segMagic = uint64(0x534f_4657_414c_3031) // "SOFWAL01"
+	// segHeaderLen is magic (8) + first LSN (8).
+	segHeaderLen = 16
+	// recHeaderLen is payload length (4) + CRC-32C (4).
+	recHeaderLen = 8
+	// MaxRecord bounds one record's payload, matching the transport's
+	// frame bound: anything larger on disk is corruption, not data.
+	MaxRecord = 16 << 20
+	// DefaultSegmentBytes is the rotation threshold when Options leaves it
+	// zero.
+	DefaultSegmentBytes = 4 << 20
+	// DefaultSyncInterval is the group-commit interval when Options leaves
+	// it zero.
+	DefaultSyncInterval = 10 * time.Millisecond
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the directory holding the segment files; it is created if
+	// missing. One Log owns one directory.
+	Dir string
+	// SegmentBytes is the rotation threshold: a record that would push the
+	// active segment past it opens a new segment (default
+	// DefaultSegmentBytes). Records larger than the threshold still fit —
+	// a segment always holds at least one record.
+	SegmentBytes int
+	// SyncInterval is the group-commit period: appends are buffered and a
+	// background flusher fsyncs every interval while there is unsynced
+	// data (default DefaultSyncInterval). Negative disables the
+	// background flusher entirely — only explicit Sync calls reach disk —
+	// which tests use to control durability points exactly.
+	SyncInterval time.Duration
+	// Logger receives recovery diagnostics (torn tails truncated, orphan
+	// segments dropped). nil discards them.
+	Logger *log.Logger
+}
+
+// Stats is a point-in-time snapshot of a Log's counters.
+type Stats struct {
+	// Appended counts records appended this incarnation.
+	Appended uint64
+	// Syncs counts fsync batches (group commits).
+	Syncs uint64
+	// Recovered is how many records the Open scan found intact.
+	Recovered uint64
+	// TruncatedBytes is how many torn-tail bytes Open discarded.
+	TruncatedBytes int64
+	// DroppedSegments counts segments discarded at Open because they
+	// followed a torn or discontinuous segment.
+	DroppedSegments int
+	// PrunedSegments counts segments removed by TruncateBefore.
+	PrunedSegments int
+	// Segments is the current number of live segment files.
+	Segments int
+}
+
+// segment describes one on-disk segment file.
+type segment struct {
+	path  string
+	first LSN // LSN of the segment's first record
+	last  LSN // LSN of its last record; first-1 when empty
+	bytes int64
+}
+
+// Log is an append-only, segmented, CRC-checked record log with batched
+// fsync. Appends are buffered in user space and reach disk on the next
+// group commit (the background flusher's tick, or an explicit Sync); a
+// crash loses at most the records appended since the last sync, and a torn
+// tail from a mid-write crash is truncated away on the next Open, so the
+// recovered log is always a clean prefix of what was appended.
+//
+// All methods are safe for concurrent use.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	segs     []segment // closed segments, ascending; active segment is last
+	f        *os.File  // active segment file
+	w        *bufio.Writer
+	next     LSN // LSN the next Append assigns
+	synced   LSN // highest LSN known durable
+	flushed  LSN // highest LSN pushed to the OS (>= synced)
+	closed   bool
+	crashing bool
+	stats    Stats
+	hdrBuf   [recHeaderLen]byte
+
+	flusherStop chan struct{}
+	flusherDone chan struct{}
+}
+
+// Open opens (creating if needed) the log in opts.Dir, scanning existing
+// segments and truncating any torn tail so the log ends at the last intact
+// record. The returned log is ready for Append; use Replay to read the
+// recovered records.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SyncInterval == 0 {
+		opts.SyncInterval = DefaultSyncInterval
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{opts: opts}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	if err := l.openActive(); err != nil {
+		return nil, err
+	}
+	if opts.SyncInterval > 0 {
+		l.flusherStop = make(chan struct{})
+		l.flusherDone = make(chan struct{})
+		go l.flusher()
+	}
+	return l, nil
+}
+
+func (l *Log) logf(format string, args ...any) {
+	if l.opts.Logger != nil {
+		l.opts.Logger.Printf("wal %s: %s", l.opts.Dir, fmt.Sprintf(format, args...))
+	}
+}
+
+// scan reads the segment directory, verifies every record and truncates
+// the log at the first sign of a torn write: a short or CRC-failing record
+// ends its segment there, and any later segment (which can only exist if
+// the directory is inconsistent — rotation syncs the old segment before
+// opening a new one) is dropped, so recovery always yields a clean prefix.
+func (l *Log) scan() error {
+	entries, err := os.ReadDir(l.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".seg" {
+			continue
+		}
+		segs = append(segs, segment{path: filepath.Join(l.opts.Dir, e.Name())})
+	}
+	// Order by the first LSN encoded in the filename; files whose names do
+	// not parse are ignored (never deleted — they are not ours).
+	parsed := segs[:0]
+	for _, s := range segs {
+		var first uint64
+		if _, err := fmt.Sscanf(filepath.Base(s.path), "%016x.seg", &first); err == nil {
+			s.first = LSN(first)
+			parsed = append(parsed, s)
+		} else {
+			l.logf("ignoring unrecognised file %s", filepath.Base(s.path))
+		}
+	}
+	segs = parsed
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	next := LSN(1)
+	var live []segment
+	torn := false
+	for i := range segs {
+		s := &segs[i]
+		if torn || (len(live) > 0 && s.first != next) {
+			// Orphan: follows a torn segment or leaves an LSN gap. Keep
+			// the prefix property by dropping it.
+			l.logf("dropping orphan segment %s", filepath.Base(s.path))
+			_ = os.Remove(s.path)
+			l.stats.DroppedSegments++
+			continue
+		}
+		n, size, ok, err := l.scanSegment(s)
+		if err != nil {
+			return err
+		}
+		if len(live) == 0 {
+			// The first live segment may start beyond LSN 1 (older ones
+			// were pruned); later segments were contiguity-checked above.
+			next = s.first
+		}
+		s.last = s.first + LSN(n) - 1
+		s.bytes = size
+		next = s.last + 1
+		live = append(live, *s)
+		l.stats.Recovered += n
+		if !ok {
+			torn = true
+		}
+	}
+	l.segs = live
+	l.next = next
+	l.synced = next - 1
+	l.flushed = next - 1
+	return nil
+}
+
+// scanSegment verifies one segment, truncating it at the first torn or
+// corrupt record. It returns the number of intact records, the resulting
+// file size, and ok=false if a truncation happened.
+func (l *Log) scanSegment(s *segment) (records uint64, size int64, ok bool, err error) {
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil ||
+		binary.BigEndian.Uint64(hdr[:8]) != segMagic ||
+		LSN(binary.BigEndian.Uint64(hdr[8:])) != s.first {
+		// Headerless or mislabelled segment: nothing in it is trustworthy.
+		l.logf("truncating segment %s: bad header", filepath.Base(s.path))
+		if err := f.Truncate(0); err != nil {
+			return 0, 0, false, fmt.Errorf("wal: %w", err)
+		}
+		// Rewrite a clean header so the segment can keep serving as the
+		// active one.
+		if err := writeSegHeader(f, s.first); err != nil {
+			return 0, 0, false, err
+		}
+		return 0, segHeaderLen, false, nil
+	}
+	offset := int64(segHeaderLen)
+	buf := make([]byte, 0, 4096)
+	for {
+		var rh [recHeaderLen]byte
+		if _, err := io.ReadFull(br, rh[:]); err != nil {
+			if err == io.EOF {
+				return records, offset, true, nil
+			}
+			break // short header: torn tail
+		}
+		n := binary.BigEndian.Uint32(rh[:4])
+		if n == 0 || n > MaxRecord {
+			break
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			break // short payload: torn tail
+		}
+		if crc32.Checksum(buf, crcTable) != binary.BigEndian.Uint32(rh[4:]) {
+			break // corrupt payload
+		}
+		offset += recHeaderLen + int64(n)
+		records++
+	}
+	truncated := int64(0)
+	if fi, err := f.Stat(); err == nil {
+		truncated = fi.Size() - offset
+	}
+	l.logf("truncating %d torn byte(s) from segment %s after %d intact record(s)",
+		truncated, filepath.Base(s.path), records)
+	l.stats.TruncatedBytes += truncated
+	if err := f.Truncate(offset); err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	return records, offset, false, nil
+}
+
+func writeSegHeader(f *os.File, first LSN) error {
+	var hdr [segHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[:8], segMagic)
+	binary.BigEndian.PutUint64(hdr[8:], uint64(first))
+	if _, err := f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// openActive opens the last live segment for appending (creating the first
+// segment of an empty log), called with no lock needed (Open only).
+func (l *Log) openActive() error {
+	if len(l.segs) == 0 {
+		return l.newSegment(l.next)
+	}
+	s := &l.segs[len(l.segs)-1]
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	return nil
+}
+
+// newSegment creates and syncs a fresh segment whose first record will be
+// lsn, and fsyncs the directory so the file itself survives a crash.
+// Called with l.mu held (or before the log is shared).
+func (l *Log) newSegment(first LSN) error {
+	path := filepath.Join(l.opts.Dir, fmt.Sprintf("%016x.seg", uint64(first)))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := writeSegHeader(f, first); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if dir, err := os.Open(l.opts.Dir); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	l.segs = append(l.segs, segment{path: path, first: first, last: first - 1, bytes: segHeaderLen})
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	return nil
+}
+
+// Append buffers one record and returns its LSN. The record is durable
+// only after the next group commit (background flush or explicit Sync);
+// Append itself never blocks on the disk unless a segment rotates.
+func (l *Log) Append(rec []byte) (LSN, error) {
+	if len(rec) == 0 || len(rec) > MaxRecord {
+		return 0, fmt.Errorf("wal: record length %d outside (0, %d]", len(rec), MaxRecord)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	active := &l.segs[len(l.segs)-1]
+	if active.bytes > segHeaderLen && active.bytes+recHeaderLen+int64(len(rec)) > int64(l.opts.SegmentBytes) {
+		if err := l.rotate(); err != nil {
+			return 0, err
+		}
+		active = &l.segs[len(l.segs)-1]
+	}
+	binary.BigEndian.PutUint32(l.hdrBuf[:4], uint32(len(rec)))
+	binary.BigEndian.PutUint32(l.hdrBuf[4:], crc32.Checksum(rec, crcTable))
+	if _, err := l.w.Write(l.hdrBuf[:]); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.w.Write(rec); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	lsn := l.next
+	l.next++
+	active.last = lsn
+	active.bytes += recHeaderLen + int64(len(rec))
+	l.stats.Appended++
+	return lsn, nil
+}
+
+// rotate seals the active segment (flush + fsync) and opens the next one.
+// Called with l.mu held.
+func (l *Log) rotate() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.newSegment(l.next)
+}
+
+// Sync forces a group commit: everything appended so far is flushed and
+// fsynced before it returns.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.synced == l.next-1 {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.flushed = l.next - 1
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.synced = l.next - 1
+	l.stats.Syncs++
+	return nil
+}
+
+// flusher is the group-commit loop: one fsync per SyncInterval while there
+// is unsynced data, so the hot path never waits on the disk.
+func (l *Log) flusher() {
+	defer close(l.flusherDone)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				if err := l.syncLocked(); err != nil {
+					l.logf("background sync: %v", err)
+				}
+			}
+			l.mu.Unlock()
+		case <-l.flusherStop:
+			return
+		}
+	}
+}
+
+// TruncateBefore removes whole segments every record of which is below
+// lsn. The active segment is never removed, so the log always retains its
+// tail; partial segments are kept (pruning is a space bound, not an exact
+// cut).
+func (l *Log) TruncateBefore(lsn LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.segs) > 1 && l.segs[0].last < lsn {
+		if err := os.Remove(l.segs[0].path); err != nil {
+			l.logf("pruning %s: %v", filepath.Base(l.segs[0].path), err)
+			return
+		}
+		l.segs = l.segs[1:]
+		l.stats.PrunedSegments++
+	}
+}
+
+// PrunableSegments reports how many whole segments TruncateBefore(lsn)
+// would remove, so callers can avoid checkpoint work when pruning would
+// reclaim nothing.
+func (l *Log) PrunableSegments(lsn LSN) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for i := 0; i < len(l.segs)-1 && l.segs[i].last < lsn; i++ {
+		n++
+	}
+	return n
+}
+
+// OldestLSN returns the LSN of the oldest record still on disk (next
+// assigned LSN if the log is empty).
+func (l *Log) OldestLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, s := range l.segs {
+		if s.last >= s.first {
+			return s.first
+		}
+	}
+	return l.next
+}
+
+// NextLSN returns the LSN the next Append will assign.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	st.Segments = len(l.segs)
+	return st
+}
+
+// Replay invokes fn for every record with LSN >= from, in order, reading
+// from disk (buffered appends are flushed first so the replay sees them).
+// fn returning an error stops the replay and returns that error. Replay
+// may run concurrently with appends; records appended after it starts are
+// not guaranteed to be visited.
+func (l *Log) Replay(from LSN, fn func(lsn LSN, rec []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log is closed")
+	}
+	if err := l.w.Flush(); err != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.flushed = l.next - 1
+	segs := make([]segment, len(l.segs))
+	copy(segs, l.segs)
+	l.mu.Unlock()
+
+	buf := make([]byte, 0, 4096)
+	for _, s := range segs {
+		if s.last < from || s.last < s.first {
+			continue
+		}
+		if err := replaySegment(s, from, &buf, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment reads one segment's records, invoking fn for those >= from.
+// The record slice passed to fn is reused between calls; fn must copy what
+// it retains.
+func replaySegment(s segment, from LSN, buf *[]byte, fn func(lsn LSN, rec []byte) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("wal: replaying %s: %w", filepath.Base(s.path), err)
+	}
+	for lsn := s.first; lsn <= s.last; lsn++ {
+		var rh [recHeaderLen]byte
+		if _, err := io.ReadFull(br, rh[:]); err != nil {
+			return fmt.Errorf("wal: replaying %s at %d: %w", filepath.Base(s.path), lsn, err)
+		}
+		n := binary.BigEndian.Uint32(rh[:4])
+		if n == 0 || n > MaxRecord {
+			return fmt.Errorf("wal: replaying %s at %d: bad record length %d", filepath.Base(s.path), lsn, n)
+		}
+		if cap(*buf) < int(n) {
+			*buf = make([]byte, n)
+		}
+		rec := (*buf)[:n]
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return fmt.Errorf("wal: replaying %s at %d: %w", filepath.Base(s.path), lsn, err)
+		}
+		if crc32.Checksum(rec, crcTable) != binary.BigEndian.Uint32(rh[4:]) {
+			return fmt.Errorf("wal: replaying %s at %d: CRC mismatch", filepath.Base(s.path), lsn)
+		}
+		if lsn < from {
+			continue
+		}
+		if err := fn(lsn, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and fsyncs everything appended, stops the background
+// flusher and closes the active segment. The log is unusable afterwards.
+func (l *Log) Close() error {
+	l.stopFlusher()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: %w", cerr)
+	}
+	return err
+}
+
+// Crash simulates a process crash for tests: the log is closed WITHOUT
+// flushing user-space buffers, so records appended since the last group
+// commit are lost exactly as they would be when the process dies.
+func (l *Log) Crash() {
+	l.stopFlusher()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	// Drop the bufio contents on the floor; close the fd without syncing.
+	_ = l.f.Close()
+}
+
+func (l *Log) stopFlusher() {
+	l.mu.Lock()
+	stop, done := l.flusherStop, l.flusherDone
+	if l.crashing || stop == nil {
+		l.mu.Unlock()
+		return
+	}
+	l.crashing = true
+	l.mu.Unlock()
+	close(stop)
+	<-done
+}

@@ -128,6 +128,31 @@ type Config struct {
 	// had not delivered, so a dropped connection loses nothing in
 	// flight. Implies AuthFrames.
 	SessionResume bool
+	// Durable persists per-node state under DataDir in segmented,
+	// CRC-checked write-ahead logs, making the cluster's state survive
+	// process crashes: the commit stream (history and the committed-
+	// request index are recovered when a cluster is reopened on the same
+	// DataDir, and commit cursors that fall below the in-memory
+	// CommitRetention ring are served from disk instead of being
+	// dropped), and — with SessionResume — each node's transport-session
+	// state, so a *restarted* process keeps its session epoch and
+	// replays exactly the frames its dead incarnation had sealed but not
+	// delivered. Writes are group-committed on the BatchInterval: the
+	// hot path never waits on the disk, and a crash loses at most one
+	// batching interval of unsynced records. Requires DataDir and a live
+	// cluster (Simulated: false).
+	Durable bool
+	// DataDir is the root directory for durable state; it is created if
+	// missing. Reusing a DataDir resumes the previous incarnation's
+	// state; distinct deployments need distinct directories. Requires
+	// Durable.
+	DataDir string
+	// NetShaping (TCP transport only) imposes the simulated network
+	// fabric's link model — per-link propagation, jitter and bandwidth
+	// delay, plus any cuts and isolations injected through the harness
+	// fabric — on the real TCP sends, so WAN-profile and partition
+	// experiments run on the real socket substrate.
+	NetShaping bool
 	// CommitRetention bounds how many commit events the measurement
 	// recorder retains for replica replay (0 = unlimited). Long-running
 	// clusters should set it (a few thousand is ample: replicas drain the
@@ -196,6 +221,19 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if (cfg.AuthFrames || cfg.SessionResume) && cfg.Transport != TCP {
 		return nil, fmt.Errorf("sof: AuthFrames/SessionResume require Transport: TCP")
 	}
+	if cfg.NetShaping && cfg.Transport != TCP {
+		return nil, fmt.Errorf("sof: NetShaping requires Transport: TCP")
+	}
+	if cfg.Durable {
+		if cfg.Simulated {
+			return nil, fmt.Errorf("sof: Durable requires a live cluster (Simulated: false)")
+		}
+		if cfg.DataDir == "" {
+			return nil, fmt.Errorf("sof: Durable requires DataDir")
+		}
+	} else if cfg.DataDir != "" {
+		return nil, fmt.Errorf("sof: DataDir is set but Durable is not")
+	}
 	mirror := cfg.Protocol == SC || cfg.Protocol == SCR
 	if cfg.Mirror != nil {
 		mirror = *cfg.Mirror
@@ -215,6 +253,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Transport:        cfg.Transport,
 		AuthFrames:       cfg.AuthFrames,
 		SessionResume:    cfg.SessionResume,
+		Durable:          cfg.Durable,
+		DataDir:          cfg.DataDir,
+		TCPShaping:       cfg.NetShaping,
 		KeepCommits:      true,
 		CommitRetention:  cfg.CommitRetention,
 	}

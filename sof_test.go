@@ -195,6 +195,258 @@ func TestPublicAPIRetentionBoundsCommittedIndex(t *testing.T) {
 	}
 }
 
+// TestPublicAPIDurableConfigValidation pins the Durable/DataDir rules.
+func TestPublicAPIDurableConfigValidation(t *testing.T) {
+	if _, err := sof.NewCluster(sof.Config{Protocol: sof.SC, Durable: true}); err == nil {
+		t.Error("Durable accepted without DataDir")
+	}
+	if _, err := sof.NewCluster(sof.Config{
+		Protocol: sof.SC, Simulated: true, Durable: true, DataDir: t.TempDir(),
+	}); err == nil {
+		t.Error("Durable accepted on the simulator")
+	}
+	if _, err := sof.NewCluster(sof.Config{Protocol: sof.SC, DataDir: t.TempDir()}); err == nil {
+		t.Error("DataDir accepted without Durable")
+	}
+	if _, err := sof.NewCluster(sof.Config{Protocol: sof.SC, NetShaping: true}); err == nil {
+		t.Error("NetShaping accepted without Transport: TCP")
+	}
+}
+
+// durableKillRestartScenario drives the crash scenario the in-memory
+// retransmission ring provably loses: requests submitted while the
+// client's links are all severed are sealed into the client node's
+// session state but reach no order process; the client process is then
+// killed and restarted. With Durable the restarted incarnation recovers
+// the dead one's unacknowledged window from its write-ahead log and
+// replays it after the authenticated handshake; without Durable the
+// window died with the process. It returns the IDs of the at-risk
+// requests and the total submitted.
+func durableKillRestartScenario(t *testing.T, cluster *sof.Cluster) (atRisk []sof.ReqID, total int) {
+	t.Helper()
+	h := cluster.Harness()
+
+	// Baseline: the cluster orders normally, and the probe reveals the
+	// built-in client's NodeID.
+	cid := submitOneID(t, cluster).Client
+	total++
+
+	// Sever every link of the built-in client (fabric isolation applies
+	// to the real sockets via NetShaping), then submit: the requests are
+	// sealed — and journalled — by the client node's senders but cannot
+	// reach any order process.
+	h.Fabric.Isolate(cid)
+	const k = 5
+	for i := 0; i < k; i++ {
+		id, err := cluster.Submit([]byte(fmt.Sprintf("at-risk-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		atRisk = append(atRisk, id)
+		total++
+	}
+	// Let the sender loops drain and seal, then place the durability
+	// point: group-commit whatever has been journalled.
+	time.Sleep(300 * time.Millisecond)
+	if err := h.SyncDurable(); err != nil {
+		t.Fatal(err)
+	}
+	// None of the at-risk requests may have committed (the links are cut).
+	for i, id := range atRisk {
+		if err := cluster.AwaitCommit(id, 50*time.Millisecond); err == nil {
+			t.Fatalf("at-risk request %d committed through a severed link; scenario invalid", i)
+		}
+	}
+
+	// Crash the client process and heal the network for its successor.
+	if err := h.KillNode(cid); err != nil {
+		t.Fatal(err)
+	}
+	h.Fabric.Rejoin(cid)
+	if err := h.RestartNode(cid); err != nil {
+		t.Fatal(err)
+	}
+	return atRisk, total
+}
+
+// submitOneID submits a throwaway request to learn the built-in client's
+// NodeID (the public API does not expose it directly).
+func submitOneID(t *testing.T, cluster *sof.Cluster) sof.ReqID {
+	t.Helper()
+	id, err := cluster.Submit([]byte("id probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.AwaitCommit(id, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestPublicAPIDurableKillRestartZeroLoss is the crash-recovery
+// acceptance test: every request commits at every order process even
+// though some were only ever held in the killed incarnation's
+// unacknowledged retransmission window — the case PR 3's in-memory ring
+// provably loses (see the sensitivity test below).
+func TestPublicAPIDurableKillRestartZeroLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SC,
+		F:             1,
+		Transport:     sof.TCP,
+		AuthFrames:    true,
+		SessionResume: true,
+		Durable:       true,
+		DataDir:       t.TempDir(),
+		NetShaping:    true,
+		BatchInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	atRisk, total := durableKillRestartScenario(t, cluster)
+
+	// The restarted incarnation replays the dead one's window: every
+	// at-risk request must now commit.
+	for i, id := range atRisk {
+		if err := cluster.AwaitCommit(id, 30*time.Second); err != nil {
+			t.Fatalf("request %d from the dead incarnation's unacked window lost: %v", i, err)
+		}
+	}
+	// Zero loss means every order process — not just the first to commit
+	// — eventually commits every request.
+	h := cluster.Harness()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		lagging := ""
+		for _, node := range h.Topo.AllProcesses() {
+			if n := h.Events.CommittedEntries(node); n < total {
+				lagging = fmt.Sprintf("process %v committed %d/%d entries", node, n, total)
+				break
+			}
+		}
+		if lagging == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("loss despite Durable: %s", lagging)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestPublicAPIKillRestartLosesWindowWithoutDurable is the sensitivity
+// check for the test above: the identical scenario with Durable off loses
+// the killed incarnation's unacknowledged window — proving the zero-loss
+// result comes from the write-ahead log, not from some other layer
+// quietly saving the day.
+func TestPublicAPIKillRestartLosesWindowWithoutDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SC,
+		F:             1,
+		Transport:     sof.TCP,
+		AuthFrames:    true,
+		SessionResume: true,
+		NetShaping:    true,
+		BatchInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	atRisk, _ := durableKillRestartScenario(t, cluster)
+	// One generous window for the whole batch, then a short check each:
+	// anything that was going to commit has by now.
+	lost := 0
+	for i, id := range atRisk {
+		timeout := 200 * time.Millisecond
+		if i == 0 {
+			timeout = 3 * time.Second
+		}
+		if err := cluster.AwaitCommit(id, timeout); err != nil {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("no requests lost without Durable; the kill-restart test would not prove durability")
+	}
+}
+
+// TestPublicAPIDurableHistoryAcrossReopen: a cluster reopened on the same
+// DataDir answers commit checks for requests ordered by its previous
+// incarnation, and new clients continue the request-ID namespace instead
+// of colliding with history.
+func TestPublicAPIDurableHistoryAcrossReopen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	dir := t.TempDir()
+	build := func() *sof.Cluster {
+		cluster, err := sof.NewCluster(sof.Config{
+			Protocol:      sof.SC,
+			F:             1,
+			Transport:     sof.TCP,
+			Durable:       true,
+			DataDir:       dir,
+			BatchInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cluster
+	}
+	c1 := build()
+	c1.Start()
+	var old []sof.ReqID
+	for i := 0; i < 3; i++ {
+		id, err := c1.Submit([]byte(fmt.Sprintf("history-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c1.AwaitCommit(id, 20*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		old = append(old, id)
+	}
+	c1.Stop()
+
+	c2 := build()
+	c2.Start()
+	defer c2.Stop()
+	// Pre-crash commits are answered from the recovered index.
+	for i, id := range old {
+		if err := c2.AwaitCommit(id, time.Second); err != nil {
+			t.Errorf("history request %d forgotten across reopen: %v", i, err)
+		}
+	}
+	// A new submission must not reuse a committed ClientSeq.
+	fresh, err := c2.Submit([]byte("after reopen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range old {
+		if fresh == id {
+			t.Fatalf("reopened cluster reused request ID %v", id)
+		}
+	}
+	if fresh.ClientSeq <= old[len(old)-1].ClientSeq {
+		t.Fatalf("ClientSeq regressed across reopen: %d after %d", fresh.ClientSeq, old[len(old)-1].ClientSeq)
+	}
+	if err := c2.AwaitCommit(fresh, 20*time.Second); err != nil {
+		t.Fatalf("reopened cluster cannot order new requests: %v", err)
+	}
+}
+
 // TestPublicAPITCPRejectsSimulated pins the config validation: the
 // simulator has no TCP substrate.
 func TestPublicAPITCPRejectsSimulated(t *testing.T) {
