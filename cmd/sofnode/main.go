@@ -13,13 +13,19 @@
 // these flags. On shutdown the node logs its per-peer transport counters
 // (queued/dropped/retransmitted/reconnects).
 //
-// With -data-dir (requires -auth) the node's session state — epochs,
-// delivery watermarks and the sealed-but-unacknowledged frame window —
-// is journalled to a write-ahead log under that directory, group-
-// committed on the batching interval. A *restarted* node (same -id, same
-// -data-dir) then resumes its previous incarnation's sessions and, with
-// -resume, replays the frames the dead incarnation had sealed but never
-// delivered, so a crash loses at most one batching interval of frames.
+// With -data-dir the node journals durable state to write-ahead logs
+// under that directory, group-committed on the batching interval. For
+// sc/scr the node checkpoints its protocol state (view, pair epochs,
+// committed watermark, committed-order digest) every -ckpt-interval
+// delivered sequence numbers; a *restarted* node (same -id, same
+// -data-dir) restores the checkpoint, announces its watermark and
+// catches up on the commits it missed from its peers before resuming
+// ordering — even when the peers' bounded retransmission rings have long
+// pruned the frames it missed. With -auth the node's session state —
+// epochs, delivery watermarks and the sealed-but-unacknowledged frame
+// window — is journalled too, and with -resume a restarted node replays
+// the frames the dead incarnation had sealed but never delivered. A
+// crash loses at most one batching interval of records.
 //
 // With -clients (comma-separated client listen addresses, index = client
 // number) the node sends a signed commit-observation Reply to the
@@ -56,6 +62,7 @@ import (
 	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
+	"github.com/sof-repro/sof/internal/wal/protolog"
 	"github.com/sof-repro/sof/internal/wal/sessionlog"
 )
 
@@ -71,15 +78,16 @@ func main() {
 		delta    = flag.Duration("delta", 5*time.Second, "pair differential delay estimate")
 		auth     = flag.Bool("auth", false, "authenticate frames: HMAC-sealed frame v2 with authenticated hellos (all nodes and clients must agree)")
 		resume   = flag.Bool("resume", false, "resume sessions across reconnects, replaying in-flight frames (implies -auth)")
-		dataDir  = flag.String("data-dir", "", "journal session state to this directory so a restarted node resumes its sessions and replays its dead incarnation's in-flight frames (requires -auth)")
+		dataDir  = flag.String("data-dir", "", "journal durable node state to this directory: protocol checkpoints (sc/scr), and — with -auth — session state, so a restarted node restores its watermark, catches up on missed commits from its peers, and replays its dead incarnation's in-flight frames")
+		ckptIvl  = flag.Int("ckpt-interval", 0, "delivered sequence numbers between protocol checkpoints (0 = default 64, negative disables; requires -data-dir)")
 		clients  = flag.String("clients", "", "comma-separated client listen addresses (index = client number) to send commit-observation replies to")
 	)
 	flag.Parse()
 	if *resume {
 		*auth = true
 	}
-	if *dataDir != "" && !*auth {
-		log.Fatal("-data-dir requires -auth (durable state is the session journal)")
+	if *ckptIvl != 0 && *dataDir == "" {
+		log.Fatal("-ckpt-interval requires -data-dir")
 	}
 
 	proto, err := parseProtocol(*protoStr)
@@ -179,7 +187,23 @@ func main() {
 			n.Transport().Send(e.Req.Client, rep.Marshal())
 		}
 	}
-	proc, err := buildProcess(self, topo, idents, proto, *batch, *delta, logger, sendReply)
+	// Protocol checkpoint store: with -data-dir an sc/scr order process
+	// snapshots its protocol state and a restarted node catches up on the
+	// commits it missed from its peers (works with or without -auth; the
+	// session journal is a separate, transport-level layer).
+	var ckpts *protolog.Store
+	if *dataDir != "" && *ckptIvl >= 0 && (proto == types.SC || proto == types.SCR) {
+		ckpts, err = protolog.Open(protolog.Options{
+			Dir:          filepath.Join(*dataDir, "proto"),
+			SyncInterval: *batch,
+			Logger:       logger,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	proc, err := buildProcess(self, topo, idents, proto, *batch, *delta, logger, sendReply, ckpts, *ckptIvl)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -211,6 +235,11 @@ func main() {
 		// interval).
 		if err := journal.Close(); err != nil {
 			logger.Printf("closing session journal: %v", err)
+		}
+	}
+	if ckpts != nil {
+		if err := ckpts.Close(); err != nil {
+			logger.Printf("closing checkpoint store: %v", err)
 		}
 	}
 	if fatal {
@@ -251,7 +280,7 @@ func parseProtocol(s string) (types.Protocol, error) {
 func buildProcess(self types.NodeID, topo types.Topology,
 	idents map[types.NodeID]*crypto.Identity, proto types.Protocol,
 	batch, delta time.Duration, logger *log.Logger,
-	sendReply func(core.CommitEvent)) (runtime.Process, error) {
+	sendReply func(core.CommitEvent), ckpts *protolog.Store, ckptIvl int) (runtime.Process, error) {
 
 	onCommit := func(ev core.CommitEvent) {
 		logger.Printf("COMMIT view=%d seqs=[%d..%d] entries=%d", ev.View, ev.FirstSeq, ev.LastSeq, len(ev.Entries))
@@ -274,6 +303,10 @@ func buildProcess(self types.NodeID, topo types.Topology,
 			OnInstalled: func(ev core.InstallEvent) {
 				logger.Printf("INSTALLED coordinator rank=%d start_o=%d", ev.Rank, ev.StartSeq)
 			},
+		}
+		if ckpts != nil {
+			cfg.Checkpointer = ckpts
+			cfg.CheckpointInterval = ckptIvl
 		}
 		if counterpart, paired := topo.PairOf(self); paired {
 			pre, err := fsp.PresignFor(idents[counterpart], types.Rank(topo.PairIndex(self)), 0, counterpart)

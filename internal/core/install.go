@@ -111,6 +111,10 @@ func (p *Process) beginInstall(env runtime.Env, fs *message.FailSignal) {
 	// Orders from the deposed coordinator that were never acked cannot
 	// complete; drop the buffer (acked ones travel in BackLogs).
 	p.future = make(map[types.Seq]*message.OrderBatch)
+	// Unwilling bookkeeping for views we have moved past can never be
+	// consulted again (onUnwilling requires u.View == p.view); without
+	// this prune the two maps grow by one entry per view forever.
+	p.pruneUnwillingBelow(p.view)
 
 	bl := &message.BackLog{
 		From:         p.id,
@@ -130,6 +134,20 @@ func (p *Process) beginInstall(env runtime.Env, fs *message.FailSignal) {
 	p.multicastAll(env, bl)
 	// SCR: if we are the proposed candidate pair and not up, say so.
 	p.scrMaybeUnwilling(env)
+}
+
+// pruneUnwillingBelow drops unwilling bookkeeping for every view below v.
+func (p *Process) pruneUnwillingBelow(v types.View) {
+	for view := range p.unwillingSeen {
+		if view < v {
+			delete(p.unwillingSeen, view)
+		}
+	}
+	for view := range p.unwillingSent {
+		if view < v {
+			delete(p.unwillingSent, view)
+		}
+	}
 }
 
 // ackedUncommitted returns the batches this process acked but has not
@@ -174,22 +192,14 @@ func (p *Process) onBackLog(env runtime.Env, from types.NodeID, bl *message.Back
 }
 
 // verifyBackLog checks a BackLog's own signature and its committed-order
-// proof. (The embedded fail-signal was verified by onFailSignal.)
+// proof. (The embedded fail-signal was verified by onFailSignal.) The
+// proof-and-subject verification is shared with the CatchUp path
+// (verifyCommittedEvidence).
 func (p *Process) verifyBackLog(env runtime.Env, bl *message.BackLog) error {
 	if err := bl.VerifySig(env); err != nil {
 		return err
 	}
-	if bl.MaxCommitted != nil {
-		if err := bl.MaxCommitted.Verify(env, p.quorumEff()); err != nil {
-			return fmt.Errorf("max-committed proof: %w", err)
-		}
-	}
-	for _, b := range bl.Uncommitted {
-		if err := b.VerifySigs(env); err != nil {
-			return fmt.Errorf("uncommitted batch %d: %w", b.FirstSeq, err)
-		}
-	}
-	return nil
+	return p.verifyCommittedEvidence(env, bl.MaxCommitted, bl.Uncommitted, nil)
 }
 
 // computeStart is the deciding half of IN2 at the new primary pc.
@@ -575,6 +585,9 @@ func (p *Process) tryCompleteInstall(env runtime.Env) {
 	st := p.startMsg
 	p.installing = false
 	p.installed = true
+	// The install is over: unwilling bookkeeping up to and including this
+	// view is settled.
+	p.pruneUnwillingBelow(p.view + 1)
 
 	// Dumb-process optimization: mute every fail-signalled pair below us.
 	if p.cfg.DumbOptimization {
@@ -646,24 +659,32 @@ func (p *Process) adoptNewBackLog(env runtime.Env, st *message.Start) {
 	// contiguity, and the Start's own commit confirms the regime change;
 	// per SC1 the pair-endorsed Start is correct).
 	for _, b := range st.NewBackLog {
-		if b.LastSeq() <= p.deliveredUpTo {
-			continue
-		}
-		digest := b.BodyDigest(env)
-		t, ok := p.trackers[b.FirstSeq]
-		if !ok || !bytes.Equal(t.Digest, digest) {
-			t = NewBatchTracker(b, digest)
-			p.trackers[b.FirstSeq] = t
-		}
-		for _, e := range b.Entries {
-			p.pool.MarkOrdered(e.Req)
-		}
-		if !t.Committed {
-			t.Committed = true
-			p.committedLog[b.FirstSeq] = t
-		}
+		p.installCommittedBatch(env, b)
 	}
 	p.advanceDelivery(env)
+}
+
+// installCommittedBatch records one pair-endorsed batch as committed —
+// the adoption step shared by adoptNewBackLog and the restart catch-up
+// path. Already-delivered ranges are skipped; delivery itself stays gated
+// by contiguity in advanceDelivery.
+func (p *Process) installCommittedBatch(env runtime.Env, b *message.OrderBatch) {
+	if b.LastSeq() <= p.deliveredUpTo {
+		return
+	}
+	digest := b.BodyDigest(env)
+	t, ok := p.trackers[b.FirstSeq]
+	if !ok || !bytes.Equal(t.Digest, digest) {
+		t = NewBatchTracker(b, digest)
+		p.trackers[b.FirstSeq] = t
+	}
+	for _, e := range b.Entries {
+		p.pool.MarkOrdered(e.Req)
+	}
+	if !t.Committed {
+		t.Committed = true
+		p.committedLog[b.FirstSeq] = t
+	}
 }
 
 // armShadowExpectations re-arms the per-request time-domain monitors when

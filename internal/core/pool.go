@@ -1,20 +1,36 @@
 package core
 
 import (
+	"sync"
+
 	"github.com/sof-repro/sof/internal/message"
 )
 
 // RequestPool holds client requests awaiting ordering and execution.
 // Clients multicast requests to every order process, so each process
-// accumulates its own copy. The pool is driven from a single event loop
-// and needs no locking.
+// accumulates its own copy. Mutations happen only on the owning process's
+// event loop, but the replica layer resolves payloads (Get) from the
+// replay-drain goroutine, so the pool carries its own lock; waiter
+// callbacks fire outside it (they re-enter the pool).
 type RequestPool struct {
-	reqs      map[message.ReqID]*message.Request
-	ordered   map[message.ReqID]bool
-	unordered []message.ReqID // FIFO arrival order, lazily compacted
+	mu      sync.RWMutex
+	reqs    map[message.ReqID]*message.Request
+	ordered map[message.ReqID]bool
+	// unordered is the FIFO arrival queue, consumed from head. Popping
+	// advances head instead of re-slicing (a re-slice keeps the whole
+	// backing array — and every popped request ID in it — reachable);
+	// compact() periodically copies the live tail to the front so the
+	// consumed prefix is actually released.
+	unordered []message.ReqID
+	head      int
 	inQueue   map[message.ReqID]bool
+	pending   int // queued entries still awaiting ordering (O(1) PendingCount)
 	waiters   map[message.ReqID][]func(*message.Request)
 }
+
+// poolCompactMin is the minimum consumed-prefix length before compaction
+// is considered; below it the copy is not worth the bookkeeping.
+const poolCompactMin = 64
 
 // NewRequestPool returns an empty pool.
 func NewRequestPool() *RequestPool {
@@ -26,29 +42,53 @@ func NewRequestPool() *RequestPool {
 	}
 }
 
+// compact releases the consumed queue prefix once it dominates the
+// backing array, keeping amortised O(1) pops without retaining the full
+// arrival history.
+func (p *RequestPool) compact() {
+	if p.head < poolCompactMin || p.head*2 < len(p.unordered) {
+		return
+	}
+	n := copy(p.unordered, p.unordered[p.head:])
+	p.unordered = p.unordered[:n]
+	p.head = 0
+}
+
+// enqueue appends a not-yet-ordered id to the arrival queue.
+func (p *RequestPool) enqueue(id message.ReqID) {
+	p.unordered = append(p.unordered, id)
+	p.inQueue[id] = true
+	p.pending++
+}
+
 // Add stores a request; duplicates are ignored. It reports whether the
 // request was new, and fires any WhenAvailable callbacks.
 func (p *RequestPool) Add(req *message.Request) bool {
 	id := req.ID()
+	p.mu.Lock()
 	if _, dup := p.reqs[id]; dup {
+		p.mu.Unlock()
 		return false
 	}
 	p.reqs[id] = req
 	if !p.ordered[id] && !p.inQueue[id] {
-		p.unordered = append(p.unordered, id)
-		p.inQueue[id] = true
+		p.enqueue(id)
 	}
-	if ws := p.waiters[id]; len(ws) > 0 {
+	ws := p.waiters[id]
+	if len(ws) > 0 {
 		delete(p.waiters, id)
-		for _, fn := range ws {
-			fn(req)
-		}
+	}
+	p.mu.Unlock()
+	for _, fn := range ws {
+		fn(req)
 	}
 	return true
 }
 
 // Get returns a stored request.
 func (p *RequestPool) Get(id message.ReqID) (*message.Request, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	r, ok := p.reqs[id]
 	return r, ok
 }
@@ -57,33 +97,57 @@ func (p *RequestPool) Get(id message.ReqID) (*message.Request, bool) {
 // when it arrives. The shadow coordinator uses this to defer value-domain
 // validation of an order whose request is still in flight.
 func (p *RequestPool) WhenAvailable(id message.ReqID, fn func(*message.Request)) {
-	if r, ok := p.reqs[id]; ok {
-		fn(r)
-		return
+	p.mu.Lock()
+	r, ok := p.reqs[id]
+	if !ok {
+		p.waiters[id] = append(p.waiters[id], fn)
 	}
-	p.waiters[id] = append(p.waiters[id], fn)
+	p.mu.Unlock()
+	if ok {
+		fn(r)
+	}
 }
 
 // MarkOrdered records that a request has been assigned a sequence number.
 func (p *RequestPool) MarkOrdered(id message.ReqID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ordered[id] {
+		return
+	}
 	p.ordered[id] = true
+	if p.inQueue[id] {
+		// The queue entry is now stale; NextBatch skips it when reached.
+		p.pending--
+	}
 }
 
 // IsOrdered reports whether the request has been assigned a sequence
 // number (as far as this process knows).
-func (p *RequestPool) IsOrdered(id message.ReqID) bool { return p.ordered[id] }
+func (p *RequestPool) IsOrdered(id message.ReqID) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.ordered[id]
+}
 
 // UnmarkOrdered returns a request to the unordered queue; a new coordinator
 // uses this for orders dropped during fail-over.
 func (p *RequestPool) UnmarkOrdered(id message.ReqID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if !p.ordered[id] {
 		return
 	}
 	delete(p.ordered, id)
-	if _, known := p.reqs[id]; known && !p.inQueue[id] {
-		p.unordered = append(p.unordered, id)
-		p.inQueue[id] = true
+	if _, known := p.reqs[id]; !known {
+		return
 	}
+	if p.inQueue[id] {
+		// Its stale queue entry is live again.
+		p.pending++
+		return
+	}
+	p.enqueue(id)
 }
 
 // EntryOverhead approximates the wire bytes an order entry adds to a batch
@@ -95,14 +159,16 @@ const EntryOverhead = 24
 // size per entry), marking them ordered. At least one request is returned
 // if any is available, so an oversized single request still gets ordered.
 func (p *RequestPool) NextBatch(maxBytes, digestSize int) []*message.Request {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var (
 		out   []*message.Request
 		total int
 	)
-	for len(p.unordered) > 0 {
-		id := p.unordered[0]
+	for p.head < len(p.unordered) {
+		id := p.unordered[p.head]
 		if p.ordered[id] || !p.inQueue[id] {
-			p.unordered = p.unordered[1:]
+			p.head++
 			delete(p.inQueue, id)
 			continue
 		}
@@ -111,28 +177,40 @@ func (p *RequestPool) NextBatch(maxBytes, digestSize int) []*message.Request {
 		if len(out) > 0 && total+cost > maxBytes {
 			break
 		}
-		p.unordered = p.unordered[1:]
+		p.head++
 		delete(p.inQueue, id)
 		p.ordered[id] = true
+		p.pending--
 		out = append(out, req)
 		total += cost
 		if total >= maxBytes {
 			break
 		}
 	}
+	p.compact()
 	return out
 }
 
-// PendingCount returns how many known requests await ordering.
+// PendingCount returns how many known requests await ordering. It is O(1):
+// the counter is maintained across Add/MarkOrdered/UnmarkOrdered/NextBatch
+// instead of scanning the queue.
 func (p *RequestPool) PendingCount() int {
-	n := 0
-	for _, id := range p.unordered {
-		if p.inQueue[id] && !p.ordered[id] {
-			n++
-		}
-	}
-	return n
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.pending
 }
 
 // Len returns the number of stored requests.
-func (p *RequestPool) Len() int { return len(p.reqs) }
+func (p *RequestPool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.reqs)
+}
+
+// queueFootprint reports the arrival queue's backing length (regression
+// tests pin the compaction behaviour with it).
+func (p *RequestPool) queueFootprint() (length, head int) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.unordered), p.head
+}

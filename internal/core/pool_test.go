@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+func poolReq(seq uint64) *message.Request {
+	return &message.Request{Client: types.ClientID(0), ClientSeq: seq, Payload: []byte("x")}
+}
+
+// pendingBrute recomputes PendingCount the way the pre-counter code did,
+// so the O(1) counter can be checked against ground truth after every
+// mutation.
+func pendingBrute(p *RequestPool) int {
+	n := 0
+	for _, id := range p.unordered[p.head:] {
+		if p.inQueue[id] && !p.ordered[id] {
+			n++
+		}
+	}
+	return n
+}
+
+func checkPending(t *testing.T, p *RequestPool, step string) {
+	t.Helper()
+	if got, want := p.PendingCount(), pendingBrute(p); got != want {
+		t.Fatalf("%s: PendingCount = %d, brute force = %d", step, got, want)
+	}
+}
+
+func TestPoolPendingCountTracksMutations(t *testing.T) {
+	p := NewRequestPool()
+	checkPending(t, p, "empty")
+	for i := uint64(1); i <= 20; i++ {
+		p.Add(poolReq(i))
+		checkPending(t, p, fmt.Sprintf("add %d", i))
+	}
+	// Mark some ordered out of band (shadow endorsement path) — their
+	// queue entries go stale.
+	for i := uint64(1); i <= 5; i++ {
+		p.MarkOrdered(poolReq(i).ID())
+		p.MarkOrdered(poolReq(i).ID()) // idempotent
+		checkPending(t, p, fmt.Sprintf("mark %d", i))
+	}
+	// Unmark one with a stale queue entry (fail-over re-ordering): its
+	// stale entry revives in place.
+	p.UnmarkOrdered(poolReq(3).ID())
+	checkPending(t, p, "unmark queued")
+	if p.PendingCount() != 16 {
+		t.Fatalf("PendingCount = %d, want 16", p.PendingCount())
+	}
+	// Drain through NextBatch, skipping the stale entries.
+	got := p.NextBatch(1<<20, 8)
+	checkPending(t, p, "drain")
+	if len(got) != 16 {
+		t.Fatalf("NextBatch returned %d, want 16", len(got))
+	}
+	if p.PendingCount() != 0 {
+		t.Fatalf("PendingCount after drain = %d, want 0", p.PendingCount())
+	}
+	// Unmark a popped request: it re-enqueues.
+	p.UnmarkOrdered(poolReq(7).ID())
+	checkPending(t, p, "unmark popped")
+	if p.PendingCount() != 1 {
+		t.Fatalf("PendingCount after re-enqueue = %d, want 1", p.PendingCount())
+	}
+}
+
+// TestPoolQueueCompaction pins the leak fix: popping must not retain the
+// consumed prefix of the arrival queue forever (the old re-slice kept the
+// full backing array — and every popped ReqID — reachable).
+func TestPoolQueueCompaction(t *testing.T) {
+	p := NewRequestPool()
+	const n = 10 * poolCompactMin
+	for i := uint64(1); i <= n; i++ {
+		p.Add(poolReq(i))
+	}
+	for drained := 0; drained < n; {
+		batch := p.NextBatch(64, 8)
+		if len(batch) == 0 {
+			t.Fatal("NextBatch starved with requests pending")
+		}
+		drained += len(batch)
+	}
+	length, head := p.queueFootprint()
+	if length-head != 0 {
+		t.Fatalf("queue has %d live entries after full drain", length-head)
+	}
+	if length > 2*poolCompactMin {
+		t.Fatalf("queue backing retains %d consumed entries; compaction failed", length)
+	}
+	// Batch ordering is preserved across compactions.
+	p2 := NewRequestPool()
+	for i := uint64(1); i <= n; i++ {
+		p2.Add(poolReq(i))
+	}
+	var order []uint64
+	for len(order) < n {
+		for _, r := range p2.NextBatch(64, 8) {
+			order = append(order, r.ClientSeq)
+		}
+	}
+	for i, seq := range order {
+		if seq != uint64(i+1) {
+			t.Fatalf("arrival order broken at %d: got seq %d", i, seq)
+		}
+	}
+}

@@ -36,6 +36,19 @@ type Config struct {
 	// PadBacklogBytes pads BackLog messages, letting the Figure 6
 	// experiments control BackLog size.
 	PadBacklogBytes int
+	// Checkpointer, when non-nil, makes protocol state durable: the
+	// process snapshots its view, pair epochs, committed-sequence
+	// watermark and committed-order digest every CheckpointInterval
+	// delivered sequence numbers, and a restarted process restores the
+	// snapshot and catches up on missed commits from its peers (CatchUp)
+	// before resuming ordering duties. Peers gossip durable checkpoint
+	// watermarks and prune committed-order history below the cluster-wide
+	// minimum.
+	Checkpointer Checkpointer
+	// CheckpointInterval is the number of delivered sequence numbers
+	// between checkpoints (default DefaultCheckpointInterval). Ignored
+	// without Checkpointer.
+	CheckpointInterval int
 
 	// OnBatched fires at the coordinator when a batch is formed — the
 	// paper's latency clock starts here.
@@ -156,6 +169,19 @@ type Process struct {
 	beatTimer     runtime.Timer
 	beatSeq       uint64
 	myBeatPresig  map[uint64]crypto.Signature
+
+	// Checkpoint & catch-up state (catchup.go).
+	ckptEvery      types.Seq                  // seqs between checkpoints
+	lastCkptSeq    types.Seq                  // watermark of the last Save
+	orderDigest    []byte                     // rolling digest over delivered subjects
+	announcedWM    types.Seq                  // last durable watermark announced
+	peerCkpt       map[types.NodeID]types.Seq // peers' announced watermarks
+	prunedBelow    types.Seq                  // cluster watermark history was pruned below
+	catchingUp     bool                       // restored; awaiting CatchUp completion
+	catchupFrom    map[types.NodeID]bool      // peers that answered this catch-up
+	catchupMaxUpTo types.Seq                  // highest responder watermark seen
+	catchupServed  map[types.NodeID]servedMark
+	catchupTimer   runtime.Timer
 }
 
 var _ runtime.Process = (*Process)(nil)
@@ -209,6 +235,24 @@ func New(id types.NodeID, cfg Config) (*Process, error) {
 		unwillingSeen:     make(map[types.View]bool),
 		unwillingSent:     make(map[types.View]bool),
 		myBeatPresig:      make(map[uint64]crypto.Signature),
+		// peerCkpt exists even without a Checkpointer: any peer may run
+		// durable and announce watermarks (mixed deployments), and this
+		// process still answers catch-up requests from its committed log.
+		peerCkpt: make(map[types.NodeID]types.Seq),
+	}
+	if cfg.Checkpointer != nil {
+		p.ckptEvery = types.Seq(cfg.CheckpointInterval)
+		if p.ckptEvery <= 0 {
+			p.ckptEvery = DefaultCheckpointInterval
+		}
+		if cp, ok := cfg.Checkpointer.Load(); ok {
+			p.restoreCheckpoint(cp)
+		}
+		// Even without a recovered checkpoint (first boot, or a crash
+		// before the first save) the catch-up round runs: peers that are
+		// ahead answer with the missed history, peers that are not answer
+		// with an empty CatchUp that completes the round immediately.
+		p.catchingUp = true
 	}
 	if p.pairIdx > 0 {
 		counterpart, _ := cfg.Topo.PairOf(id)
@@ -302,6 +346,13 @@ func (p *Process) multicastAll(env runtime.Env, m message.Message) {
 // Init implements runtime.Process.
 func (p *Process) Init(env runtime.Env) {
 	p.digestSize = len(env.Digest(nil))
+	if p.catchingUp {
+		// Catch up on committed history before resuming ordering: a
+		// restored primary must not propose into a sequence range it has
+		// not recovered yet (finishCatchUp arms the batch timer).
+		p.beginCatchUp(env)
+		return
+	}
 	if p.isPrimaryNow() {
 		p.armBatchTimer(env)
 	}
@@ -335,6 +386,10 @@ func (p *Process) Receive(env runtime.Env, from types.NodeID, m message.Message)
 		p.onPairBeat(env, from, m)
 	case *message.Mirror:
 		p.onMirror(env, from, m)
+	case *message.CatchUpReq:
+		p.onCatchUpReq(env, from, m)
+	case *message.CatchUp:
+		p.onCatchUp(env, from, m)
 	default:
 		env.Logf("core: ignoring %v from %v", m.Type(), from)
 	}
@@ -670,6 +725,9 @@ func (p *Process) deliver(env runtime.Env, t *Tracker) {
 		last = t.StartMsg.StartSeq
 	}
 	p.deliveredUpTo = last
+	if p.cfg.Checkpointer != nil {
+		p.orderDigest = chainDigest(env, p.orderDigest, t.Digest)
+	}
 	if p.cfg.OnCommit != nil {
 		p.cfg.OnCommit(CommitEvent{
 			Node: p.id, View: t.View, Kind: t.Kind,
@@ -677,6 +735,7 @@ func (p *Process) deliver(env runtime.Env, t *Tracker) {
 			Entries: entries, At: env.Now(),
 		})
 	}
+	p.saveCheckpointIfDue(env)
 }
 
 // maybeCatchupBatch accepts a late batch below the committed watermark

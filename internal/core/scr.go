@@ -202,6 +202,14 @@ func (p *Process) onPairBeat(env runtime.Env, from types.NodeID, b *message.Pair
 	p.sendBeat(env, epoch)
 	if p.pair.Recover(epoch, b.FailSigSig) {
 		p.pairEpochs[types.Rank(p.pairIdx)] = epoch
+		// Pre-signatures for epochs below the recovered one can never be
+		// sent again (beats for them would be rejected as stale); the
+		// current epoch's stays memoised for idempotent re-answers.
+		for e := range p.myBeatPresig {
+			if e < epoch {
+				delete(p.myBeatPresig, e)
+			}
+		}
 		if p.cfg.OnPairRecovered != nil {
 			p.cfg.OnPairRecovered(InstallEvent{Node: p.id, Rank: types.Rank(p.pairIdx), At: env.Now()})
 		}

@@ -20,6 +20,7 @@ import (
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
 	"github.com/sof-repro/sof/internal/wal/commitlog"
+	"github.com/sof-repro/sof/internal/wal/protolog"
 	"github.com/sof-repro/sof/internal/wal/sessionlog"
 )
 
@@ -70,6 +71,11 @@ type Options struct {
 	// from each sender's retransmission ring after a reconnect, so a
 	// dropped connection loses nothing. Implies AuthFrames.
 	SessionResume bool
+	// SessionRingLen bounds each sender's retransmission ring, in frames
+	// (0 = session.DefaultRingLen). Frames evicted from a full ring can
+	// never be replayed — a long-dead peer's backlog is pruned, and its
+	// recovery falls to the protocol-level checkpoint catch-up.
+	SessionRingLen int
 	// Durable persists per-node state under DataDir in write-ahead logs:
 	// the recorder's commit stream (so CommitsSince serves evicted
 	// cursors from disk and commit history survives a crash), and — with
@@ -82,6 +88,13 @@ type Options struct {
 	// DataDir is the root directory for durable node state (one
 	// subdirectory per node plus the shared commit stream).
 	DataDir string
+	// CheckpointInterval is the number of delivered sequence numbers
+	// between durable protocol checkpoints for SC/SCR order processes
+	// under Durable (0 = core.DefaultCheckpointInterval; negative
+	// disables protocol checkpoints entirely, leaving only the
+	// transport-level durability — the sensitivity twin of the restart
+	// catch-up tests uses that).
+	CheckpointInterval int
 	// TCPShaping applies the simulated network fabric's link model to the
 	// real TCP transport: per-link propagation/bandwidth delays from Net,
 	// and fabric cuts/isolations blackhole the corresponding socket
@@ -144,7 +157,11 @@ type Cluster struct {
 	sched *des.Scheduler
 	sub   substrate
 
-	idents  map[types.NodeID]*crypto.Identity
+	idents map[types.NodeID]*crypto.Identity
+	// procMu guards the process maps below: RestartNode replaces an order
+	// process's incarnation while measurement goroutines (replica drains)
+	// look processes up.
+	procMu  sync.RWMutex
 	SC      map[types.NodeID]*core.Process
 	CT      map[types.NodeID]*ct.Process
 	BFT     map[types.NodeID]*bft.Process
@@ -157,6 +174,7 @@ type Cluster struct {
 	commitStore   *commitlog.Store
 	storeMu       sync.Mutex
 	sessionStores map[types.NodeID]*sessionlog.Store
+	protoStores   map[types.NodeID]*protolog.Store
 	stopped       bool
 }
 
@@ -201,6 +219,7 @@ func New(opts Options) (*Cluster, error) {
 		BFT:           make(map[types.NodeID]*bft.Process),
 		clients:       make(map[types.NodeID]*clientProc),
 		sessionStores: make(map[types.NodeID]*sessionlog.Store),
+		protoStores:   make(map[types.NodeID]*protolog.Store),
 	}
 	// Identities for every order process and client, from the trusted
 	// dealer; the shared cache keeps RSA/DSA setup fast across runs.
@@ -333,8 +352,41 @@ func (c *Cluster) sessionlogOptions(id types.NodeID) sessionlog.Options {
 	return sessionlog.Options{
 		Dir:          filepath.Join(c.Opts.DataDir, fmt.Sprintf("node-%d", int32(id)), "session"),
 		SyncInterval: c.Opts.BatchInterval,
+		RingLen:      c.Opts.SessionRingLen,
 		Logger:       c.Opts.Logger,
 	}
+}
+
+// protologOptions builds the per-node protocol-checkpoint store options,
+// sharing the node's DataDir subdirectory with its session journal.
+func (c *Cluster) protologOptions(id types.NodeID) protolog.Options {
+	return protolog.Options{
+		Dir:          filepath.Join(c.Opts.DataDir, fmt.Sprintf("node-%d", int32(id)), "proto"),
+		SyncInterval: c.Opts.BatchInterval,
+		Logger:       c.Opts.Logger,
+	}
+}
+
+// protoStore returns (opening if needed) the protocol-checkpoint store
+// for an order process, or nil when protocol checkpoints are off
+// (not Durable, negative CheckpointInterval, or a killed node whose store
+// was crashed and not yet reopened by RestartNode — reopening happens
+// here, through buildProcess).
+func (c *Cluster) protoStore(id types.NodeID) (*protolog.Store, error) {
+	if !c.Opts.Durable || c.Opts.CheckpointInterval < 0 {
+		return nil, nil
+	}
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if st := c.protoStores[id]; st != nil {
+		return st, nil
+	}
+	st, err := protolog.Open(c.protologOptions(id))
+	if err != nil {
+		return nil, err
+	}
+	c.protoStores[id] = st
+	return st, nil
 }
 
 // tcpOptionsFor is the per-node transport-options factory: each node gets
@@ -344,7 +396,11 @@ func (c *Cluster) sessionlogOptions(id types.NodeID) sessionlog.Options {
 func (c *Cluster) tcpOptionsFor(id types.NodeID) tcpnet.Options {
 	var o tcpnet.Options
 	if c.links != nil {
-		cfg := &session.Config{Keys: c.links, Resume: c.Opts.SessionResume}
+		cfg := &session.Config{
+			Keys:    c.links,
+			Resume:  c.Opts.SessionResume,
+			RingLen: c.Opts.SessionRingLen,
+		}
 		c.storeMu.Lock()
 		if st := c.sessionStores[id]; st != nil {
 			cfg.Journal = st
@@ -379,6 +435,16 @@ func (c *Cluster) closeStores(crash bool) {
 			c.Opts.Logger.Printf("harness: closing session store: %v", err)
 		}
 	}
+	for _, st := range c.protoStores {
+		if st == nil {
+			continue
+		}
+		if crash {
+			st.Crash()
+		} else if err := st.Close(); err != nil && c.Opts.Logger != nil {
+			c.Opts.Logger.Printf("harness: closing checkpoint store: %v", err)
+		}
+	}
 	if c.commitStore != nil {
 		if crash {
 			c.commitStore.Crash()
@@ -400,12 +466,22 @@ func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
 			DumbOptimization:    c.Opts.DumbOptimization && c.Opts.Protocol == types.SC,
 			PadBacklogBytes:     c.Opts.PadBacklogBytes,
 			RecoveryInterval:    c.Opts.RecoveryInterval,
+			CheckpointInterval:  c.Opts.CheckpointInterval,
 			OnBatched:           c.Events.OnBatched,
 			OnCommit:            c.Events.OnCommit,
 			OnFailSignal:        c.Events.OnFailSignal,
 			OnInstalled:         c.Events.OnInstalled,
 			OnStartTuplesIssued: c.Events.OnStartTuplesIssued,
 			OnPairRecovered:     c.Events.OnPairRecovered,
+		}
+		// Durable protocol checkpoints: the process snapshots its view,
+		// watermark and committed-order digest to its own WAL store, and a
+		// restarted process (RestartNode reaches here too) restores the
+		// snapshot and catches up from its peers.
+		if st, err := c.protoStore(id); err != nil {
+			return nil, err
+		} else if st != nil {
+			cfg.Checkpointer = st
 		}
 		if counterpart, paired := c.Topo.PairOf(id); paired {
 			pre, err := fsp.PresignFor(c.idents[counterpart],
@@ -419,7 +495,9 @@ func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.procMu.Lock()
 		c.SC[id] = proc
+		c.procMu.Unlock()
 		return proc, nil
 	case types.CT:
 		proc, err := ct.New(id, ct.Config{
@@ -432,7 +510,9 @@ func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.procMu.Lock()
 		c.CT[id] = proc
+		c.procMu.Unlock()
 		return proc, nil
 	case types.BFT:
 		proc, err := bft.New(id, bft.Config{
@@ -446,7 +526,9 @@ func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.procMu.Lock()
 		c.BFT[id] = proc
+		c.procMu.Unlock()
 		return proc, nil
 	default:
 		return nil, fmt.Errorf("harness: protocol %v not wired yet", c.Opts.Protocol)
@@ -501,6 +583,14 @@ func (c *Cluster) SyncDurable() error {
 			return err
 		}
 	}
+	for _, st := range c.protoStores {
+		if st == nil {
+			continue
+		}
+		if err := st.Sync(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -522,6 +612,10 @@ func (c *Cluster) KillNode(id types.NodeID) error {
 		st.Crash()
 		c.sessionStores[id] = nil
 	}
+	if st := c.protoStores[id]; st != nil {
+		st.Crash()
+		c.protoStores[id] = nil
+	}
 	c.storeMu.Unlock()
 	return nil
 }
@@ -530,11 +624,14 @@ func (c *Cluster) KillNode(id types.NodeID) error {
 // address. With Durable it reopens the node's session journal first, so
 // the incarnation recovers its predecessor's session epoch, sequence
 // numbers and unacknowledged frame window, and replays that window after
-// the authenticated handshake. Order processes restart with fresh
-// protocol state (the order protocols' own state is not durable — a
-// restarted replica rejoins the transport but re-derives ordering from
-// its peers); client processes are reused, preserving their request-ID
-// namespace.
+// the authenticated handshake. SC/SCR order processes additionally reopen
+// their protocol-checkpoint store (buildProcess): the new incarnation
+// restores its view, pair epochs, committed watermark and committed-order
+// digest, announces the watermark, and catches up on the commits it
+// missed via its peers' CatchUp answers — before resuming ordering duties
+// — so recovery no longer depends on peers' bounded retransmission rings
+// still holding everything it missed. Client processes are reused,
+// preserving their request-ID namespace.
 func (c *Cluster) RestartNode(id types.NodeID) error {
 	if c.tcp == nil {
 		return fmt.Errorf("harness: RestartNode requires the live TCP transport")
@@ -612,6 +709,32 @@ func (c *Cluster) Crash(id types.NodeID) { c.sub.Crash(id) }
 // TCP exposes the TCP substrate when Options.Transport selected it (nil
 // otherwise); tests use it to reach per-node transports.
 func (c *Cluster) TCP() *runtime.TCPCluster { return c.tcp }
+
+// SCProcess returns the current SC/SCR process incarnation for id (nil
+// if none), safe against a concurrent RestartNode.
+func (c *Cluster) SCProcess(id types.NodeID) *core.Process {
+	c.procMu.RLock()
+	defer c.procMu.RUnlock()
+	return c.SC[id]
+}
+
+// OrderPool returns the request pool of the current incarnation of an
+// order process (nil for clients/unknown IDs), safe against a concurrent
+// RestartNode.
+func (c *Cluster) OrderPool(id types.NodeID) *core.RequestPool {
+	c.procMu.RLock()
+	defer c.procMu.RUnlock()
+	if p, ok := c.SC[id]; ok {
+		return p.Pool()
+	}
+	if p, ok := c.CT[id]; ok {
+		return p.Pool()
+	}
+	if p, ok := c.BFT[id]; ok {
+		return p.Pool()
+	}
+	return nil
+}
 
 // Submit sends one request from client k to every order process and
 // returns its ID.

@@ -1,0 +1,235 @@
+package message
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sof-repro/sof/internal/codec"
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// CatchUpReq announces one process's committed-sequence watermark. A
+// restarted order process multicasts it after restoring its durable
+// protocol checkpoint (Announce false: peers answer with a CatchUp
+// carrying the committed batches it missed); a running process multicasts
+// it with Announce true each time a checkpoint becomes durable, which is
+// what lets every process track the cluster-wide checkpoint watermark and
+// prune its committed-order history below it instead of retaining it
+// forever.
+type CatchUpReq struct {
+	From      types.NodeID
+	Watermark types.Seq // highest contiguously delivered (or checkpointed) seq
+	Announce  bool      // true: watermark gossip only, no response wanted
+	Sig       crypto.Signature
+	enc
+}
+
+var _ Message = (*CatchUpReq)(nil)
+
+// Type implements Message.
+func (m *CatchUpReq) Type() Type { return TCatchUpReq }
+
+func (m *CatchUpReq) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TCatchUpReq))
+	w.I32(int32(m.From))
+	w.U64(uint64(m.Watermark))
+	w.Bool(m.Announce)
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *CatchUpReq) SignedBody() []byte {
+	if m.body == nil {
+		w := codec.NewWriter(24)
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
+}
+
+// Marshal implements Message.
+func (m *CatchUpReq) Marshal() []byte {
+	if m.wire == nil {
+		w := codec.NewWriter(32 + len(m.Sig))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
+}
+
+func decodeCatchUpReq(r *codec.Reader) (*CatchUpReq, error) {
+	m := &CatchUpReq{
+		From:      types.NodeID(r.I32()),
+		Watermark: types.Seq(r.U64()),
+		Announce:  r.Bool(),
+	}
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the sender's signature.
+func (m *CatchUpReq) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.From, m.SignedBody(), m.Sig)
+}
+
+// CatchUp answers a CatchUpReq: the committed subjects (order batches and
+// any Starts committed through the normal part) with sequence numbers in
+// (Base, ...], walking contiguously from Base+1 up to at most the
+// responder's own delivered watermark UpTo, plus the request payloads the
+// batches reference so the requester's replica can execute them. Like a
+// BackLog, it carries the responder's proof of commitment for its
+// highest-committed batch (MaxCommitted, nil when it holds none); subjects
+// are additionally pair-endorsed individually, the same evidence the
+// adopt-NewBackLog path accepts (assumption 3(a)(ii)/3(b)(ii) exclude
+// pair equivocation by two simultaneous faults).
+type CatchUp struct {
+	From         types.NodeID
+	Base         types.Seq // the requester watermark this answers
+	UpTo         types.Seq // the responder's delivered watermark
+	MaxCommitted *CommitProof
+	Starts       []*Start
+	Batches      []*OrderBatch
+	Requests     []*Request
+	Sig          crypto.Signature
+	enc
+}
+
+var _ Message = (*CatchUp)(nil)
+
+// Type implements Message.
+func (m *CatchUp) Type() Type { return TCatchUp }
+
+func (m *CatchUp) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TCatchUp))
+	w.I32(int32(m.From))
+	w.U64(uint64(m.Base))
+	w.U64(uint64(m.UpTo))
+	if m.MaxCommitted != nil {
+		w.Bool(true)
+		m.MaxCommitted.encode(w)
+	} else {
+		w.Bool(false)
+	}
+	w.U32(uint32(len(m.Starts)))
+	for _, s := range m.Starts {
+		w.Bytes32(s.Marshal())
+	}
+	w.U32(uint32(len(m.Batches)))
+	for _, b := range m.Batches {
+		w.Bytes32(b.Marshal())
+	}
+	w.U32(uint32(len(m.Requests)))
+	for _, r := range m.Requests {
+		w.Bytes32(r.Marshal())
+	}
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *CatchUp) SignedBody() []byte {
+	if m.body == nil {
+		w := codec.NewWriter(256)
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
+}
+
+// Marshal implements Message.
+func (m *CatchUp) Marshal() []byte {
+	if m.wire == nil {
+		w := codec.NewWriter(256 + len(m.Sig))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
+}
+
+func decodeCatchUp(r *codec.Reader) (*CatchUp, error) {
+	m := &CatchUp{
+		From: types.NodeID(r.I32()),
+		Base: types.Seq(r.U64()),
+		UpTo: types.Seq(r.U64()),
+	}
+	if r.Bool() {
+		p, err := decodeCommitProof(r)
+		if err != nil {
+			return nil, err
+		}
+		m.MaxCommitted = p
+	}
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<16 {
+		return nil, errors.New("implausible start count")
+	}
+	for i := uint32(0); i < n; i++ {
+		raw := r.Bytes32()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		inner, err := Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("catchup start %d: %w", i, err)
+		}
+		s, ok := inner.(*Start)
+		if !ok {
+			return nil, fmt.Errorf("catchup start %d has type %v", i, inner.Type())
+		}
+		m.Starts = append(m.Starts, s)
+	}
+	n = r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<16 {
+		return nil, errors.New("implausible batch count")
+	}
+	for i := uint32(0); i < n; i++ {
+		raw := r.Bytes32()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		inner, err := Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("catchup batch %d: %w", i, err)
+		}
+		b, ok := inner.(*OrderBatch)
+		if !ok {
+			return nil, fmt.Errorf("catchup batch %d has type %v", i, inner.Type())
+		}
+		m.Batches = append(m.Batches, b)
+	}
+	n = r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<20 {
+		return nil, errors.New("implausible request count")
+	}
+	for i := uint32(0); i < n; i++ {
+		raw := r.Bytes32()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		inner, err := Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("catchup request %d: %w", i, err)
+		}
+		req, ok := inner.(*Request)
+		if !ok {
+			return nil, fmt.Errorf("catchup request %d has type %v", i, inner.Type())
+		}
+		m.Requests = append(m.Requests, req)
+	}
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the responder's signature over the full payload.
+func (m *CatchUp) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.From, m.SignedBody(), m.Sig)
+}

@@ -1,0 +1,91 @@
+package message
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+func TestCatchUpReqRoundTripAndVerify(t *testing.T) {
+	idents, _ := testIdentities(t, 8)
+	m := &CatchUpReq{From: 3, Watermark: 42, Announce: true}
+	m.Sig = sign(t, idents[3], m.SignedBody())
+
+	got := roundTrip(t, m).(*CatchUpReq)
+	if got.From != 3 || got.Watermark != 42 || !got.Announce {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if err := got.VerifySig(idents[7]); err != nil {
+		t.Fatalf("VerifySig: %v", err)
+	}
+	// A tampered watermark must not verify.
+	forged := &CatchUpReq{From: 3, Watermark: 43, Announce: true, Sig: m.Sig}
+	if err := forged.VerifySig(idents[7]); err == nil {
+		t.Fatal("forged CatchUpReq accepted")
+	}
+}
+
+func TestCatchUpRoundTripAndVerify(t *testing.T) {
+	idents, _ := testIdentities(t, 8)
+	batch := testBatch(t, idents, 1, 3)
+	req := testRequest(t, idents, 1, "payload")
+
+	ack := &Ack{From: 2, Kind: SubjectBatch, View: 1, FirstSeq: 1,
+		SubjectDigest: batch.BodyDigest(idents[1]), Subject: batch.Marshal()}
+	ack.Sig = sign(t, idents[2], ack.SignedBody())
+	proof := &CommitProof{Batch: batch, Ackers: []types.NodeID{2}, Sigs: []crypto.Signature{ack.Sig}}
+
+	start := &Start{Coord: 1, View: 1, StartSeq: 4, MaxCommittedSeq: 3, Primary: 0, Shadow: 5}
+	start.Sig1 = sign(t, idents[0], start.SignedBody())
+	start.Sig2 = signSecond(t, idents[5], start.SignedBody(), start.Sig1)
+
+	m := &CatchUp{
+		From: 1, Base: 0, UpTo: 4,
+		MaxCommitted: proof,
+		Starts:       []*Start{start},
+		Batches:      []*OrderBatch{batch},
+		Requests:     []*Request{req},
+	}
+	m.Sig = sign(t, idents[1], m.SignedBody())
+
+	got := roundTrip(t, m).(*CatchUp)
+	if got.From != 1 || got.Base != 0 || got.UpTo != 4 {
+		t.Fatalf("round trip lost header fields: %+v", got)
+	}
+	if len(got.Starts) != 1 || len(got.Batches) != 1 || len(got.Requests) != 1 {
+		t.Fatalf("round trip lost subjects: %d starts, %d batches, %d requests",
+			len(got.Starts), len(got.Batches), len(got.Requests))
+	}
+	if got.MaxCommitted == nil || !bytes.Equal(got.MaxCommitted.Batch.SignedBody(), batch.SignedBody()) {
+		t.Fatal("round trip lost the commit proof")
+	}
+	if err := got.VerifySig(idents[7]); err != nil {
+		t.Fatalf("VerifySig: %v", err)
+	}
+	if err := got.MaxCommitted.Verify(idents[7], 3); err != nil {
+		t.Fatalf("proof verify after round trip: %v", err)
+	}
+	if err := got.Batches[0].VerifySigs(idents[7]); err != nil {
+		t.Fatalf("batch verify after round trip: %v", err)
+	}
+	if err := got.Starts[0].VerifySigs(idents[7]); err != nil {
+		t.Fatalf("start verify after round trip: %v", err)
+	}
+}
+
+// TestCatchUpEmptyRoundTrip pins the "you are current" answer shape: no
+// proof, no subjects, just watermarks.
+func TestCatchUpEmptyRoundTrip(t *testing.T) {
+	idents, _ := testIdentities(t, 8)
+	m := &CatchUp{From: 2, Base: 10, UpTo: 7}
+	m.Sig = sign(t, idents[2], m.SignedBody())
+	got := roundTrip(t, m).(*CatchUp)
+	if got.MaxCommitted != nil || len(got.Batches) != 0 || len(got.Starts) != 0 || len(got.Requests) != 0 {
+		t.Fatalf("empty catch-up grew content: %+v", got)
+	}
+	if err := got.VerifySig(idents[7]); err != nil {
+		t.Fatalf("VerifySig: %v", err)
+	}
+}

@@ -32,6 +32,8 @@ const (
 	TUnwilling
 	TReply
 	TPairBeat
+	TCatchUpReq
+	TCatchUp
 )
 
 var typeNames = map[Type]string{
@@ -41,6 +43,7 @@ var typeNames = map[Type]string{
 	TMirror: "Mirror", TPrePrepare: "PrePrepare", TPrepare: "Prepare",
 	TCommit: "Commit", TBFTViewChange: "BFTViewChange", TBFTNewView: "BFTNewView",
 	TUnwilling: "Unwilling", TReply: "Reply", TPairBeat: "PairBeat",
+	TCatchUpReq: "CatchUpReq", TCatchUp: "CatchUp",
 }
 
 // String returns the message type name.
@@ -148,6 +151,10 @@ func Decode(b []byte) (Message, error) {
 		m, err = decodeReply(r)
 	case TPairBeat:
 		m, err = decodePairBeat(r)
+	case TCatchUpReq:
+		m, err = decodeCatchUpReq(r)
+	case TCatchUp:
+		m, err = decodeCatchUp(r)
 	default:
 		return nil, fmt.Errorf("%w: tag %d", ErrUnknownType, uint8(t))
 	}

@@ -1,0 +1,135 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sof-repro/sof/internal/core"
+	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// TestDuplicateCommitsDropped pins the pending-map leak fix: commit
+// events at or below the applied watermark — the replays a durable
+// restart, a catch-up re-delivery or a Start adoption produce — must be
+// dropped on entry, not parked in pending forever, and must not
+// re-execute requests.
+func TestDuplicateCommitsDropped(t *testing.T) {
+	pool := core.NewRequestPool()
+	r := New(0, &Counter{})
+	var reqs []*message.Request
+	for i := uint64(1); i <= 6; i++ {
+		rq := req(i, nil)
+		reqs = append(reqs, rq)
+		pool.Add(rq)
+	}
+	r.HandleCommit(pool, commitEvent(1, reqs[0], reqs[1], reqs[2]))
+	r.HandleCommit(pool, commitEvent(4, reqs[3], reqs[4], reqs[5]))
+	applied, n := r.Applied()
+	if applied != 6 || n != 6 {
+		t.Fatalf("applied=%d n=%d, want 6/6", applied, n)
+	}
+	// Replay both events many times, as a restarted recorder stream would.
+	for range 50 {
+		r.HandleCommit(pool, commitEvent(1, reqs[0], reqs[1], reqs[2]))
+		r.HandleCommit(pool, commitEvent(4, reqs[3], reqs[4], reqs[5]))
+	}
+	if got := r.PendingCount(); got != 0 {
+		t.Fatalf("pending holds %d duplicate events; leak", got)
+	}
+	if applied, n = r.Applied(); applied != 6 || n != 6 {
+		t.Fatalf("duplicates re-executed: applied=%d n=%d, want 6/6", applied, n)
+	}
+	// The counter state machine proves no re-execution: result of request
+	// 6 is still "6".
+	if res, ok := r.Result(reqs[5].ID()); !ok || string(res) != "6" {
+		t.Fatalf("result of last request = %q ok=%v, want \"6\"", res, ok)
+	}
+}
+
+// TestStalePendingSweptAfterGapFill: an event buffered behind a gap whose
+// range is then covered by a wider adoption must not linger in pending.
+func TestStalePendingSweptAfterGapFill(t *testing.T) {
+	pool := core.NewRequestPool()
+	r := New(0, Echo{})
+	var reqs []*message.Request
+	for i := uint64(1); i <= 4; i++ {
+		rq := req(i, []byte{byte(i)})
+		reqs = append(reqs, rq)
+		pool.Add(rq)
+	}
+	// Arrives early, waits on the gap at seq 1-2.
+	r.HandleCommit(pool, commitEvent(3, reqs[2], reqs[3]))
+	if r.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want the gapped event", r.PendingCount())
+	}
+	// A wide event covering 1..4 (a Start adoption commits the whole
+	// range) supersedes it.
+	r.HandleCommit(pool, commitEvent(1, reqs...))
+	if applied, _ := r.Applied(); applied != 4 {
+		t.Fatalf("applied=%d, want 4", applied)
+	}
+	if got := r.PendingCount(); got != 0 {
+		t.Fatalf("stale gap-filler not swept: pending = %d", got)
+	}
+}
+
+// TestRetryAppliesWhenPayloadArrivesLate: a commit event can reach the
+// replica before the request payload reaches the pool (the request
+// committed through peers' acks). With no later commit to re-trigger the
+// apply loop, Retry is what un-wedges the stream tail.
+func TestRetryAppliesWhenPayloadArrivesLate(t *testing.T) {
+	pool := core.NewRequestPool()
+	r := New(0, Echo{})
+	rq := req(1, []byte("late"))
+	r.HandleCommit(pool, commitEvent(1, rq)) // payload not in the pool yet
+	if applied, _ := r.Applied(); applied != 0 {
+		t.Fatalf("applied %d without the payload", applied)
+	}
+	if r.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want the buffered event", r.PendingCount())
+	}
+	pool.Add(rq)
+	r.Retry(pool)
+	if applied, n := r.Applied(); applied != 1 || n != 1 {
+		t.Fatalf("Retry did not apply: applied=%d n=%d", applied, n)
+	}
+	if r.PendingCount() != 0 {
+		t.Fatalf("pending = %d after Retry, want 0", r.PendingCount())
+	}
+	if res, ok := r.Result(rq.ID()); !ok || string(res) != "late" {
+		t.Fatalf("result = %q ok=%v after late payload", res, ok)
+	}
+}
+
+// TestResultRetention bounds the results map at the retention watermark.
+func TestResultRetention(t *testing.T) {
+	pool := core.NewRequestPool()
+	r := New(0, Echo{})
+	r.SetResultRetention(10)
+	for i := uint64(1); i <= 100; i++ {
+		rq := req(i, []byte(fmt.Sprintf("p%d", i)))
+		pool.Add(rq)
+		r.HandleCommit(pool, commitEvent(types.Seq(i), rq))
+	}
+	if got := r.ResultCount(); got != 10 {
+		t.Fatalf("results retained = %d, want 10", got)
+	}
+	// The newest results answer; the oldest are pruned.
+	if _, ok := r.Result(req(100, nil).ID()); !ok {
+		t.Fatal("newest result pruned")
+	}
+	if _, ok := r.Result(req(1, nil).ID()); ok {
+		t.Fatal("oldest result survived the retention bound")
+	}
+	// Unlimited retention keeps everything.
+	r2 := New(0, Echo{})
+	for i := uint64(1); i <= 100; i++ {
+		rq := req(200+i, nil)
+		pool.Add(rq)
+		r2.HandleCommit(pool, commitEvent(types.Seq(i), rq))
+	}
+	if got := r2.ResultCount(); got != 100 {
+		t.Fatalf("unbounded replica retained %d results, want 100", got)
+	}
+}

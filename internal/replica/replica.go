@@ -30,6 +30,14 @@ type Replica struct {
 	pending  map[types.Seq]core.CommitEvent // committed but waiting on payloads or order
 	results  map[message.ReqID][]byte
 	appliedN int
+
+	// retention bounds the results map (0 = unlimited): resultLog records
+	// apply order (head-indexed FIFO) and results older than the newest
+	// `retention` applications are pruned. Without the bound a long-lived
+	// replica retains one result per request ever executed.
+	retention  int
+	resultLog  []message.ReqID
+	resultHead int
 }
 
 // New returns a replica wrapping sm for the given order process node.
@@ -42,23 +50,71 @@ func New(node types.NodeID, sm StateMachine) *Replica {
 	}
 }
 
+// SetResultRetention bounds how many execution results the replica
+// retains for Result lookups (0 = unlimited). Results beyond the bound
+// are pruned oldest-first; callers that need a result must read it within
+// `n` subsequent applications, which mirrors the recorder's bounded
+// commit retention.
+func (r *Replica) SetResultRetention(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retention = n
+	r.pruneResultsLocked()
+}
+
 // HandleCommit consumes one commit event, resolving request payloads from
 // the order process's pool. Batches may be applied only contiguously;
 // commits arriving with a gap (possible across coordinator installs) wait
-// in pending.
+// in pending. Events at or below the applied watermark — duplicates from
+// a durable restart's replay, catch-up re-delivery, or Start adoption —
+// are dropped on entry: stored under their FirstSeq they would never
+// match the applied+1 lookup and would sit in pending forever.
 func (r *Replica) HandleCommit(pool *core.RequestPool, ev core.CommitEvent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if ev.LastSeq <= r.applied {
+		return // duplicate of an already-applied range
+	}
 	r.pending[ev.FirstSeq] = ev
+	r.advanceLocked(pool)
+}
+
+// Retry re-attempts contiguous application of buffered commit events.
+// Payloads race the commit stream: a request can commit (through peers'
+// acks) before the client's own copy reaches this node's pool, and if no
+// later commit follows, the buffered event would wedge until one does.
+// Drains call Retry so the tail of the stream applies as soon as its
+// payloads arrive.
+func (r *Replica) Retry(pool *core.RequestPool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advanceLocked(pool)
+}
+
+// advanceLocked applies buffered events contiguously and sweeps entries
+// overtaken by the watermark.
+func (r *Replica) advanceLocked(pool *core.RequestPool) {
+	advanced := false
 	for {
 		next, ok := r.pending[r.applied+1]
 		if !ok {
-			return
+			break
 		}
 		if !r.applyLocked(pool, next) {
-			return
+			break
 		}
 		delete(r.pending, next.FirstSeq)
+		advanced = true
+	}
+	if advanced {
+		// Entries overtaken by the watermark (stale gap-fillers) can never
+		// match the applied+1 lookup again; sweep them so pending stays
+		// bounded by the live gap, not by history.
+		for seq, p := range r.pending {
+			if p.LastSeq <= r.applied {
+				delete(r.pending, seq)
+			}
+		}
 	}
 }
 
@@ -66,19 +122,43 @@ func (r *Replica) HandleCommit(pool *core.RequestPool, ev core.CommitEvent) {
 // (the caller retries on a later commit — clients multicast requests to
 // all nodes, so the payload eventually arrives with a later event).
 func (r *Replica) applyLocked(pool *core.RequestPool, ev core.CommitEvent) bool {
-	for _, e := range ev.Entries {
-		if _, ok := pool.Get(e.Req); !ok {
+	// One pool pass: collect the payload sources while checking presence,
+	// so the apply path takes N pool-lock acquisitions, not 2N.
+	reqs := make([]*message.Request, len(ev.Entries))
+	for i, e := range ev.Entries {
+		req, ok := pool.Get(e.Req)
+		if !ok {
 			return false
 		}
+		reqs[i] = req
 	}
-	for _, e := range ev.Entries {
-		req, _ := pool.Get(e.Req)
-		result := r.sm.Apply(req.Payload)
+	for i, e := range ev.Entries {
+		result := r.sm.Apply(reqs[i].Payload)
+		if _, dup := r.results[e.Req]; !dup {
+			r.resultLog = append(r.resultLog, e.Req)
+		}
 		r.results[e.Req] = result
 		r.appliedN++
 	}
 	r.applied = ev.LastSeq
+	r.pruneResultsLocked()
 	return true
+}
+
+// pruneResultsLocked enforces the result-retention bound.
+func (r *Replica) pruneResultsLocked() {
+	if r.retention <= 0 {
+		return
+	}
+	for len(r.resultLog)-r.resultHead > r.retention {
+		delete(r.results, r.resultLog[r.resultHead])
+		r.resultHead++
+	}
+	if r.resultHead > 0 && r.resultHead*2 >= len(r.resultLog) {
+		n := copy(r.resultLog, r.resultLog[r.resultHead:])
+		r.resultLog = r.resultLog[:n]
+		r.resultHead = 0
+	}
 }
 
 // Result returns the stored result for a request.
@@ -87,6 +167,22 @@ func (r *Replica) Result(id message.ReqID) ([]byte, bool) {
 	defer r.mu.Unlock()
 	res, ok := r.results[id]
 	return res, ok
+}
+
+// PendingCount reports how many commit events await contiguous
+// application (leak-regression tests pin that duplicates do not
+// accumulate here).
+func (r *Replica) PendingCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// ResultCount reports how many execution results are retained.
+func (r *Replica) ResultCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.results)
 }
 
 // Applied returns the highest applied sequence number and the number of

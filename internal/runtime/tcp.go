@@ -214,8 +214,12 @@ func (c *TCPCluster) WasKilled(id types.NodeID) bool {
 // running proc. With a durable session journal in the node's transport
 // options, the new incarnation recovers its predecessor's session state
 // and replays the unacknowledged window; protocol state is whatever proc
-// carries — the order protocols start fresh (their state is not durable),
-// client processes are typically reused across the restart.
+// carries — an order process built from a restored protocol checkpoint
+// rejoins at its committed watermark and triggers its catch-up round from
+// Init, which Start guarantees runs before any inbound frame (see
+// engine.startLoop), so the rebind itself is what kicks off catch-up
+// before ordering resumes. Client processes are typically reused across
+// the restart.
 func (c *TCPCluster) Restart(id types.NodeID, ident *crypto.Identity, proc Process) error {
 	c.mu.Lock()
 	addr, ok := c.killed[id]

@@ -27,10 +27,13 @@
 // Options.SegmentBytes keeps segments small enough for pruning to track
 // the watermark usefully.
 //
-// Two higher-level stores build on the Log: sessionlog (the transport
+// Three higher-level stores build on the Log: sessionlog (the transport
 // session layer's sealed-but-unacknowledged frames, epochs and delivery
-// watermarks, pruned at the acknowledgement watermark) and commitlog (the
+// watermarks, pruned at the acknowledgement watermark), commitlog (the
 // measurement recorder's commit stream, served back to cursors that have
 // fallen below the in-memory retention ring, pruned at the replica-drain
-// watermark).
+// watermark) and protolog (an order process's protocol checkpoints —
+// view, pair epochs, committed watermark, committed-order digest — where
+// the last intact record is the recovery point and superseded segments
+// are pruned on rotation).
 package wal

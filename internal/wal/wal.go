@@ -492,6 +492,16 @@ func (l *Log) NextLSN() LSN {
 	return l.next
 }
 
+// SyncedLSN returns the highest LSN known durable: records at or below it
+// have been fsynced and survive a crash. Callers that must only act on
+// durable state (e.g. announcing a checkpoint watermark to peers who will
+// prune history behind it) compare their record's LSN against it.
+func (l *Log) SyncedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
 // Stats returns a snapshot of the log's counters.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()

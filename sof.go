@@ -128,6 +128,13 @@ type Config struct {
 	// had not delivered, so a dropped connection loses nothing in
 	// flight. Implies AuthFrames.
 	SessionResume bool
+	// SessionRingLen bounds each sender's retransmission ring, in frames
+	// (0 = the session default, 1024). The ring is the transport's memory
+	// bound per peer: frames evicted from a full ring — e.g. the backlog
+	// accumulated for a long-dead peer — can never be replayed, and a
+	// restarted peer then recovers through the protocol-level checkpoint
+	// catch-up instead (Durable). Requires SessionResume.
+	SessionRingLen int
 	// Durable persists per-node state under DataDir in segmented,
 	// CRC-checked write-ahead logs, making the cluster's state survive
 	// process crashes: the commit stream (history and the committed-
@@ -147,6 +154,20 @@ type Config struct {
 	// state; distinct deployments need distinct directories. Requires
 	// Durable.
 	DataDir string
+	// CheckpointInterval tunes the durable protocol checkpoints SC/SCR
+	// order processes write under Durable: a process snapshots its view,
+	// pair epochs, committed-sequence watermark and committed-order
+	// digest every CheckpointInterval delivered sequence numbers (0 = the
+	// default, 64), and a *restarted* process restores the snapshot,
+	// announces its watermark and catches up on the commits it missed
+	// from its peers (CatchUp) before resuming ordering — protocol-level
+	// recovery that works even after peers' bounded retransmission rings
+	// have pruned the frames it missed. Durable checkpoint watermarks are
+	// gossiped, and every process prunes committed-order history below
+	// the cluster-wide minimum instead of retaining it forever. Negative
+	// disables protocol checkpoints (transport-only durability). Requires
+	// Durable.
+	CheckpointInterval int
 	// NetShaping (TCP transport only) imposes the simulated network
 	// fabric's link model — per-link propagation, jitter and bandwidth
 	// delay, plus any cuts and isolations injected through the harness
@@ -234,30 +255,38 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	} else if cfg.DataDir != "" {
 		return nil, fmt.Errorf("sof: DataDir is set but Durable is not")
 	}
+	if cfg.CheckpointInterval != 0 && !cfg.Durable {
+		return nil, fmt.Errorf("sof: CheckpointInterval requires Durable")
+	}
+	if cfg.SessionRingLen != 0 && !cfg.SessionResume {
+		return nil, fmt.Errorf("sof: SessionRingLen requires SessionResume")
+	}
 	mirror := cfg.Protocol == SC || cfg.Protocol == SCR
 	if cfg.Mirror != nil {
 		mirror = *cfg.Mirror
 	}
 	opts := harness.Options{
-		Protocol:         cfg.Protocol,
-		F:                cfg.F,
-		Suite:            cfg.Suite,
-		BatchInterval:    cfg.BatchInterval,
-		MaxBatchBytes:    cfg.BatchBytes,
-		Delta:            cfg.Delta,
-		Mirror:           mirror,
-		DumbOptimization: cfg.Protocol == SC,
-		Net:              netsim.LANDefaults(),
-		Seed:             cfg.Seed,
-		Live:             !cfg.Simulated,
-		Transport:        cfg.Transport,
-		AuthFrames:       cfg.AuthFrames,
-		SessionResume:    cfg.SessionResume,
-		Durable:          cfg.Durable,
-		DataDir:          cfg.DataDir,
-		TCPShaping:       cfg.NetShaping,
-		KeepCommits:      true,
-		CommitRetention:  cfg.CommitRetention,
+		Protocol:           cfg.Protocol,
+		F:                  cfg.F,
+		Suite:              cfg.Suite,
+		BatchInterval:      cfg.BatchInterval,
+		MaxBatchBytes:      cfg.BatchBytes,
+		Delta:              cfg.Delta,
+		Mirror:             mirror,
+		DumbOptimization:   cfg.Protocol == SC,
+		Net:                netsim.LANDefaults(),
+		Seed:               cfg.Seed,
+		Live:               !cfg.Simulated,
+		Transport:          cfg.Transport,
+		AuthFrames:         cfg.AuthFrames,
+		SessionResume:      cfg.SessionResume,
+		SessionRingLen:     cfg.SessionRingLen,
+		Durable:            cfg.Durable,
+		DataDir:            cfg.DataDir,
+		CheckpointInterval: cfg.CheckpointInterval,
+		TCPShaping:         cfg.NetShaping,
+		KeepCommits:        true,
+		CommitRetention:    cfg.CommitRetention,
 	}
 	c := &Cluster{cfg: cfg, replicas: make(map[NodeID]*replica.Replica)}
 	if cfg.StateMachine != nil {
@@ -275,7 +304,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		// replicas through drainReplicas, which replays the recorder's
 		// retained commit events in order.
 		for _, id := range h.Topo.AllProcesses() {
-			c.replicas[id] = replica.New(id, cfg.StateMachine())
+			rep := replica.New(id, cfg.StateMachine())
+			if cfg.CommitRetention > 0 {
+				// Bounded commit retention is the operator's opt-in to
+				// forgetting; bound the replica-side result maps by the
+				// same window so long-running clusters stop growing there
+				// too.
+				rep.SetResultRetention(cfg.CommitRetention)
+			}
+			c.replicas[id] = rep
 		}
 	}
 	return c, nil
@@ -370,19 +407,24 @@ func (c *Cluster) drainReplicas() {
 		}
 		rep.HandleCommit(pool, ev)
 	}
+	// A commit event can outrun its request payloads (a request commits
+	// through peers' acks before the client's own copy reaches the node);
+	// with no later commit to re-trigger application the stream tail would
+	// wedge in pending, so retry replicas that still hold buffered events.
+	for node, rep := range c.replicas {
+		if rep.PendingCount() == 0 {
+			continue
+		}
+		if pool := c.poolOf(node); pool != nil {
+			rep.Retry(pool)
+		}
+	}
 }
 
 func (c *Cluster) poolOf(id NodeID) *core.RequestPool {
-	if p, ok := c.h.SC[id]; ok {
-		return p.Pool()
-	}
-	if p, ok := c.h.CT[id]; ok {
-		return p.Pool()
-	}
-	if p, ok := c.h.BFT[id]; ok {
-		return p.Pool()
-	}
-	return nil
+	// Through the locked accessor: RestartNode swaps order-process
+	// incarnations (and their pools) while drains run.
+	return c.h.OrderPool(id)
 }
 
 // DroppedCommits reports how many commit events were evicted by
@@ -405,6 +447,20 @@ func (c *Cluster) Result(node NodeID, id ReqID) ([]byte, bool) {
 		return nil, false
 	}
 	return rep.Result(id)
+}
+
+// ReplicaState reports one replica's execution progress — the highest
+// applied sequence number, how many commit events await contiguous
+// application, and how many results are retained — for tests and
+// operational introspection. ok is false without a StateMachine.
+func (c *Cluster) ReplicaState(node NodeID) (applied uint64, pending, results int, ok bool) {
+	c.drainReplicas()
+	rep, ok := c.replicas[node]
+	if !ok {
+		return 0, 0, 0, false
+	}
+	seq, _ := rep.Applied()
+	return uint64(seq), rep.PendingCount(), rep.ResultCount(), true
 }
 
 // Results returns the per-replica results for a request (f+1 identical

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	sof "github.com/sof-repro/sof"
+	"github.com/sof-repro/sof/internal/runtime"
 )
 
 func TestPublicAPIQuickstartSimulated(t *testing.T) {
@@ -444,6 +445,242 @@ func TestPublicAPIDurableHistoryAcrossReopen(t *testing.T) {
 	}
 	if err := c2.AwaitCommit(fresh, 20*time.Second); err != nil {
 		t.Fatalf("reopened cluster cannot order new requests: %v", err)
+	}
+}
+
+// restartCatchUpScenario drives the crash scenario transport-level
+// durability provably cannot recover: an order process (a plain replica,
+// never a coordinator candidate) is killed, the cluster commits enough
+// requests that every peer's bounded retransmission ring evicts the
+// frames queued for the dead node — pruning its backlog below the
+// restart point — and the node is then restarted. It returns the victim
+// and the total number of submitted requests.
+func restartCatchUpScenario(t *testing.T, cluster *sof.Cluster) (victim sof.NodeID, ids []sof.ReqID) {
+	t.Helper()
+	h := cluster.Harness()
+	victim, err := h.Topo.ReplicaID(h.Topo.NumReplicas())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	submitAwait := func(payload string) {
+		t.Helper()
+		id, err := cluster.Submit([]byte(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.AwaitCommit(id, 20*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// Baseline: enough committed sequence numbers that the victim has
+	// delivered them and (with checkpoints on) written a checkpoint.
+	for i := 0; i < 6; i++ {
+		submitAwait(fmt.Sprintf("baseline-%d", i))
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for h.Events.CommittedEntries(victim) < len(ids) {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim %v lags the baseline: %d/%d", victim, h.Events.CommittedEntries(victim), len(ids))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Place the durability point: whatever has been checkpointed is now
+	// on disk (a real deployment gets this from the group-commit cadence).
+	if err := h.SyncDurable(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := h.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	// The cluster keeps ordering at quorum without the victim; every
+	// commit wave queues frames for the dead node, overflowing each
+	// peer's small retransmission ring (SessionRingLen) many times over.
+	for i := 0; i < 40; i++ {
+		submitAwait(fmt.Sprintf("while-dead-%d", i))
+	}
+	if err := h.RestartNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	return victim, ids
+}
+
+// assertRingsWerePruned fails the calling test unless at least one peer's
+// sender to the victim evicted frames from its retransmission ring — the
+// precondition that makes the catch-up scenario meaningful (with intact
+// rings, session replay alone could deliver the backlog).
+func assertRingsWerePruned(t *testing.T, cluster *sof.Cluster, victim sof.NodeID) {
+	t.Helper()
+	h := cluster.Harness()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var lost uint64
+		for _, node := range h.Topo.AllProcesses() {
+			if node == victim {
+				continue
+			}
+			if n, ok := h.TCP().Node(node); ok {
+				lost += n.Transport().Stats()[victim].SessionLost
+			}
+		}
+		if lost > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no peer evicted ring frames for the dead node; the scenario does not prune rings")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestPublicAPIDurableRestartCatchUpZeroLoss is the protocol-recovery
+// acceptance test: a killed order process restarts after its peers'
+// retransmission rings pruned everything it missed, restores its durable
+// protocol checkpoint, and catches up through CatchUp — request payloads
+// included — until it has committed (and executed) every request, with
+// zero loss. The sensitivity twin below proves the recovery comes from
+// the protocol checkpoints, not from some other layer.
+func TestPublicAPIDurableRestartCatchUpZeroLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:           sof.SC,
+		F:                  1,
+		Transport:          sof.TCP,
+		AuthFrames:         true,
+		SessionResume:      true,
+		SessionRingLen:     16,
+		Durable:            true,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 4,
+		BatchInterval:      10 * time.Millisecond,
+		StateMachine:       sof.NewCounter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	victim, ids := restartCatchUpScenario(t, cluster)
+	assertRingsWerePruned(t, cluster, victim)
+
+	// Zero loss: the restarted process catches up past the pruned rings
+	// and commits every request ever submitted (re-deliveries above its
+	// checkpoint may push the count past total; below total is loss).
+	h := cluster.Harness()
+	total := len(ids)
+	deadline := time.Now().Add(30 * time.Second)
+	for h.Events.CommittedEntries(victim) < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("loss despite checkpoints: victim committed %d/%d entries",
+				h.Events.CommittedEntries(victim), total)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// The catch-up carried the request payloads too: the victim's replica
+	// executes the whole sequence (the counter reaches total only if every
+	// request applied in order, none lost, none doubled).
+	last, err := cluster.Submit([]byte("post-restart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.AwaitCommit(last, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, last)
+	total++
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		if res, ok := cluster.Result(victim, last); ok {
+			if got, want := string(res), fmt.Sprintf("%d", total); got != want {
+				t.Fatalf("victim's state machine applied a different sequence: counter=%s, want %s", got, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, id := range ids {
+				if _, ok := cluster.Result(victim, id); !ok {
+					t.Logf("victim result missing first at request %d (%v)", i, id)
+					break
+				}
+			}
+			// Read process state inside its event loop (the fields are
+			// event-loop-owned; off-loop reads would race).
+			var maxDelivered uint64
+			var catching, hasLast bool
+			var poolLen int
+			done := make(chan struct{})
+			if err := h.Inject(victim, func(runtime.Env) {
+				p := h.SCProcess(victim)
+				maxDelivered = uint64(p.MaxDelivered())
+				catching = p.CatchingUp()
+				poolLen = p.Pool().Len()
+				_, hasLast = p.Pool().Get(last)
+				close(done)
+			}); err == nil {
+				<-done
+			}
+			applied, pend, results, _ := cluster.ReplicaState(victim)
+			t.Logf("victim state: committedEntries=%d delivered=%d catchingUp=%v poolLen=%d hasLastPayload=%v replica(applied=%d pending=%d results=%d)",
+				h.Events.CommittedEntries(victim), maxDelivered, catching, poolLen, hasLast,
+				applied, pend, results)
+			t.Fatal("victim's replica never executed the post-restart request (payload catch-up failed)")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestPublicAPIRestartCatchUpLostWithoutProtolog is the sensitivity twin:
+// the identical scenario with protocol checkpoints disabled
+// (CheckpointInterval -1; session journals and the commit stream stay
+// durable) leaves the restarted process stranded — the pruned rings
+// cannot replay what it missed and no protocol-level catch-up exists —
+// proving the zero-loss result above comes from the protolog layer.
+func TestPublicAPIRestartCatchUpLostWithoutProtolog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:           sof.SC,
+		F:                  1,
+		Transport:          sof.TCP,
+		AuthFrames:         true,
+		SessionResume:      true,
+		SessionRingLen:     16,
+		Durable:            true,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: -1,
+		BatchInterval:      10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	victim, ids := restartCatchUpScenario(t, cluster)
+	assertRingsWerePruned(t, cluster, victim)
+
+	// Give the restarted process ample time, then check: without
+	// checkpoints it cannot rejoin the committed sequence.
+	time.Sleep(4 * time.Second)
+	if n := cluster.Harness().Events.CommittedEntries(victim); n >= len(ids) {
+		t.Fatalf("victim committed %d/%d entries without protocol checkpoints; the zero-loss test would not prove anything", n, len(ids))
+	}
+}
+
+// TestPublicAPICheckpointConfigValidation pins the new knobs' validation.
+func TestPublicAPICheckpointConfigValidation(t *testing.T) {
+	if _, err := sof.NewCluster(sof.Config{Protocol: sof.SC, CheckpointInterval: 4}); err == nil {
+		t.Error("CheckpointInterval accepted without Durable")
+	}
+	if _, err := sof.NewCluster(sof.Config{Protocol: sof.SC, SessionRingLen: 8}); err == nil {
+		t.Error("SessionRingLen accepted without SessionResume")
 	}
 }
 
