@@ -10,15 +10,24 @@
 //	sofbench -fig all
 //	sofbench -json [-out BENCH_hotpath.json]  # hot-path overhead benchmark, JSON
 //	sofbench -json -transport tcp             # adds the TCP runtime series
+//	sofbench -json -transport tcp -load 1,2,4,8  # offered-load multipliers for the pipelined sweep
+//	sofbench -smoke                           # pipelined throughput smoke check (CI)
 //
 // With -transport tcp the JSON additionally carries "tcp" mode points —
 // end-to-end wall-clock measurements of the TCP runtime (real loopback
 // sockets, framing, per-peer queues) — plus "tcp-auth" points measuring
 // the same cluster over frame-v2 authenticated resumable sessions
-// (HMAC-sealed frames, hello/ack handshake, retransmission ring) and
+// (HMAC-sealed frames, hello/ack handshake, retransmission ring),
 // "tcp-durable" points adding the write-ahead-logged durable node state
 // (session journals + commit stream, group-committed on the batching
-// interval), alongside the simulated overhead series.
+// interval), and a "tcp-pipelined" load sweep (proposal window of eight,
+// digest-only acks, client load scaled by each -load multiplier) showing
+// committed throughput past the interval-paced proposer's ceiling,
+// alongside the simulated overhead series.
+//
+// -smoke runs one short pipelined point and exits non-zero unless its
+// committed/s clears the interval-bound ceiling with margin; CI uses it to
+// keep the pipelined path from silently regressing to timer pacing.
 package main
 
 import (
@@ -26,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/sof-repro/sof/internal/crypto"
@@ -42,9 +53,18 @@ func main() {
 		jsonMode  = flag.Bool("json", false, "run the hot-path benchmark (doubling windows, cursor vs legacy-scan) and write JSON")
 		out       = flag.String("out", "BENCH_hotpath.json", "output file for -json")
 		transport = flag.String("transport", "sim", "hot-path substrate for -json: sim, or tcp to add the TCP runtime series")
+		loadStr   = flag.String("load", "1,2,4,8", "comma-separated offered-load multipliers for the tcp-pipelined sweep (-json -transport tcp)")
+		smoke     = flag.Bool("smoke", false, "run one short tcp-pipelined point and fail unless committed/s clears the interval-paced ceiling (CI guard)")
 	)
 	flag.Parse()
 
+	if *smoke {
+		if err := runPipelinedSmoke(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	withTCP := false
 	switch *transport {
 	case "sim":
@@ -54,8 +74,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown transport %q (want sim or tcp)\n", *transport)
 		os.Exit(2)
 	}
+	loads, err := parseLoads(*loadStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *jsonMode {
-		if err := runHotPathJSON(*out, *seed, withTCP); err != nil {
+		if err := runHotPathJSON(*out, *seed, withTCP, loads); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -119,7 +144,57 @@ func runFig45(f int, window time.Duration, seed int64, latency bool) {
 // JSON so the perf trajectory is tracked across PRs. withTCP adds the TCP
 // runtime series: wall-clock end-to-end points over real loopback sockets
 // (shorter doubling windows, since these cost real time).
-func runHotPathJSON(path string, seed int64, withTCP bool) error {
+// parseLoads parses the -load multiplier list.
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -load multiplier %q (want positive numbers, comma-separated)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-load lists no multipliers")
+	}
+	return out, nil
+}
+
+// intervalCeiling is the committed-requests/s bound of the strictly
+// interval-paced proposer at the TCP benchmark's configuration: one 1 KB
+// batch of 128-byte requests per 10 ms interval. Each entry costs
+// payload + overhead + digest wire bytes, so a batch carries ~5 entries.
+func intervalCeiling() float64 {
+	const reqBytes, interval = 128, 0.010
+	perBatch := 1024 / (reqBytes + harness.EntryOverheadWire)
+	return float64(perBatch) / interval
+}
+
+// runPipelinedSmoke is the CI guard: one short pipelined point must beat
+// the interval-paced ceiling by 1.5x. The full sweep targets 3x; the
+// smoke margin is lower because CI machines are noisy and the guarded
+// failure mode — pipelining silently degrading to timer pacing — shows as
+// throughput AT the ceiling, not slightly above it.
+func runPipelinedSmoke(seed int64) error {
+	pt, err := harness.RunTCPPipelinedPoint(4*time.Second, seed, 8)
+	if err != nil {
+		return err
+	}
+	floor := 1.5 * intervalCeiling()
+	fmt.Printf("tcp-pipelined smoke: committed/s=%.1f (ceiling %.1f, floor %.1f)\n",
+		pt.Throughput, intervalCeiling(), floor)
+	if pt.Throughput < floor {
+		return fmt.Errorf("pipelined throughput %.1f/s below smoke floor %.1f/s — pipelining regressed to interval pacing",
+			pt.Throughput, floor)
+	}
+	return nil
+}
+
+func runHotPathJSON(path string, seed int64, withTCP bool, loads []float64) error {
 	type report struct {
 		GeneratedBy string                 `json:"generated_by"`
 		Points      []harness.HotPathPoint `json:"points"`
@@ -148,9 +223,24 @@ func runHotPathJSON(path string, seed int64, withTCP bool) error {
 					return err
 				}
 				rep.Points = append(rep.Points, pt)
-				fmt.Printf("%-12s window=%-4s batches=%-5d ns/batch=%-12.0f allocs/batch=%-10.1f\n",
+				fmt.Printf("%-14s window=%-4s batches=%-5d ns/batch=%-12.0f allocs/batch=%-10.1f\n",
 					pt.Mode, w, pt.Batches, pt.NsPerBatch, pt.AllocsPerBatch)
 			}
+		}
+		// The pipelined load sweep: same cluster with the proposal window
+		// opened and digest-only acks, at each offered-load multiplier. The
+		// interval-paced series above cannot exceed ~entries-per-batch /
+		// interval committed/s however hard the client pushes; these points
+		// document where the adaptive close + window refill takes the same
+		// wire.
+		for _, mult := range loads {
+			pt, err := harness.RunTCPPipelinedPoint(4*time.Second, seed, mult)
+			if err != nil {
+				return err
+			}
+			rep.Points = append(rep.Points, pt)
+			fmt.Printf("%-14s load=%-4.1fx batches=%-5d committed/s=%-9.1f allocs/batch=%-10.1f\n",
+				pt.Mode, mult, pt.Batches, pt.Throughput, pt.AllocsPerBatch)
 		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

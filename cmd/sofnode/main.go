@@ -80,6 +80,9 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume sessions across reconnects, replaying in-flight frames (implies -auth)")
 		dataDir  = flag.String("data-dir", "", "journal durable node state to this directory: protocol checkpoints (sc/scr), and — with -auth — session state, so a restarted node restores its watermark, catches up on missed commits from its peers, and replays its dead incarnation's in-flight frames")
 		ckptIvl  = flag.Int("ckpt-interval", 0, "delivered sequence numbers between protocol checkpoints (0 = default 64, negative disables; requires -data-dir)")
+		inflight = flag.Int("inflight", 1, "sc/scr proposal-window width: <=1 keeps the paper's one-batch-per-interval proposer, >=2 enables pipelined size-triggered batch closes")
+		idleArm  = flag.Duration("idle-arm", 0, "sc/scr batch-timer delay armed when the first request reaches an idle primary (0 = the batching interval)")
+		digAcks  = flag.Bool("digest-acks", false, "sc/scr digest-only ordering: acks carry subject digests only; missing subjects/payloads are fetched off the critical path")
 		clients  = flag.String("clients", "", "comma-separated client listen addresses (index = client number) to send commit-observation replies to")
 	)
 	flag.Parse()
@@ -203,7 +206,8 @@ func main() {
 		}
 	}
 
-	proc, err := buildProcess(self, topo, idents, proto, *batch, *delta, logger, sendReply, ckpts, *ckptIvl)
+	proc, err := buildProcess(self, topo, idents, proto, *batch, *delta, logger, sendReply, ckpts, *ckptIvl,
+		*inflight, *idleArm, *digAcks)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -280,7 +284,8 @@ func parseProtocol(s string) (types.Protocol, error) {
 func buildProcess(self types.NodeID, topo types.Topology,
 	idents map[types.NodeID]*crypto.Identity, proto types.Protocol,
 	batch, delta time.Duration, logger *log.Logger,
-	sendReply func(core.CommitEvent), ckpts *protolog.Store, ckptIvl int) (runtime.Process, error) {
+	sendReply func(core.CommitEvent), ckpts *protolog.Store, ckptIvl int,
+	inflight int, idleArm time.Duration, digestAcks bool) (runtime.Process, error) {
 
 	onCommit := func(ev core.CommitEvent) {
 		logger.Printf("COMMIT view=%d seqs=[%d..%d] entries=%d", ev.View, ev.FirstSeq, ev.LastSeq, len(ev.Entries))
@@ -296,7 +301,11 @@ func buildProcess(self types.NodeID, topo types.Topology,
 			Mirror:           true,
 			DumbOptimization: proto == types.SC,
 			RecoveryInterval: delta,
-			OnCommit:         onCommit,
+
+			MaxInflightBatches: inflight,
+			BatchIdleArm:       idleArm,
+			DigestOnlyAcks:     digestAcks,
+			OnCommit:           onCommit,
 			OnFailSignal: func(ev core.FailSignalEvent) {
 				logger.Printf("FAILSIGNAL pair=%d emitter=%v reason=%s", ev.Pair, ev.Emitter, ev.Reason)
 			},

@@ -83,6 +83,24 @@ type Checkpointer interface {
 	Load() (CheckpointState, bool)
 }
 
+// ProposalJournaler is the optional pipelining extension of a checkpoint
+// store (implemented by wal/protolog.Store): a primary journals its
+// proposal counter on every batch close — far cheaper than a full
+// checkpoint — so a restart recovers a floor for nextSeq even when the
+// last checkpoint is many proposals old. The floor alone cannot make the
+// restarted primary's first proposal acceptable to its shadow (the journal
+// is asynchronous, so the crash window can both lose journalled proposals
+// and — with a skip — overshoot); it bounds the damage, while the
+// pair-assisted exact resume (CatchUp.PairNextPropose) removes it.
+type ProposalJournaler interface {
+	// JournalProposal records that sequence numbers below next are spoken
+	// for. Asynchronous: durability follows at the store's sync cadence.
+	JournalProposal(next types.Seq)
+	// ProposalFloor returns the highest journalled counter recovered at
+	// open, if any.
+	ProposalFloor() (types.Seq, bool)
+}
+
 // restoreCheckpoint applies a recovered checkpoint to a freshly built
 // process (called from New, before the runtime starts it).
 func (p *Process) restoreCheckpoint(cp CheckpointState) {
@@ -207,6 +225,7 @@ func (p *Process) finishCatchUp(env runtime.Env) {
 	if p.deliveredUpTo+1 > p.nextSeq {
 		p.nextSeq = p.deliveredUpTo + 1
 	}
+	p.applyPairResume()
 	if p.isPrimaryNow() && !p.muted() && (p.pair == nil || p.pair.Active()) && p.batchTimer == nil {
 		p.armBatchTimer(env)
 	}
@@ -258,7 +277,7 @@ func (p *Process) onCatchUpReq(env runtime.Env, from types.NodeID, m *message.Ca
 		p.catchupServed = make(map[types.NodeID]servedMark)
 	}
 	p.catchupServed[from] = servedMark{wm: m.Watermark, at: env.Now()}
-	p.send(env, from, p.buildCatchUp(env, m.Watermark))
+	p.send(env, from, p.buildCatchUp(env, from, m.Watermark))
 }
 
 // servedMark records the last catch-up answer built for one peer.
@@ -273,12 +292,26 @@ type servedMark struct {
 // requester re-requests from its new watermark), the request payloads the
 // batches reference, and our proof of commitment for the highest
 // committed batch — the same evidence a BackLog carries.
-func (p *Process) buildCatchUp(env runtime.Env, base types.Seq) *message.CatchUp {
+func (p *Process) buildCatchUp(env runtime.Env, from types.NodeID, base types.Seq) *message.CatchUp {
 	cu := &message.CatchUp{
 		From:         p.id,
 		Base:         base,
 		UpTo:         p.deliveredUpTo,
 		MaxCommitted: p.lastProof,
+	}
+	// When the requester is our active pair counterpart under the current
+	// coordinating regime, tell it the exact proposal sequence we expect
+	// next. A checkpoint or journal floor can only approximate it across a
+	// crash window; we know it precisely, and the requester's first
+	// post-restart proposal must match it exactly (the shadow's
+	// value-domain check refuses both reuse and skips).
+	if p.pair != nil && p.pair.Active() && from == p.pair.Counterpart() && p.installed {
+		switch {
+		case p.isShadowNow():
+			cu.PairNextPropose = p.shadowNextPropose
+		case p.isPrimaryNow():
+			cu.PairNextPropose = p.nextSeq
+		}
 	}
 	seen := make(map[message.ReqID]bool)
 	next := base + 1
@@ -361,6 +394,10 @@ func (p *Process) onCatchUp(env runtime.Env, from types.NodeID, m *message.Catch
 	}
 	before := p.deliveredUpTo
 	p.adoptCatchUp(env, m)
+	if m.PairNextPropose > 0 && p.pair != nil && from == p.pair.Counterpart() {
+		p.pairResume = m.PairNextPropose
+		p.applyPairResume()
+	}
 	// Trust only the watermark the answer substantiates: the commit
 	// proof's sequence range and the carried subjects themselves. A bare
 	// UpTo claim is just a number — folding it into the finish gate
@@ -396,7 +433,7 @@ func (p *Process) onCatchUp(env runtime.Env, from types.NodeID, m *message.Catch
 		req.Sig = sig
 		p.send(env, from, req)
 	case p.catchingUp && p.deliveredUpTo >= p.catchupMaxUpTo &&
-		len(p.catchupFrom) >= p.catchupFinishAnswers():
+		len(p.catchupFrom) >= p.catchupFinishAnswers() && !p.needPairAnswer():
 		// Enough distinct peers answered and none of them knew more than
 		// we now hold. Requiring f+1 answers keeps a single behind peer's
 		// early empty answer — the cheapest to build, so often the first
@@ -406,6 +443,49 @@ func (p *Process) onCatchUp(env runtime.Env, from types.NodeID, m *message.Catch
 		// liveness is preserved. Later answers are adopted regardless
 		// (see above), which covers the residual race.
 		p.finishCatchUp(env)
+	}
+}
+
+// needPairAnswer reports whether catch-up completion must wait for the
+// pair counterpart's answer: a restored primary with an active shadow may
+// not resume proposing until it has learned the exact sequence the shadow
+// expects (proposing from a checkpoint- or journal-derived guess risks a
+// value-domain refusal and a spurious fail signal). The wait ends as soon
+// as the counterpart answers at all — an answer without PairNextPropose
+// means the counterpart does not regard us as its active primary, and
+// holding out for a number it will never send would wedge the restart (a
+// dead counterpart plus our own restart is two faults in one pair, outside
+// the fault model; the usual expectation machinery handles it).
+func (p *Process) needPairAnswer() bool {
+	return p.isPrimaryNow() && p.pair != nil && p.pair.Active() &&
+		p.pairResume == 0 && !p.catchupFrom[p.pair.Counterpart()]
+}
+
+// applyPairResume repositions the proposal counters to the counterpart's
+// answer. The restored primary adopts it exactly — even downward: journal
+// floors over-approximate across a crash (proposals journalled but never
+// sent), and sequence numbers the dead incarnation reserved without the
+// shadow endorsing them never reached anyone else, so re-proposing them is
+// safe and required (a skip is refused just like a reuse). Adoption is
+// exact only until the first post-restart proposal (proposedSince); after
+// that a late answer is stale. The shadow side only ever raises its
+// expectation: proposals it endorsed before crashing are out with n
+// processes, so expecting anything lower would refuse the primary's next
+// honest proposal.
+func (p *Process) applyPairResume() {
+	if p.pairResume == 0 || p.pair == nil || !p.pair.Active() {
+		return
+	}
+	r := p.pairResume
+	if r < p.deliveredUpTo+1 {
+		// Never step on committed history, whatever the counterpart says.
+		r = p.deliveredUpTo + 1
+	}
+	if p.isPrimaryNow() && !p.proposedSince {
+		p.nextSeq = r
+	}
+	if p.isShadowNow() && r > p.shadowNextPropose {
+		p.shadowNextPropose = r
 	}
 }
 

@@ -178,6 +178,12 @@ func (p *Process) onPairDown(env runtime.Env, fs *message.FailSignal, reason str
 	for k := range p.deferredProposals {
 		delete(p.deferredProposals, k)
 	}
+	// A deposed primary abandons its proposal window outright: the
+	// uncommitted tail is the new coordinator's to re-order (the
+	// fail-over BackLog/Start machinery re-orders the dropped requests).
+	for k := range p.inflight {
+		delete(p.inflight, k)
+	}
 	if p.cfg.OnFailSignal != nil && fs != nil {
 		p.cfg.OnFailSignal(FailSignalEvent{
 			Node: p.id, Pair: fs.Pair, Emitter: fs.Second == p.id, Reason: reason, At: env.Now(),

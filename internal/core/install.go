@@ -76,6 +76,9 @@ func (p *Process) beginInstall(env runtime.Env, fs *message.FailSignal) {
 		p.batchTimer.Stop()
 		p.batchTimer = nil
 	}
+	for k := range p.inflight {
+		delete(p.inflight, k)
+	}
 	if p.scr() {
 		// SCR rotates through the f+1 pairs by view number; an unwilling
 		// candidate announces itself rather than being skipped a priori.
@@ -621,7 +624,11 @@ func (p *Process) tryCompleteInstall(env runtime.Env) {
 		p.cfg.OnInstalled(InstallEvent{Node: p.id, Rank: p.rank, StartSeq: st.StartSeq, At: env.Now()})
 	}
 
-	// New coordinator duties.
+	// New coordinator duties. The regime change repositions the proposal
+	// counter, so any stale inflight window is void.
+	for k := range p.inflight {
+		delete(p.inflight, k)
+	}
 	if p.isPrimaryNow() && !p.muted() && (p.pair == nil || p.pair.Active()) {
 		p.nextSeq = st.StartSeq + 1
 		p.armBatchTimer(env)

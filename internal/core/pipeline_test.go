@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sof-repro/sof/internal/harness"
+)
+
+// burstN submits n requests back-to-back with no virtual time between
+// them, so the pool fills faster than the batch interval drains it and
+// the size trigger (not the timer) closes batches.
+func burstN(t *testing.T, c *harness.Cluster, n, size int) {
+	t.Helper()
+	payload := make([]byte, size)
+	for i := 0; i < n; i++ {
+		if _, err := c.Submit(0, payload); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+}
+
+// TestPipelinedBurstOverlapsProposals pins the tentpole behaviour: with
+// the proposal window open, a burst of requests is closed into batches by
+// the pool's size trigger and several proposals are outstanding at once,
+// while delivery stays a total order with no fail-signals.
+func TestPipelinedBurstOverlapsProposals(t *testing.T) {
+	c := simCluster(t, func(o *harness.Options) {
+		o.MaxInflightBatches = 8
+		o.DigestOnlyAcks = true
+	})
+	burstN(t, c, 40, 200)
+	c.RunFor(time.Second)
+
+	assertTotalOrder(t, c, 7, 40)
+	if fs := c.Events.FailSignals(); len(fs) != 0 {
+		t.Errorf("pipelined fail-free run emitted fail-signals: %+v", fs)
+	}
+	if got := c.Events.MaxInflight(); got < 2 {
+		t.Errorf("max inflight proposals = %d, want >= 2 (pipelining never overlapped)", got)
+	}
+	if got := c.Events.SizeTriggeredBatches(); got == 0 {
+		t.Error("no size-triggered batch closes; burst was timer-paced")
+	}
+}
+
+// TestPipelinedDefaultWindowMatchesLegacy pins that the default window
+// (<= 1) keeps the legacy interval-paced proposer: a burst commits
+// correctly and every batch close is timer-driven — the pool's size
+// trigger never fires.
+func TestPipelinedDefaultWindowMatchesLegacy(t *testing.T) {
+	c := simCluster(t, nil)
+	burstN(t, c, 20, 200)
+	c.RunFor(time.Second)
+
+	assertTotalOrder(t, c, 7, 20)
+	if got := c.Events.SizeTriggeredBatches(); got != 0 {
+		t.Errorf("legacy proposer closed %d batches on the size trigger, want 0 (timer-paced)", got)
+	}
+}
+
+// TestDeposeMidPipelineAbandonsWindow kills the primary's standing (value
+// fault -> shadow fail-signal) while a pipelined burst is outstanding.
+// The deposed primary must abandon its proposal window, and the cluster
+// must keep a single total order across the fail-over.
+func TestDeposeMidPipelineAbandonsWindow(t *testing.T) {
+	c := simCluster(t, func(o *harness.Options) { o.MaxInflightBatches = 8 })
+	burstN(t, c, 30, 200)
+	c.RunFor(30 * time.Millisecond) // mid-burst: window occupied
+
+	if err := c.InjectCoordinatorValueFault(); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	c.RunFor(time.Second)
+
+	// More work must still commit under the new coordinator.
+	burstN(t, c, 10, 200)
+	c.RunFor(time.Second)
+
+	assertTotalOrder(t, c, 5, 10)
+
+	primary, _, _, err := c.Topo.Candidate(1)
+	if err != nil {
+		t.Fatalf("Candidate(1): %v", err)
+	}
+	if got := c.SCProcess(primary).InflightProposals(); got != 0 {
+		t.Errorf("deposed primary still tracks %d inflight proposals, want 0", got)
+	}
+	emitted := false
+	for _, ev := range c.Events.FailSignals() {
+		if ev.Emitter {
+			emitted = true
+		}
+	}
+	if !emitted {
+		t.Fatal("no fail-signal emitted for the faulty primary")
+	}
+}
+
+// TestIdlePrimaryDisarmsBatchTimer pins the no-idle-spin satellite: with
+// an empty pool the primary holds no armed batch timer, and a request
+// arriving after a long idle stretch still commits (arm-on-demand).
+func TestIdlePrimaryDisarmsBatchTimer(t *testing.T) {
+	c := simCluster(t, nil)
+	c.RunFor(500 * time.Millisecond) // idle: no client load at all
+
+	primary, _, _, err := c.Topo.Candidate(1)
+	if err != nil {
+		t.Fatalf("Candidate(1): %v", err)
+	}
+	if c.SCProcess(primary).BatchTimerArmed() {
+		t.Error("idle primary keeps its batch timer armed (timer spin)")
+	}
+
+	// Arm-on-demand: load after idle still commits.
+	submitN(t, c, 3, 100)
+	c.RunFor(500 * time.Millisecond)
+	assertTotalOrder(t, c, 7, 3)
+
+	c.RunFor(500 * time.Millisecond) // drained again
+	if c.SCProcess(primary).BatchTimerArmed() {
+		t.Error("primary re-armed its batch timer on an empty pool")
+	}
+}

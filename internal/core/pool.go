@@ -26,6 +26,20 @@ type RequestPool struct {
 	inQueue   map[message.ReqID]bool
 	pending   int // queued entries still awaiting ordering (O(1) PendingCount)
 	waiters   map[message.ReqID][]func(*message.Request)
+
+	// pendingBytes is the estimated batch-wire cost of the pending
+	// entries (payload plus per-entry overhead), maintained across
+	// Add/MarkOrdered/UnmarkOrdered/NextBatch like pending. targetBytes
+	// and onTarget implement the adaptive batch close: when an Add moves
+	// pendingBytes from below targetBytes to at or above it, onTarget
+	// fires (outside the lock, like waiters) so the owning primary can
+	// close a batch immediately instead of waiting for its timer. The
+	// trigger is edge-based: once above the target no further Adds fire
+	// it until NextBatch drains pendingBytes back below.
+	pendingBytes int
+	targetBytes  int
+	entryExtra   int // per-entry overhead beyond the payload
+	onTarget     func()
 }
 
 // poolCompactMin is the minimum consumed-prefix length before compaction
@@ -59,10 +73,41 @@ func (p *RequestPool) enqueue(id message.ReqID) {
 	p.unordered = append(p.unordered, id)
 	p.inQueue[id] = true
 	p.pending++
+	p.pendingBytes += p.cost(id)
+}
+
+// cost is the estimated batch-wire cost of one pending entry. It must be
+// applied symmetrically wherever pending entries enter or leave the
+// queue, so pendingBytes never drifts.
+func (p *RequestPool) cost(id message.ReqID) int {
+	return len(p.reqs[id].Payload) + p.entryExtra
+}
+
+// SetBatchTarget installs the adaptive-close trigger: fn fires (outside
+// the pool lock) whenever an Add pushes the pending wire bytes across
+// targetBytes from below. extra is the per-entry overhead beyond the
+// payload (EntryOverhead plus the digest size). Install it before traffic
+// flows — the owning process does so in Init, with the pool still empty —
+// because already-pending entries are not re-costed.
+func (p *RequestPool) SetBatchTarget(targetBytes, extra int, fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.targetBytes = targetBytes
+	p.entryExtra = extra
+	p.onTarget = fn
+}
+
+// PendingBytes returns the estimated batch-wire cost of the pending
+// entries.
+func (p *RequestPool) PendingBytes() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.pendingBytes
 }
 
 // Add stores a request; duplicates are ignored. It reports whether the
-// request was new, and fires any WhenAvailable callbacks.
+// request was new, and fires any WhenAvailable callbacks plus the
+// batch-target trigger (both outside the lock; they re-enter the pool).
 func (p *RequestPool) Add(req *message.Request) bool {
 	id := req.ID()
 	p.mu.Lock()
@@ -71,16 +116,24 @@ func (p *RequestPool) Add(req *message.Request) bool {
 		return false
 	}
 	p.reqs[id] = req
+	fire := false
 	if !p.ordered[id] && !p.inQueue[id] {
+		before := p.pendingBytes
 		p.enqueue(id)
+		fire = p.onTarget != nil && p.targetBytes > 0 &&
+			before < p.targetBytes && p.pendingBytes >= p.targetBytes
 	}
 	ws := p.waiters[id]
 	if len(ws) > 0 {
 		delete(p.waiters, id)
 	}
+	onTarget := p.onTarget
 	p.mu.Unlock()
 	for _, fn := range ws {
 		fn(req)
+	}
+	if fire {
+		onTarget()
 	}
 	return true
 }
@@ -119,6 +172,7 @@ func (p *RequestPool) MarkOrdered(id message.ReqID) {
 	if p.inQueue[id] {
 		// The queue entry is now stale; NextBatch skips it when reached.
 		p.pending--
+		p.pendingBytes -= p.cost(id)
 	}
 }
 
@@ -145,6 +199,7 @@ func (p *RequestPool) UnmarkOrdered(id message.ReqID) {
 	if p.inQueue[id] {
 		// Its stale queue entry is live again.
 		p.pending++
+		p.pendingBytes += p.cost(id)
 		return
 	}
 	p.enqueue(id)
@@ -181,6 +236,7 @@ func (p *RequestPool) NextBatch(maxBytes, digestSize int) []*message.Request {
 		delete(p.inQueue, id)
 		p.ordered[id] = true
 		p.pending--
+		p.pendingBytes -= p.cost(id)
 		out = append(out, req)
 		total += cost
 		if total >= maxBytes {

@@ -110,3 +110,149 @@ func TestPoolQueueCompaction(t *testing.T) {
 		}
 	}
 }
+
+// bytesBrute recomputes PendingBytes from scratch so the incremental
+// accounting can be checked against ground truth after every mutation.
+func bytesBrute(p *RequestPool) int {
+	n := 0
+	for _, id := range p.unordered[p.head:] {
+		if p.inQueue[id] && !p.ordered[id] {
+			n += len(p.reqs[id].Payload) + p.entryExtra
+		}
+	}
+	return n
+}
+
+func checkBytes(t *testing.T, p *RequestPool, step string) {
+	t.Helper()
+	if got, want := p.PendingBytes(), bytesBrute(p); got != want {
+		t.Fatalf("%s: PendingBytes = %d, brute force = %d", step, got, want)
+	}
+}
+
+func poolReqSized(seq uint64, size int) *message.Request {
+	return &message.Request{Client: types.ClientID(0), ClientSeq: seq, Payload: make([]byte, size)}
+}
+
+// TestPoolPendingBytesTracksMutations pins the size-trigger's byte
+// accounting across every queue mutation the protocol performs: add,
+// out-of-band ordering, fail-over revival (both the stale-entry and the
+// re-enqueue variant) and batch pops.
+func TestPoolPendingBytesTracksMutations(t *testing.T) {
+	p := NewRequestPool()
+	p.SetBatchTarget(1<<20, EntryOverhead+32, func() {})
+	checkBytes(t, p, "empty")
+	for i := uint64(1); i <= 20; i++ {
+		p.Add(poolReqSized(i, int(i)*7))
+		checkBytes(t, p, fmt.Sprintf("add %d", i))
+	}
+	for i := uint64(1); i <= 5; i++ {
+		p.MarkOrdered(poolReq(i).ID())
+		p.MarkOrdered(poolReq(i).ID())
+		checkBytes(t, p, fmt.Sprintf("mark %d", i))
+	}
+	p.UnmarkOrdered(poolReq(3).ID())
+	checkBytes(t, p, "unmark queued")
+	for p.PendingCount() > 0 {
+		if len(p.NextBatch(256, 32)) == 0 {
+			t.Fatal("NextBatch starved with requests pending")
+		}
+		checkBytes(t, p, "drain")
+	}
+	if p.PendingBytes() != 0 {
+		t.Fatalf("PendingBytes after drain = %d, want 0", p.PendingBytes())
+	}
+	p.UnmarkOrdered(poolReq(7).ID())
+	checkBytes(t, p, "unmark popped")
+}
+
+// TestPoolBatchTargetEdgeTrigger pins the signal semantics: the trigger
+// fires exactly when an Add crosses the byte target from below — not on
+// every Add above it — and re-arms once a drain takes pending bytes back
+// under the target.
+func TestPoolBatchTargetEdgeTrigger(t *testing.T) {
+	p := NewRequestPool()
+	fired := 0
+	const extra = EntryOverhead + 32
+	// Target of three 100-byte requests (plus overhead).
+	p.SetBatchTarget(3*(100+extra), extra, func() { fired++ })
+
+	p.Add(poolReqSized(1, 100))
+	p.Add(poolReqSized(2, 100))
+	if fired != 0 {
+		t.Fatalf("trigger fired below target (fired=%d)", fired)
+	}
+	p.Add(poolReqSized(3, 100))
+	if fired != 1 {
+		t.Fatalf("crossing the target fired %d times, want 1", fired)
+	}
+	p.Add(poolReqSized(4, 100))
+	p.Add(poolReqSized(5, 100))
+	if fired != 1 {
+		t.Fatalf("adds above the target re-fired the trigger (fired=%d)", fired)
+	}
+	// Drain below the target, then cross it again.
+	for p.PendingBytes() >= 3*(100+extra)-1 {
+		p.NextBatch(100+extra, 32)
+	}
+	p.Add(poolReqSized(6, 100))
+	p.Add(poolReqSized(7, 100))
+	if fired != 2 {
+		t.Fatalf("re-crossing after a drain fired %d times, want 2", fired)
+	}
+	// A duplicate add must not fire or double-count.
+	before := p.PendingBytes()
+	p.Add(poolReqSized(7, 100))
+	if p.PendingBytes() != before || fired != 2 {
+		t.Fatalf("duplicate add changed accounting (bytes %d->%d, fired=%d)",
+			before, p.PendingBytes(), fired)
+	}
+}
+
+// TestPoolOversizedSingleton pins NextBatch's starvation guard: a request
+// whose lone cost exceeds the byte budget is still returned (as a
+// singleton batch), and ordering proceeds past it.
+func TestPoolOversizedSingleton(t *testing.T) {
+	p := NewRequestPool()
+	p.Add(poolReqSized(1, 4096)) // far beyond the 1 KB budget
+	p.Add(poolReqSized(2, 100))
+	p.Add(poolReqSized(3, 100))
+	first := p.NextBatch(1024, 32)
+	if len(first) != 1 || first[0].ClientSeq != 1 {
+		t.Fatalf("oversized request not returned as a singleton: %d entries", len(first))
+	}
+	second := p.NextBatch(1024, 32)
+	if len(second) != 2 {
+		t.Fatalf("requests behind the oversized one starved: got %d, want 2", len(second))
+	}
+	if p.PendingCount() != 0 || p.PendingBytes() != 0 {
+		t.Fatalf("pool not drained: pending=%d bytes=%d", p.PendingCount(), p.PendingBytes())
+	}
+}
+
+// TestEntryBudgetCoversWireCost pins the budget constants against the real
+// encoding: the per-entry wire bytes an OrderBatch adds (identifiers,
+// length prefixes, digest) must not exceed EntryOverhead plus the digest
+// size NextBatch charges, or "full" batches would overflow the frame
+// budget they were packed for.
+func TestEntryBudgetCoversWireCost(t *testing.T) {
+	const digestSize = 32
+	entry := func(i uint64) message.OrderEntry {
+		return message.OrderEntry{
+			Req:       message.ReqID{Client: types.ClientID(1), ClientSeq: i},
+			ReqDigest: make([]byte, digestSize),
+		}
+	}
+	batchBytes := func(n int) int {
+		b := &message.OrderBatch{Coord: 1, View: 1, FirstSeq: 1, Primary: 1, Shadow: 2}
+		for i := uint64(0); i < uint64(n); i++ {
+			b.Entries = append(b.Entries, entry(i))
+		}
+		return len(b.Marshal())
+	}
+	perEntry := batchBytes(9) - batchBytes(8)
+	if perEntry > EntryOverhead+digestSize {
+		t.Fatalf("one entry costs %d wire bytes, budget charges only %d",
+			perEntry, EntryOverhead+digestSize)
+	}
+}

@@ -49,6 +49,27 @@ type Config struct {
 	// between checkpoints (default DefaultCheckpointInterval). Ignored
 	// without Checkpointer.
 	CheckpointInterval int
+	// MaxInflightBatches caps how many proposed-but-undelivered batches
+	// the primary keeps outstanding. Values <= 1 preserve the paper's
+	// strictly interval-paced proposer (one batch per batch tick,
+	// regardless of commit progress). Values >= 2 enable the pipelined
+	// proposal path: the request pool's size trigger closes a full batch
+	// the moment pending bytes reach MaxBatchBytes, commits free window
+	// slots that are refilled immediately, and the batch timer degrades
+	// to a latency backstop that flushes partial batches.
+	MaxInflightBatches int
+	// BatchIdleArm is the delay used when the batch timer is armed on
+	// demand — by the first request reaching an idle pool — instead of
+	// free-running (0 = BatchInterval). The timer is not re-armed while
+	// the pool is empty, so idle primaries do not wake every interval.
+	BatchIdleArm time.Duration
+	// DigestOnlyAcks keeps ordering traffic digest-only on the critical
+	// path: acks carry just the subject digest instead of embedding the
+	// full marshalled subject (commit proofs bind the digest, so proofs
+	// are unaffected). Receivers that fall behind recover the subject
+	// through a FetchReq into the catch-up machinery instead of from ack
+	// payloads.
+	DigestOnlyAcks bool
 
 	// OnBatched fires at the coordinator when a batch is formed — the
 	// paper's latency clock starts here.
@@ -80,6 +101,13 @@ type BatchEvent struct {
 	FirstSeq types.Seq
 	Entries  []message.OrderEntry
 	At       time.Time
+	// FillRatio is the batch's estimated wire bytes over MaxBatchBytes
+	// (capped at 1); Inflight is the proposal-window occupancy including
+	// this batch; SizeTriggered reports whether the pool's size trigger
+	// closed the batch (false: the interval timer flushed it).
+	FillRatio     float64
+	Inflight      int
+	SizeTriggered bool
 }
 
 // CommitEvent reports a commit at one process.
@@ -144,6 +172,24 @@ type Process struct {
 	nextSeq    types.Seq
 	batchTimer runtime.Timer
 	proposals  map[types.Seq]*message.OrderBatch
+	// inflight maps FirstSeq -> LastSeq of proposed batches the delivery
+	// watermark has not passed yet; len(inflight) is the pipeline
+	// occupancy MaxInflightBatches caps. Cleared when the pair is deposed.
+	inflight map[types.Seq]types.Seq
+	// propJournal is the Checkpointer's optional proposal journal; when
+	// present the proposal counter is appended after every close, so a
+	// restarted primary recovers a floor below which it never proposes.
+	propJournal ProposalJournaler
+	// pairResume is the counterpart's next-expected proposal sequence
+	// learned from its CatchUp answer (0 = not learned); proposedSince
+	// blocks late adoption once this incarnation has proposed.
+	pairResume    types.Seq
+	proposedSince bool
+	// Batch-close gauges (observability).
+	lastFill            float64
+	fillSum             float64
+	sizeTriggeredCount  uint64
+	timerTriggeredCount uint64
 
 	// Coordinator-shadow state.
 	shadowNextPropose types.Seq
@@ -182,6 +228,13 @@ type Process struct {
 	catchupMaxUpTo types.Seq                  // highest responder watermark seen
 	catchupServed  map[types.NodeID]servedMark
 	catchupTimer   runtime.Timer
+
+	// Fetch-on-miss state (fetch.go): requester-side throttles per missing
+	// subject sequence and request payload, responder-side throttle per
+	// requester.
+	subjFetchAsked map[types.Seq]time.Time
+	reqFetchAsked  map[message.ReqID]time.Time
+	fetchServed    map[types.NodeID]time.Time
 }
 
 var _ runtime.Process = (*Process)(nil)
@@ -202,6 +255,12 @@ func New(id types.NodeID, cfg Config) (*Process, error) {
 	}
 	if cfg.Delta <= 0 {
 		return nil, errors.New("core: Delta must be positive")
+	}
+	if cfg.MaxInflightBatches < 0 {
+		return nil, errors.New("core: MaxInflightBatches must not be negative")
+	}
+	if cfg.BatchIdleArm < 0 {
+		return nil, errors.New("core: BatchIdleArm must not be negative")
 	}
 	if cfg.Topo.Protocol == types.SCR && cfg.DumbOptimization {
 		// The dumb optimization depends on property SC2, which does not
@@ -226,6 +285,7 @@ func New(id types.NodeID, cfg Config) (*Process, error) {
 		committedLog:      make(map[types.Seq]*Tracker),
 		nextSeq:           1,
 		proposals:         make(map[types.Seq]*message.OrderBatch),
+		inflight:          make(map[types.Seq]types.Seq),
 		shadowNextPropose: 1,
 		deferredProposals: make(map[types.Seq]int),
 		backlogs:          make(map[types.NodeID]*message.BackLog),
@@ -247,6 +307,18 @@ func New(id types.NodeID, cfg Config) (*Process, error) {
 		}
 		if cp, ok := cfg.Checkpointer.Load(); ok {
 			p.restoreCheckpoint(cp)
+		}
+		if pj, ok := cfg.Checkpointer.(ProposalJournaler); ok {
+			p.propJournal = pj
+			// The journalled proposal counter floors nextSeq above the
+			// (older) checkpoint: proposals run ahead of checkpoints, so
+			// restoring the checkpoint alone could reuse journalled
+			// sequence numbers. The floor is itself refined to the
+			// shadow's exact expectation during catch-up (adoptPairResume).
+			if floor, ok := pj.ProposalFloor(); ok && floor > p.nextSeq {
+				p.nextSeq = floor
+				p.shadowNextPropose = floor
+			}
 		}
 		// Even without a recovered checkpoint (first boot, or a crash
 		// before the first save) the catch-up round runs: peers that are
@@ -346,6 +418,13 @@ func (p *Process) multicastAll(env runtime.Env, m message.Message) {
 // Init implements runtime.Process.
 func (p *Process) Init(env runtime.Env) {
 	p.digestSize = len(env.Digest(nil))
+	// Adaptive batch close: the pool signals (on this event loop — every
+	// Add happens here) the instant pending bytes reach one full batch,
+	// so full batches close on size, not on the timer. The signal fires
+	// on every process but onPoolTarget discards it everywhere except at
+	// an acting pipelined primary.
+	p.pool.SetBatchTarget(p.cfg.MaxBatchBytes, EntryOverhead+p.digestSize,
+		func() { p.onPoolTarget(env) })
 	if p.catchingUp {
 		// Catch up on committed history before resuming ordering: a
 		// restored primary must not propose into a sequence range it has
@@ -390,6 +469,8 @@ func (p *Process) Receive(env runtime.Env, from types.NodeID, m message.Message)
 		p.onCatchUpReq(env, from, m)
 	case *message.CatchUp:
 		p.onCatchUp(env, from, m)
+	case *message.FetchReq:
+		p.onFetchReq(env, from, m)
 	default:
 		env.Logf("core: ignoring %v from %v", m.Type(), from)
 	}
@@ -398,23 +479,88 @@ func (p *Process) Receive(env runtime.Env, from types.NodeID, m message.Message)
 // --- batching (coordinator primary) ---
 
 func (p *Process) armBatchTimer(env runtime.Env) {
+	p.armBatchTimerAfter(env, p.cfg.BatchInterval)
+}
+
+func (p *Process) armBatchTimerAfter(env runtime.Env, d time.Duration) {
 	if p.batchTimer != nil {
 		p.batchTimer.Stop()
 	}
-	p.batchTimer = env.SetTimer(p.cfg.BatchInterval, func() { p.batchTick(env) })
+	p.batchTimer = env.SetTimer(d, func() { p.batchTick(env) })
 }
 
+// idleArmDelay is the backstop delay when the timer is armed by the
+// first request reaching an idle pool.
+func (p *Process) idleArmDelay() time.Duration {
+	if p.cfg.BatchIdleArm > 0 {
+		return p.cfg.BatchIdleArm
+	}
+	return p.cfg.BatchInterval
+}
+
+// pipelined reports whether the pipelined proposal path (size-triggered
+// close, bounded inflight window, commit-time refill) is enabled; off, the
+// proposer is strictly interval-paced like the paper's.
+func (p *Process) pipelined() bool { return p.cfg.MaxInflightBatches > 1 }
+
+// mayPropose gates every batch close: acting primary, transmitting, pair
+// collaborating, regime stable, history recovered.
+func (p *Process) mayPropose() bool {
+	if !p.isPrimaryNow() || p.muted() || p.installing || p.catchingUp {
+		return false
+	}
+	return p.pair == nil || p.pair.Active()
+}
+
+// batchTick is the interval timer's callback: the latency backstop that
+// flushes a (possibly partial) batch. It re-arms only while requests
+// remain pending — an idle primary's timer stays unarmed until the next
+// request arrives (onRequest) instead of waking every interval.
 func (p *Process) batchTick(env runtime.Env) {
+	p.batchTimer = nil // this firing is spent; re-armed below as needed
 	if !p.isPrimaryNow() || p.muted() {
 		return // deposed; do not re-arm
 	}
 	if p.pair != nil && !p.pair.Active() {
 		return
 	}
-	defer p.armBatchTimer(env)
+	if !p.pipelined() || len(p.inflight) < p.cfg.MaxInflightBatches {
+		p.closeBatch(env, false)
+	}
+	if p.pool.PendingCount() > 0 {
+		p.armBatchTimer(env)
+	}
+}
+
+// onPoolTarget fires (from RequestPool.Add, on this event loop) when
+// pending bytes reach one full batch: the adaptive close. In pipelined
+// mode it proposes immediately, filling as many free window slots as the
+// pool can cover; commit-time releases call it again to refill. Without
+// pipelining it is ignored — the paper's proposer stays interval-paced.
+func (p *Process) onPoolTarget(env runtime.Env) {
+	if !p.pipelined() || !p.mayPropose() {
+		return
+	}
+	for len(p.inflight) < p.cfg.MaxInflightBatches &&
+		p.pool.PendingBytes() >= p.cfg.MaxBatchBytes {
+		if !p.closeBatch(env, true) {
+			break
+		}
+	}
+	// Whatever remains below a full batch is the backstop timer's job.
+	if p.pool.PendingCount() > 0 && p.batchTimer == nil {
+		p.armBatchTimer(env)
+	}
+}
+
+// closeBatch forms one batch from the pool and proposes it (to the shadow
+// when paired, to everyone otherwise). sizeTriggered records which
+// trigger closed it. Returns whether a batch went out. Callers gate on
+// mayPropose (or batchTick's equivalent checks).
+func (p *Process) closeBatch(env runtime.Env, sizeTriggered bool) bool {
 	reqs := p.pool.NextBatch(p.cfg.MaxBatchBytes, p.digestSize)
 	if len(reqs) == 0 {
-		return
+		return false
 	}
 	batch := &message.OrderBatch{
 		Coord:    p.rank,
@@ -427,23 +573,44 @@ func (p *Process) batchTick(env runtime.Env) {
 	if paired {
 		batch.Shadow = shadow
 	}
+	wireBytes := 0
 	for _, r := range reqs {
 		batch.Entries = append(batch.Entries, message.OrderEntry{
 			Req:       r.ID(),
 			ReqDigest: env.Digest(r.SignedBody()),
 		})
+		wireBytes += len(r.Payload) + EntryOverhead + p.digestSize
 	}
 	sig1, err := message.SignSingle(env, batch.SignedBody())
 	if err != nil {
 		env.Logf("core: signing batch: %v", err)
-		return
+		return false
 	}
 	batch.Sig1 = sig1
 	p.nextSeq = batch.LastSeq() + 1
+	p.proposedSince = true
+	p.inflight[batch.FirstSeq] = batch.LastSeq()
+	if p.propJournal != nil {
+		// Journal the advanced counter (async, group-committed) so the
+		// next incarnation's floor covers this proposal.
+		p.propJournal.JournalProposal(p.nextSeq)
+	}
+	fill := float64(wireBytes) / float64(p.cfg.MaxBatchBytes)
+	if fill > 1 {
+		fill = 1
+	}
+	p.lastFill = fill
+	p.fillSum += fill
+	if sizeTriggered {
+		p.sizeTriggeredCount++
+	} else {
+		p.timerTriggeredCount++
+	}
 	if p.cfg.OnBatched != nil {
 		p.cfg.OnBatched(BatchEvent{
 			Node: p.id, View: p.view, FirstSeq: batch.FirstSeq,
 			Entries: batch.Entries, At: env.Now(),
+			FillRatio: fill, Inflight: len(p.inflight), SizeTriggered: sizeTriggered,
 		})
 	}
 	if paired {
@@ -457,7 +624,45 @@ func (p *Process) batchTick(env runtime.Env) {
 		// decisions are readily accepted.
 		p.multicastAll(env, batch)
 	}
+	return true
 }
+
+// releaseInflight drops proposal-window entries the delivery watermark
+// has passed and, in pipelined mode, refills the freed slots from the
+// pool immediately — commits, not timer ticks, pace a saturated pipeline.
+func (p *Process) releaseInflight(env runtime.Env) {
+	if len(p.inflight) == 0 {
+		return
+	}
+	for first, last := range p.inflight {
+		if last <= p.deliveredUpTo {
+			delete(p.inflight, first)
+		}
+	}
+	p.onPoolTarget(env)
+}
+
+// InflightProposals reports the primary's proposal-window occupancy.
+func (p *Process) InflightProposals() int { return len(p.inflight) }
+
+// BatchCloseStats reports the batch-close gauges: the last and mean
+// fill ratio, and how many closes each trigger produced.
+func (p *Process) BatchCloseStats() (lastFill, meanFill float64, sizeTriggered, timerTriggered uint64) {
+	total := p.sizeTriggeredCount + p.timerTriggeredCount
+	mean := 0.0
+	if total > 0 {
+		mean = p.fillSum / float64(total)
+	}
+	return p.lastFill, mean, p.sizeTriggeredCount, p.timerTriggeredCount
+}
+
+// NextProposeSeq exposes the primary's proposal counter (tests pin
+// restart-resume semantics with it).
+func (p *Process) NextProposeSeq() types.Seq { return p.nextSeq }
+
+// BatchTimerArmed reports whether the batch timer is currently armed
+// (tests pin the no-idle-spin behaviour: an idle primary holds no timer).
+func (p *Process) BatchTimerArmed() bool { return p.batchTimer != nil }
 
 func endorseKey(s types.Seq) string { return fmt.Sprintf("endorse-%d", s) }
 func orderKey(id message.ReqID) string {
@@ -470,6 +675,14 @@ func ackKey(v types.View, s types.Seq) string { return fmt.Sprintf("ack-%d-%d", 
 func (p *Process) onRequest(env runtime.Env, req *message.Request) {
 	if !p.pool.Add(req) {
 		return
+	}
+	// Arm on demand: the first request reaching an idle primary starts
+	// the batch-close backstop (the timer is not left free-running on an
+	// empty pool). The pool's size trigger may already have closed a full
+	// batch during Add, in which case pending bytes are low again but a
+	// timer for the remainder is still the right move.
+	if p.batchTimer == nil && p.mayPropose() && p.pool.PendingCount() > 0 {
+		p.armBatchTimerAfter(env, p.idleArmDelay())
 	}
 	// Shadow of the acting coordinator: monitor that the primary decides
 	// an order for every request (time-domain check, Section 3.1).
@@ -583,10 +796,17 @@ func (p *Process) sendAck(env runtime.Env, t *Tracker) {
 	}
 	t.AckSent = true
 	var subject []byte
-	if t.Batch != nil {
-		subject = t.Batch.Marshal()
-	} else if t.StartMsg != nil {
-		subject = t.StartMsg.Marshal()
+	if !p.cfg.DigestOnlyAcks {
+		// Legacy redundancy: embed the full subject so a receiver that
+		// missed it learns it from any ack. Digest-only mode drops this
+		// n-fold copy from the critical path (the signature binds only
+		// the digest, so commit proofs are unaffected) and receivers
+		// recover missed subjects with a FetchReq instead.
+		if t.Batch != nil {
+			subject = t.Batch.Marshal()
+		} else if t.StartMsg != nil {
+			subject = t.StartMsg.Marshal()
+		}
 	}
 	ack := &message.Ack{
 		From: p.id, Kind: t.Kind, View: t.View, FirstSeq: t.FirstSeq,
@@ -632,6 +852,13 @@ func (p *Process) onAck(env runtime.Env, from types.NodeID, a *message.Ack) {
 		// still installing); replayPendingAcks picks them up.
 		if len(p.pendingAcks[a.FirstSeq]) < 64 {
 			p.pendingAcks[a.FirstSeq] = append(p.pendingAcks[a.FirstSeq], a)
+		}
+		// Digest-only ordering: acks no longer teach us the subject, so
+		// once enough of the cluster has acked a subject we do not track,
+		// fetch it from an acker (throttled; fetch-on-miss fallback).
+		if t == nil && a.Kind == message.SubjectBatch &&
+			len(p.pendingAcks[a.FirstSeq]) >= p.quorumEff() {
+			p.requestSubjectFetch(env, a.FirstSeq, a.From)
 		}
 		p.crossCheckCounterpartAck(env, a, nil)
 		return
@@ -708,10 +935,11 @@ func (p *Process) advanceDelivery(env runtime.Env) {
 	for {
 		t, ok := p.committedLog[p.deliveredUpTo+1]
 		if !ok || !t.Committed {
-			return
+			break
 		}
 		p.deliver(env, t)
 	}
+	p.releaseInflight(env)
 }
 
 func (p *Process) deliver(env runtime.Env, t *Tracker) {
@@ -721,6 +949,10 @@ func (p *Process) deliver(env runtime.Env, t *Tracker) {
 	case t.Batch != nil:
 		last = t.Batch.LastSeq()
 		entries = t.Batch.Entries
+		// With payload dissemination off the ordering path, a batch can
+		// commit before every referenced payload arrived; fetch the
+		// stragglers so the replica layer's Retry finds them (throttled).
+		p.requestPayloadFetch(env, t.Batch)
 	case t.StartMsg != nil:
 		last = t.StartMsg.StartSeq
 	}

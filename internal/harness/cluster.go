@@ -47,6 +47,15 @@ type Options struct {
 	Delta             time.Duration
 	ViewChangeTimeout time.Duration // BFT only
 
+	// MaxInflightBatches, BatchIdleArm and DigestOnlyAcks are the SC/SCR
+	// pipelined-proposer knobs (see core.Config): a proposal window wider
+	// than one enables size-triggered batch closes and window refills on
+	// commit; BatchIdleArm tunes the on-demand latency backstop; and
+	// DigestOnlyAcks strips subjects from acks in favour of fetch-on-miss.
+	MaxInflightBatches int
+	BatchIdleArm       time.Duration
+	DigestOnlyAcks     bool
+
 	Mirror           bool
 	DumbOptimization bool
 	PadBacklogBytes  int
@@ -467,6 +476,9 @@ func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
 			PadBacklogBytes:     c.Opts.PadBacklogBytes,
 			RecoveryInterval:    c.Opts.RecoveryInterval,
 			CheckpointInterval:  c.Opts.CheckpointInterval,
+			MaxInflightBatches:  c.Opts.MaxInflightBatches,
+			BatchIdleArm:        c.Opts.BatchIdleArm,
+			DigestOnlyAcks:      c.Opts.DigestOnlyAcks,
 			OnBatched:           c.Events.OnBatched,
 			OnCommit:            c.Events.OnCommit,
 			OnFailSignal:        c.Events.OnFailSignal,
@@ -716,6 +728,62 @@ func (c *Cluster) SCProcess(id types.NodeID) *core.Process {
 	c.procMu.RLock()
 	defer c.procMu.RUnlock()
 	return c.SC[id]
+}
+
+// OrderState is a point-in-time snapshot of one SC/SCR order process's
+// proposer gauges (observability for operators and tests).
+type OrderState struct {
+	// NextPropose is the primary's proposal counter; DeliveredUpTo the
+	// committed-sequence watermark.
+	NextPropose   types.Seq
+	DeliveredUpTo types.Seq
+	// InflightProposals is the proposal-window occupancy (0 outside
+	// pipelined mode or at a non-primary).
+	InflightProposals int
+	// LastFillRatio and MeanFillRatio report batch fullness at close
+	// (estimated wire bytes over MaxBatchBytes, capped at 1);
+	// SizeTriggeredCloses and TimerTriggeredCloses split the closes by
+	// what fired them.
+	LastFillRatio        float64
+	MeanFillRatio        float64
+	SizeTriggeredCloses  uint64
+	TimerTriggeredCloses uint64
+}
+
+// OrderStateOf snapshots an SC/SCR order process's proposer gauges. The
+// snapshot is taken on the process's event loop in live mode (so the reads
+// are race-free against a running cluster); in simulated mode the caller
+// owns the only driving goroutine and the state is read directly.
+func (c *Cluster) OrderStateOf(id types.NodeID) (OrderState, bool) {
+	p := c.SCProcess(id)
+	if p == nil {
+		return OrderState{}, false
+	}
+	snap := func() OrderState {
+		last, mean, sizeT, timerT := p.BatchCloseStats()
+		return OrderState{
+			NextPropose:          p.NextProposeSeq(),
+			DeliveredUpTo:        p.MaxDelivered(),
+			InflightProposals:    p.InflightProposals(),
+			LastFillRatio:        last,
+			MeanFillRatio:        mean,
+			SizeTriggeredCloses:  sizeT,
+			TimerTriggeredCloses: timerT,
+		}
+	}
+	if !c.Opts.Live {
+		return snap(), true
+	}
+	done := make(chan OrderState, 1)
+	if err := c.Inject(id, func(runtime.Env) { done <- snap() }); err != nil {
+		return OrderState{}, false
+	}
+	select {
+	case st := <-done:
+		return st, true
+	case <-time.After(5 * time.Second):
+		return OrderState{}, false // node stopped before running the probe
+	}
 }
 
 // OrderPool returns the request pool of the current incarnation of an

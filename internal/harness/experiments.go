@@ -6,6 +6,7 @@ import (
 	stdruntime "runtime"
 	"time"
 
+	"github.com/sof-repro/sof/internal/core"
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/netsim"
@@ -51,6 +52,14 @@ func modelSuiteFor(proto types.Protocol, suite crypto.SuiteName) crypto.SuiteNam
 	}
 	return crypto.ModelPrefix + suite
 }
+
+// EntryOverheadWire is the wire cost one ordered entry adds to a batch
+// beyond its request payload in the benchmark configurations: core's
+// per-entry overhead plus the 32-byte request digest of the HMAC/SHA-256
+// suites. The interval-paced throughput ceiling the pipelined series
+// breaks is MaxBatchBytes / (RequestBytes + EntryOverheadWire) entries
+// per BatchInterval.
+const EntryOverheadWire = core.EntryOverhead + 32
 
 // LoadFor returns an open-loop client load that keeps 1 KB batches full at
 // the given batching interval (the paper's saturating best-case clients):
@@ -128,13 +137,16 @@ func RunLatencyThroughputPoint(proto types.Protocol, suite crypto.SuiteName, f i
 // (RunTCPHotPathPoint) run on the wall clock over the TCP runtime
 // instead, so their NsPerBatch is end-to-end wire time, not overhead.
 type HotPathPoint struct {
-	Mode           string        `json:"mode"` // "cursor", "legacy-scan", or a TCPModes entry
+	Mode           string        `json:"mode"` // "cursor", "legacy-scan", a TCPModes entry, or "tcp-pipelined"
 	Window         time.Duration `json:"window_ns"`
 	Batches        int           `json:"batches"`
 	CommitEvents   int           `json:"commit_events"`
 	NsPerBatch     float64       `json:"ns_per_batch"`
 	AllocsPerBatch float64       `json:"allocs_per_batch"`
 	Throughput     float64       `json:"committed_per_s"`
+	// OfferedLoad is the client-load multiplier relative to LoadFor's
+	// saturating baseline (tcp-pipelined sweep points only; 0 otherwise).
+	OfferedLoad float64 `json:"offered_load_x,omitempty"`
 }
 
 // RunHotPathPoint measures harness overhead per committed batch over a
@@ -300,6 +312,59 @@ func RunTCPHotPathPoint(window time.Duration, seed int64, mode string) (HotPathP
 	default:
 		return HotPathPoint{}, fmt.Errorf("harness: unknown TCP hot-path mode %q", mode)
 	}
+	return measureTCPPoint(opts, window, mode)
+}
+
+// RunTCPPipelinedPoint measures the pipelined proposal path end to end on
+// the TCP runtime: the same live SC cluster as RunTCPHotPathPoint's "tcp"
+// series, with the proposal window opened to eight outstanding batches and
+// digest-only acks on, driven at loadMult times the saturating baseline
+// client load. The interval-paced proposer tops out near
+// entries-per-batch / BatchInterval committed requests per second no
+// matter the offered load; the pipelined series is the evidence the
+// size-triggered close + window refill actually broke that ceiling (and
+// at what batch fill it did so).
+func RunTCPPipelinedPoint(window time.Duration, seed int64, loadMult float64) (HotPathPoint, error) {
+	const interval = 10 * time.Millisecond
+	if loadMult <= 0 {
+		loadMult = 1
+	}
+	load := LoadFor(interval, 1024)
+	load.Interval = time.Duration(float64(load.Interval) / loadMult)
+	if load.Interval < 50*time.Microsecond {
+		load.Interval = 50 * time.Microsecond
+	}
+	opts := Options{
+		Protocol:           types.SC,
+		F:                  2,
+		Suite:              crypto.HMACSHA256,
+		BatchInterval:      interval,
+		MaxBatchBytes:      1024,
+		Delta:              time.Hour,
+		Mirror:             true,
+		DumbOptimization:   true,
+		Net:                netsim.LANDefaults(),
+		Seed:               seed,
+		Load:               load,
+		KeepCommits:        true,
+		CommitRetention:    4096,
+		Live:               true,
+		Transport:          types.TransportTCP,
+		MaxInflightBatches: 8,
+		DigestOnlyAcks:     true,
+	}
+	p, err := measureTCPPoint(opts, window, "tcp-pipelined")
+	if err != nil {
+		return p, err
+	}
+	p.OfferedLoad = loadMult
+	return p, nil
+}
+
+// measureTCPPoint runs the shared TCP measurement loop: warm-up, then
+// wall-clock window slices interleaved with the cursor-consumer polling
+// pattern of the public API.
+func measureTCPPoint(opts Options, window time.Duration, mode string) (HotPathPoint, error) {
 	c, err := New(opts)
 	if err != nil {
 		return HotPathPoint{}, err

@@ -76,7 +76,10 @@ type Recorder struct {
 	batchedAt   map[batchKey]time.Time
 	batchSizes  map[batchKey]int
 	firstCommit map[batchKey]time.Time
-	latencies   stats.Sampler
+	// Proposer-pipeline gauges (see core.BatchEvent).
+	maxInflight   int
+	sizeTriggered int
+	latencies     stats.Sampler
 
 	// commitsPerNode counts committed request entries per process,
 	// within [windowStart, windowEnd] when set.
@@ -214,6 +217,29 @@ func (r *Recorder) OnBatched(ev core.BatchEvent) {
 		r.batchedAt[k] = ev.At
 		r.batchSizes[k] = len(ev.Entries)
 	}
+	if ev.Inflight > r.maxInflight {
+		r.maxInflight = ev.Inflight
+	}
+	if ev.SizeTriggered {
+		r.sizeTriggered++
+	}
+}
+
+// MaxInflight returns the widest proposal-window occupancy any batch was
+// formed at (1 under the interval-paced proposer; >1 proves pipelining
+// actually overlapped proposals).
+func (r *Recorder) MaxInflight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.maxInflight
+}
+
+// SizeTriggeredBatches returns how many batches the pool's size trigger
+// closed (as opposed to the interval timer).
+func (r *Recorder) SizeTriggeredBatches() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sizeTriggered
 }
 
 // OnCommit records a commit at one process; the first process to commit a

@@ -84,14 +84,21 @@ func (m *CatchUpReq) VerifySig(v Verifier) error {
 // adopt-NewBackLog path accepts (assumption 3(a)(ii)/3(b)(ii) exclude
 // pair equivocation by two simultaneous faults).
 type CatchUp struct {
-	From         types.NodeID
-	Base         types.Seq // the requester watermark this answers
-	UpTo         types.Seq // the responder's delivered watermark
-	MaxCommitted *CommitProof
-	Starts       []*Start
-	Batches      []*OrderBatch
-	Requests     []*Request
-	Sig          crypto.Signature
+	From types.NodeID
+	Base types.Seq // the requester watermark this answers
+	UpTo types.Seq // the responder's delivered watermark
+	// PairNextPropose is non-zero only when the responder is the
+	// requester's active pair counterpart under the current regime: it is
+	// the exact sequence number the responder expects the requester to
+	// propose (endorse) next. A restarted primary adopts it verbatim so
+	// its first post-restart proposal is neither a reuse (value-domain
+	// fail) nor a skip (also a value-domain fail) in its shadow's eyes.
+	PairNextPropose types.Seq
+	MaxCommitted    *CommitProof
+	Starts          []*Start
+	Batches         []*OrderBatch
+	Requests        []*Request
+	Sig             crypto.Signature
 	enc
 }
 
@@ -105,6 +112,7 @@ func (m *CatchUp) encodeBody(w *codec.Writer) {
 	w.I32(int32(m.From))
 	w.U64(uint64(m.Base))
 	w.U64(uint64(m.UpTo))
+	w.U64(uint64(m.PairNextPropose))
 	if m.MaxCommitted != nil {
 		w.Bool(true)
 		m.MaxCommitted.encode(w)
@@ -148,9 +156,10 @@ func (m *CatchUp) Marshal() []byte {
 
 func decodeCatchUp(r *codec.Reader) (*CatchUp, error) {
 	m := &CatchUp{
-		From: types.NodeID(r.I32()),
-		Base: types.Seq(r.U64()),
-		UpTo: types.Seq(r.U64()),
+		From:            types.NodeID(r.I32()),
+		Base:            types.Seq(r.U64()),
+		UpTo:            types.Seq(r.U64()),
+		PairNextPropose: types.Seq(r.U64()),
 	}
 	if r.Bool() {
 		p, err := decodeCommitProof(r)

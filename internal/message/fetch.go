@@ -1,0 +1,103 @@
+package message
+
+import (
+	"errors"
+
+	"github.com/sof-repro/sof/internal/codec"
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// maxFetchItems bounds the sequence and request-ID lists of one FetchReq;
+// anything larger on the wire is garbage, not a plausible miss set.
+const maxFetchItems = 1 << 12
+
+// FetchReq is the fetch-on-miss fallback of digest-only ordering: a
+// process that holds quorum evidence for a subject it never received (acks
+// no longer embed subjects), or that committed a batch whose request
+// payloads have not all arrived, asks a peer for the missing pieces by
+// sequence number (Seqs: endorsed order batches) and request ID (Reqs:
+// request payloads). The answer is simply the stored messages re-sent —
+// each is self-verifying, so a FetchReq never needs to be trusted, only
+// rate-limited.
+type FetchReq struct {
+	From types.NodeID
+	Seqs []types.Seq
+	Reqs []ReqID
+	Sig  crypto.Signature
+	enc
+}
+
+var _ Message = (*FetchReq)(nil)
+
+// Type implements Message.
+func (m *FetchReq) Type() Type { return TFetchReq }
+
+func (m *FetchReq) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TFetchReq))
+	w.I32(int32(m.From))
+	w.U32(uint32(len(m.Seqs)))
+	for _, s := range m.Seqs {
+		w.U64(uint64(s))
+	}
+	w.U32(uint32(len(m.Reqs)))
+	for _, id := range m.Reqs {
+		w.I32(int32(id.Client))
+		w.U64(id.ClientSeq)
+	}
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *FetchReq) SignedBody() []byte {
+	if m.body == nil {
+		w := codec.NewWriter(32)
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
+}
+
+// Marshal implements Message.
+func (m *FetchReq) Marshal() []byte {
+	if m.wire == nil {
+		w := codec.NewWriter(64 + len(m.Sig))
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
+}
+
+func decodeFetchReq(r *codec.Reader) (*FetchReq, error) {
+	m := &FetchReq{From: types.NodeID(r.I32())}
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > maxFetchItems {
+		return nil, errors.New("implausible fetch seq count")
+	}
+	for i := uint32(0); i < n; i++ {
+		m.Seqs = append(m.Seqs, types.Seq(r.U64()))
+	}
+	n = r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > maxFetchItems {
+		return nil, errors.New("implausible fetch req count")
+	}
+	for i := uint32(0); i < n; i++ {
+		m.Reqs = append(m.Reqs, ReqID{
+			Client:    types.NodeID(r.I32()),
+			ClientSeq: r.U64(),
+		})
+	}
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the requester's signature.
+func (m *FetchReq) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.From, m.SignedBody(), m.Sig)
+}

@@ -34,6 +34,7 @@ const (
 	TPairBeat
 	TCatchUpReq
 	TCatchUp
+	TFetchReq
 )
 
 var typeNames = map[Type]string{
@@ -43,7 +44,7 @@ var typeNames = map[Type]string{
 	TMirror: "Mirror", TPrePrepare: "PrePrepare", TPrepare: "Prepare",
 	TCommit: "Commit", TBFTViewChange: "BFTViewChange", TBFTNewView: "BFTNewView",
 	TUnwilling: "Unwilling", TReply: "Reply", TPairBeat: "PairBeat",
-	TCatchUpReq: "CatchUpReq", TCatchUp: "CatchUp",
+	TCatchUpReq: "CatchUpReq", TCatchUp: "CatchUp", TFetchReq: "FetchReq",
 }
 
 // String returns the message type name.
@@ -155,6 +156,8 @@ func Decode(b []byte) (Message, error) {
 		m, err = decodeCatchUpReq(r)
 	case TCatchUp:
 		m, err = decodeCatchUp(r)
+	case TFetchReq:
+		m, err = decodeFetchReq(r)
 	default:
 		return nil, fmt.Errorf("%w: tag %d", ErrUnknownType, uint8(t))
 	}

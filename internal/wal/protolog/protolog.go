@@ -28,9 +28,14 @@ import (
 	"github.com/sof-repro/sof/internal/wal"
 )
 
-// kCheckpoint tags a checkpoint record (the only kind today; the byte
-// keeps the format extensible and fuzzable).
-const kCheckpoint = 1
+// Record kinds. kCheckpoint records are full protocol checkpoints;
+// kProposal records are 8-byte proposal-counter appends (core's
+// ProposalJournaler), written on every batch close so a restarted primary
+// recovers a proposal floor far fresher than its last checkpoint.
+const (
+	kCheckpoint = 1
+	kProposal   = 2
+)
 
 // maxDigestLen bounds the rolling-digest field a record may carry;
 // anything longer on disk is corruption, not data.
@@ -70,9 +75,14 @@ type Store struct {
 	durable    types.Seq // highest watermark known fsynced
 	durableLSN wal.LSN   // LSN of the newest checkpoint known fsynced
 	buf        []byte    // scratch encode buffer, reused under mu
+	propFloor  types.Seq // highest proposal counter recovered at open
+	hasProp    bool
 }
 
-var _ core.Checkpointer = (*Store)(nil)
+var (
+	_ core.Checkpointer      = (*Store)(nil)
+	_ core.ProposalJournaler = (*Store)(nil)
+)
 
 // Open opens (creating if needed) the checkpoint store in opts.Dir and
 // recovers the previous incarnation's last checkpoint from it.
@@ -88,6 +98,18 @@ func Open(opts Options) (*Store, error) {
 	}
 	s := &Store{opts: opts, log: l}
 	err = l.Replay(0, func(lsn wal.LSN, rec []byte) error {
+		if len(rec) > 0 && rec[0] == kProposal {
+			next, err := decodeProposal(rec)
+			if err != nil {
+				s.logf("record %d: %v (skipped)", lsn, err)
+				return nil
+			}
+			if next > s.propFloor {
+				s.propFloor = next
+				s.hasProp = true
+			}
+			return nil
+		}
 		cp, err := decodeCheckpoint(rec)
 		if err != nil {
 			// A record the CRC accepted but the decoder rejects is a
@@ -151,6 +173,38 @@ func (s *Store) advanceDurableLocked() {
 		s.durableLSN = s.pend[i].lsn
 	}
 	s.pend = s.pend[i:]
+}
+
+// JournalProposal implements core.ProposalJournaler: append the primary's
+// proposal counter (9 bytes on the group-commit path — far cheaper than a
+// checkpoint). Proposal records carry no watermark and therefore never
+// touch the durable-checkpoint accounting; durability follows at the
+// log's sync cadence, which is exactly the crash window the pair-assisted
+// resume closes.
+func (s *Store) JournalProposal(next types.Seq) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = append(s.buf[:0], kProposal, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint64(s.buf[1:], uint64(next))
+	if _, err := s.log.Append(s.buf); err != nil {
+		s.logf("append proposal: %v", err)
+	}
+}
+
+// ProposalFloor implements core.ProposalJournaler: the highest proposal
+// counter recovered at open.
+func (s *Store) ProposalFloor() (types.Seq, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.propFloor, s.hasProp
+}
+
+// decodeProposal parses one proposal record: kind 1 | nextSeq 8.
+func decodeProposal(rec []byte) (types.Seq, error) {
+	if len(rec) != 9 {
+		return 0, fmt.Errorf("proposal record has %d bytes, want 9", len(rec))
+	}
+	return types.Seq(binary.BigEndian.Uint64(rec[1:])), nil
 }
 
 // Load implements core.Checkpointer.

@@ -203,3 +203,85 @@ func FuzzCheckpointRecord(f *testing.F) {
 		}
 	})
 }
+
+func TestProposalJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	if _, ok := s.ProposalFloor(); ok {
+		t.Fatal("empty store claims a proposal floor")
+	}
+	for next := types.Seq(2); next <= 9; next++ {
+		s.JournalProposal(next)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: replay recovers the highest journalled counter.
+	s2 := openTest(t, dir)
+	defer s2.Close()
+	floor, ok := s2.ProposalFloor()
+	if !ok || floor != 9 {
+		t.Fatalf("recovered proposal floor = %d ok=%v, want 9", floor, ok)
+	}
+}
+
+// TestCrashDropsUnsyncedProposals pins the group-commit semantics: a
+// crash loses proposal records after the last durability point, so the
+// recovered floor is the last synced counter (the pair-assisted catch-up
+// refines it upward; the floor only has to never overstate durability).
+func TestCrashDropsUnsyncedProposals(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	s.JournalProposal(5)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.JournalProposal(6)
+	s.JournalProposal(7)
+	s.Crash()
+
+	s2 := openTest(t, dir)
+	defer s2.Close()
+	floor, ok := s2.ProposalFloor()
+	if !ok || floor != 5 {
+		t.Fatalf("post-crash proposal floor = %d ok=%v, want 5 (last synced)", floor, ok)
+	}
+}
+
+// TestProposalsInterleaveWithCheckpoints pins that the two record kinds
+// share one log without confusing each other: checkpoint recovery and
+// the proposal floor are both correct after an interleaved history, and
+// proposal records never advance the durable checkpoint watermark.
+func TestProposalsInterleaveWithCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	s.JournalProposal(11)
+	s.Save(cp(10))
+	s.JournalProposal(14)
+	s.Save(cp(12))
+	s.JournalProposal(17)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.DurableWatermark(); d != 12 {
+		t.Fatalf("durable watermark = %d, want 12 (proposal records must not move it)", d)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir)
+	defer s2.Close()
+	got, ok := s2.Load()
+	if !ok || got.DeliveredUpTo != 12 {
+		t.Fatalf("recovered checkpoint watermark %d ok=%v, want 12", got.DeliveredUpTo, ok)
+	}
+	floor, ok := s2.ProposalFloor()
+	if !ok || floor != 17 {
+		t.Fatalf("recovered proposal floor = %d ok=%v, want 17", floor, ok)
+	}
+}

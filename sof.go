@@ -106,6 +106,26 @@ type Config struct {
 	BatchBytes int
 	// Delta is the intra-pair differential delay estimate (default 5 s).
 	Delta time.Duration
+	// MaxInflightBatches (SC/SCR only) caps how many proposed-but-
+	// uncommitted batches the primary keeps outstanding. Values <= 1 (the
+	// default) preserve the paper's strictly interval-paced proposer: one
+	// batch per BatchInterval, which bounds throughput at roughly
+	// entries-per-batch / BatchInterval regardless of offered load. Values
+	// >= 2 enable the pipelined proposal path: a full batch closes the
+	// moment pending request bytes reach BatchBytes (the interval timer
+	// degrades to a latency backstop for partial batches), and commits
+	// free window slots that are refilled immediately.
+	MaxInflightBatches int
+	// BatchIdleArm (SC/SCR only) is the backstop delay armed when the
+	// first request reaches an idle primary (0 = BatchInterval). The batch
+	// timer no longer free-runs on an empty pool, so idle clusters do not
+	// tick.
+	BatchIdleArm time.Duration
+	// DigestOnlyAcks (SC/SCR only) keeps the ordering critical path
+	// digest-only: acks carry just the subject digest instead of embedding
+	// the full endorsed batch, and a process that misses a subject or a
+	// request payload fetches it from a peer off the critical path.
+	DigestOnlyAcks bool
 	// Mirror enables pair-link traffic mirroring (default on for SC/SCR).
 	Mirror *bool
 	// Simulated runs the cluster on the virtual-time simulator instead of
@@ -261,6 +281,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.SessionRingLen != 0 && !cfg.SessionResume {
 		return nil, fmt.Errorf("sof: SessionRingLen requires SessionResume")
 	}
+	if cfg.MaxInflightBatches < 0 {
+		return nil, fmt.Errorf("sof: MaxInflightBatches must not be negative")
+	}
+	if cfg.BatchIdleArm < 0 {
+		return nil, fmt.Errorf("sof: BatchIdleArm must not be negative")
+	}
+	if (cfg.MaxInflightBatches > 1 || cfg.BatchIdleArm != 0 || cfg.DigestOnlyAcks) &&
+		cfg.Protocol != SC && cfg.Protocol != SCR {
+		return nil, fmt.Errorf("sof: MaxInflightBatches/BatchIdleArm/DigestOnlyAcks require Protocol SC or SCR")
+	}
 	mirror := cfg.Protocol == SC || cfg.Protocol == SCR
 	if cfg.Mirror != nil {
 		mirror = *cfg.Mirror
@@ -272,6 +302,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		BatchInterval:      cfg.BatchInterval,
 		MaxBatchBytes:      cfg.BatchBytes,
 		Delta:              cfg.Delta,
+		MaxInflightBatches: cfg.MaxInflightBatches,
+		BatchIdleArm:       cfg.BatchIdleArm,
+		DigestOnlyAcks:     cfg.DigestOnlyAcks,
 		Mirror:             mirror,
 		DumbOptimization:   cfg.Protocol == SC,
 		Net:                netsim.LANDefaults(),
@@ -461,6 +494,19 @@ func (c *Cluster) ReplicaState(node NodeID) (applied uint64, pending, results in
 	}
 	seq, _ := rep.Applied()
 	return uint64(seq), rep.PendingCount(), rep.ResultCount(), true
+}
+
+// OrderState is a snapshot of one SC/SCR order process's proposer gauges:
+// the proposal counter and delivery watermark, the pipeline occupancy, and
+// the batch fill/close statistics. See Config.MaxInflightBatches.
+type OrderState = harness.OrderState
+
+// OrderState reports one order process's proposer gauges (SC/SCR only; ok
+// is false for other protocols or unknown nodes). In live mode the
+// snapshot is taken on the process's own event loop, so it is consistent
+// even against a running cluster.
+func (c *Cluster) OrderState(node NodeID) (OrderState, bool) {
+	return c.h.OrderStateOf(node)
 }
 
 // Results returns the per-replica results for a request (f+1 identical

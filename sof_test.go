@@ -773,3 +773,171 @@ func TestPublicAPISessionResumeNoFrameLoss(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 }
+
+// primaryRestartScenario commits a baseline under the acting primary,
+// snapshots its proposer state, then kills and immediately restarts it
+// (well inside Delta, so the pair protocol never times the crash out —
+// whatever happens next is decided by how the restarted incarnation
+// picks its proposal sequence, not by fail-over timers). It returns the
+// primary's NodeID and its pre-kill proposer snapshot.
+func primaryRestartScenario(t *testing.T, cluster *sof.Cluster) (sof.NodeID, sof.OrderState) {
+	t.Helper()
+	h := cluster.Harness()
+	primary, _, _, err := h.Topo.Candidate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		id, err := cluster.Submit([]byte(fmt.Sprintf("pre-kill-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.AwaitCommit(id, 20*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre, ok := cluster.OrderState(primary)
+	if !ok {
+		t.Fatalf("no order state for primary %v", primary)
+	}
+	if pre.NextPropose < 2 {
+		t.Fatalf("baseline never advanced the proposal counter: %+v", pre)
+	}
+	// Group-commit the journalled proposal counter (a real deployment gets
+	// this from the group-commit cadence on the batching interval).
+	if err := h.SyncDurable(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.KillNode(primary); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RestartNode(primary); err != nil {
+		t.Fatal(err)
+	}
+	return primary, pre
+}
+
+// TestPublicAPIPipelinedPrimaryRestartResumesJournalledSeq is the
+// recovery acceptance test for the pipelined proposer: a killed-and-
+// restarted primary recovers its journalled proposal counter, refines it
+// to the shadow's exact expectation during catch-up, and resumes
+// proposing at a sequence the shadow endorses — new requests commit and
+// no fail-signal is ever emitted. The sensitivity twin below proves the
+// clean resume comes from the proposal journal + pair-assisted catch-up,
+// not from fail-over quietly repairing the sequence.
+func TestPublicAPIPipelinedPrimaryRestartResumesJournalledSeq(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:           sof.SC,
+		F:                  1,
+		Transport:          sof.TCP,
+		AuthFrames:         true,
+		SessionResume:      true,
+		Durable:            true,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 4,
+		BatchInterval:      10 * time.Millisecond,
+		Delta:              30 * time.Second,
+		MaxInflightBatches: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	primary, pre := primaryRestartScenario(t, cluster)
+
+	// The restarted primary must keep ordering: post-restart requests
+	// commit under the same coordinator.
+	for i := 0; i < 4; i++ {
+		id, err := cluster.Submit([]byte(fmt.Sprintf("post-restart-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.AwaitCommit(id, 30*time.Second); err != nil {
+			t.Fatalf("post-restart request %d never committed: %v", i, err)
+		}
+	}
+	// The shadow endorsed every resumed proposal: a clean run has no
+	// fail-signals at all.
+	if fs := cluster.Harness().Events.FailSignals(); len(fs) != 0 {
+		t.Fatalf("restarted primary was refused by its shadow: %+v", fs)
+	}
+	// And the resumed counter moved strictly forward of the pre-kill
+	// snapshot — the restarted incarnation never rewound into sequence
+	// numbers its dead predecessor had already used.
+	post, ok := cluster.OrderState(primary)
+	if !ok {
+		t.Fatalf("no order state for restarted primary %v", primary)
+	}
+	if post.NextPropose <= pre.NextPropose {
+		t.Fatalf("proposal counter did not advance across restart: pre=%d post=%d",
+			pre.NextPropose, post.NextPropose)
+	}
+}
+
+// TestPublicAPIPrimaryRestartRefusedWithoutJournal is the sensitivity
+// twin: the identical scenario with protocol checkpoints (and thus the
+// proposal journal and pair-assisted resume) disabled restarts the
+// primary at sequence one. Its first post-restart proposal reuses a
+// sequence number the shadow has already endorsed for different content,
+// and the shadow refuses it with a fail-signal — proving the clean
+// resume above comes from the journalled counter, and that a shadow
+// never lets a recovered primary reuse a sequence.
+func TestPublicAPIPrimaryRestartRefusedWithoutJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:           sof.SC,
+		F:                  1,
+		Transport:          sof.TCP,
+		AuthFrames:         true,
+		SessionResume:      true,
+		Durable:            true,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: -1,
+		BatchInterval:      10 * time.Millisecond,
+		Delta:              30 * time.Second,
+		MaxInflightBatches: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	primaryRestartScenario(t, cluster)
+
+	// Drive the restarted primary into proposing: the submission reaches
+	// it, it proposes from sequence one, and the shadow must refuse.
+	id, err := cluster.Submit([]byte("post-restart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cluster.Harness()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		refused := false
+		for _, ev := range h.Events.FailSignals() {
+			if ev.Emitter && ev.Pair == 1 {
+				refused = true
+			}
+		}
+		if refused {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shadow never refused the restarted primary's reused sequence (no fail-signal)")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Fail-over, not the amnesiac primary, is what keeps the service
+	// available afterwards.
+	if err := cluster.AwaitCommit(id, 30*time.Second); err != nil {
+		t.Fatalf("request never committed after the refused primary was deposed: %v", err)
+	}
+}
