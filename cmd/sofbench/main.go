@@ -12,6 +12,8 @@
 //	sofbench -json -transport tcp             # adds the TCP runtime series
 //	sofbench -json -transport tcp -load 1,2,4,8  # offered-load multipliers for the pipelined sweep
 //	sofbench -smoke                           # pipelined throughput smoke check (CI)
+//	sofbench -scenarios [-seed N] [-out BENCH_scenarios.json]  # chaos/soak scenario campaign
+//	sofbench -scenarios -smoke                # short seeded campaign subset (CI)
 //
 // With -transport tcp the JSON additionally carries "tcp" mode points —
 // end-to-end wall-clock measurements of the TCP runtime (real loopback
@@ -28,6 +30,16 @@
 // -smoke runs one short pipelined point and exits non-zero unless its
 // committed/s clears the interval-bound ceiling with margin; CI uses it to
 // keep the pipelined path from silently regressing to timer pacing.
+//
+// -scenarios runs the scripted chaos/soak campaign instead: real-TCP
+// clusters under WAN link profiles, partitions, restart storms and
+// adversarial process twins, asserting single total order, zero
+// committed-request loss and fail-over completion on every run, and
+// writing the recorded series to BENCH_scenarios.json. Every random choice
+// derives from -seed, so a failing campaign replays exactly; the seed is
+// printed on start and on any invariant violation. Combined with -smoke it
+// runs the short CI subset (one WAN profile, one adversary, one restart
+// storm).
 package main
 
 import (
@@ -55,9 +67,21 @@ func main() {
 		transport = flag.String("transport", "sim", "hot-path substrate for -json: sim, or tcp to add the TCP runtime series")
 		loadStr   = flag.String("load", "1,2,4,8", "comma-separated offered-load multipliers for the tcp-pipelined sweep (-json -transport tcp)")
 		smoke     = flag.Bool("smoke", false, "run one short tcp-pipelined point and fail unless committed/s clears the interval-paced ceiling (CI guard)")
+		scenarios = flag.Bool("scenarios", false, "run the seeded chaos/soak scenario campaign and write BENCH_scenarios.json (with -smoke: the short CI subset)")
 	)
 	flag.Parse()
 
+	if *scenarios {
+		path := *out
+		if path == "BENCH_hotpath.json" { // default untouched: scenarios get their own file
+			path = "BENCH_scenarios.json"
+		}
+		if err := runScenarios(path, *seed, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *smoke {
 		if err := runPipelinedSmoke(*seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -192,6 +216,28 @@ func runPipelinedSmoke(seed int64) error {
 			pt.Throughput, floor)
 	}
 	return nil
+}
+
+// runScenarios runs the chaos/soak campaign and persists the report even
+// when invariants fail, so the violating series is inspectable alongside
+// the printed replay seed.
+func runScenarios(path string, seed int64, smoke bool) error {
+	rep, runErr := harness.RunScenarioCampaign(harness.CampaignOptions{
+		Seed:  seed,
+		Smoke: smoke,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return runErr
 }
 
 func runHotPathJSON(path string, seed int64, withTCP bool, loads []float64) error {

@@ -92,6 +92,12 @@ type Config struct {
 	// RecoveryInterval is the SCR pair-probe period (0 disables recovery;
 	// ignored in SC mode).
 	RecoveryInterval time.Duration
+
+	// Tap, when non-nil, intercepts every outbound transmission this
+	// process makes (including fail-signal broadcasts). It is the fault
+	// injection seam the adversary harness builds on; production configs
+	// leave it nil, which keeps the zero-overhead direct send paths.
+	Tap Tap
 }
 
 // BatchEvent reports batch formation at the coordinator.
@@ -335,7 +341,7 @@ func New(id types.NodeID, cfg Config) (*Process, error) {
 			Delta:            cfg.Delta,
 			PresignedFailSig: cfg.PresignedFailSig,
 			MirrorTraffic:    cfg.Mirror,
-			Broadcast:        func(env runtime.Env, m message.Message) { env.Multicast(p.all, m) },
+			Broadcast:        func(env runtime.Env, m message.Message) { p.emitAll(env, m) },
 			OnDown:           p.onPairDown,
 		})
 	}
@@ -400,19 +406,21 @@ func (p *Process) mayCount(id types.NodeID) bool { return !p.dumb[id] }
 // muted reports whether this process itself must not transmit.
 func (p *Process) muted() bool { return p.dumb[p.id] }
 
-// send/multicast wrappers enforcing the dumb-process muting.
+// send/multicast wrappers enforcing the dumb-process muting. Both route
+// through the Tap seam (tap.go); with no tap installed they are direct
+// sends.
 func (p *Process) send(env runtime.Env, to types.NodeID, m message.Message) {
 	if p.muted() {
 		return
 	}
-	env.Send(to, m)
+	p.emit(env, to, m)
 }
 
 func (p *Process) multicastAll(env runtime.Env, m message.Message) {
 	if p.muted() {
 		return
 	}
-	env.Multicast(p.all, m)
+	p.emitAll(env, m)
 }
 
 // Init implements runtime.Process.

@@ -111,6 +111,14 @@ type Options struct {
 	// substrate. Requires the live TCP transport.
 	TCPShaping bool
 
+	// Adversaries installs an adversarial twin on the named order
+	// processes: the node keeps the honest SC/SCR reactor but its
+	// outbound traffic passes through a core.Tap that mutates, drops or
+	// duplicates messages per the kind (adversary.go). Taps persist
+	// across RestartNode, so a replayer's pre-restart capture survives
+	// its host's restart. SC/SCR only.
+	Adversaries map[types.NodeID]AdversaryKind
+
 	NumClients  int
 	Load        *LoadSpec
 	KeepCommits bool
@@ -185,6 +193,10 @@ type Cluster struct {
 	sessionStores map[types.NodeID]*sessionlog.Store
 	protoStores   map[types.NodeID]*protolog.Store
 	stopped       bool
+
+	// advTaps holds the per-node adversary taps, created once in New and
+	// re-attached on every RestartNode incarnation.
+	advTaps map[types.NodeID]adversaryTap
 }
 
 // New builds (but does not start) a cluster.
@@ -207,6 +219,9 @@ func New(opts Options) (*Cluster, error) {
 	topo, err := types.NewTopology(opts.Protocol, opts.F)
 	if err != nil {
 		return nil, err
+	}
+	if len(opts.Adversaries) > 0 && opts.Protocol != types.SC && opts.Protocol != types.SCR {
+		return nil, fmt.Errorf("harness: Adversaries require the SC/SCR protocols")
 	}
 	suite := opts.SuiteImpl
 	if suite == nil {
@@ -242,6 +257,15 @@ func New(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c.idents = idents
+
+	c.advTaps = make(map[types.NodeID]adversaryTap, len(opts.Adversaries))
+	for id, kind := range opts.Adversaries {
+		tap, err := newAdversaryTap(kind, id, topo, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c.advTaps[id] = tap
+	}
 
 	c.Fabric = netsim.New(opts.Net, topo, opts.Seed)
 	switch {
@@ -485,6 +509,9 @@ func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
 			OnInstalled:         c.Events.OnInstalled,
 			OnStartTuplesIssued: c.Events.OnStartTuplesIssued,
 			OnPairRecovered:     c.Events.OnPairRecovered,
+		}
+		if tap, ok := c.advTaps[id]; ok {
+			cfg.Tap = tap
 		}
 		// Durable protocol checkpoints: the process snapshots its view,
 		// watermark and committed-order digest to its own WAL store, and a
@@ -783,6 +810,46 @@ func (c *Cluster) OrderStateOf(id types.NodeID) (OrderState, bool) {
 		return st, true
 	case <-time.After(5 * time.Second):
 		return OrderState{}, false // node stopped before running the probe
+	}
+}
+
+// RecoveryState is a race-free snapshot of one SC/SCR process's catch-up
+// and commit-history gauges (the scenario campaign's invariant probes).
+type RecoveryState struct {
+	CatchingUp    bool
+	DeliveredUpTo types.Seq
+	NextPropose   types.Seq
+	// OrderDigest is the running committed-order chain digest (nil when
+	// the process runs without a Checkpointer).
+	OrderDigest []byte
+}
+
+// RecoveryStateOf snapshots id's recovery gauges on its own reactor.
+func (c *Cluster) RecoveryStateOf(id types.NodeID) (RecoveryState, bool) {
+	p := c.SCProcess(id)
+	if p == nil {
+		return RecoveryState{}, false
+	}
+	snap := func() RecoveryState {
+		return RecoveryState{
+			CatchingUp:    p.CatchingUp(),
+			DeliveredUpTo: p.MaxDelivered(),
+			NextPropose:   p.NextProposeSeq(),
+			OrderDigest:   p.OrderDigest(),
+		}
+	}
+	if !c.Opts.Live {
+		return snap(), true
+	}
+	done := make(chan RecoveryState, 1)
+	if err := c.Inject(id, func(runtime.Env) { done <- snap() }); err != nil {
+		return RecoveryState{}, false
+	}
+	select {
+	case st := <-done:
+		return st, true
+	case <-time.After(5 * time.Second):
+		return RecoveryState{}, false // node stopped before running the probe
 	}
 }
 

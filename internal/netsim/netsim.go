@@ -111,6 +111,44 @@ func WANDefaults() Params {
 	}
 }
 
+// MetroDefaults returns a metropolitan-area profile between LAN and WAN:
+// a few ms of propagation between sites, sub-ms inside a pair's site.
+// The scenario campaign sweeps LAN → metro → WAN with the same workload.
+func MetroDefaults() Params {
+	return Params{
+		LAN: LinkParams{
+			BaseDelay:   4 * time.Millisecond,
+			Jitter:      800 * time.Microsecond,
+			BytesPerSec: 12_500_000,
+		},
+		Pair: LinkParams{
+			BaseDelay:   600 * time.Microsecond,
+			Jitter:      150 * time.Microsecond,
+			BytesPerSec: 12_500_000,
+		},
+		SendCPUBase:  380 * time.Microsecond,
+		SendCPUPerKB: 320 * time.Microsecond,
+		RecvCPUBase:  520 * time.Microsecond,
+		RecvCPUPerKB: 320 * time.Microsecond,
+	}
+}
+
+// ProfileNames lists the named link profiles in sweep order.
+func ProfileNames() []string { return []string{"lan", "metro", "wan"} }
+
+// Profile returns a named link profile: "lan", "metro" or "wan".
+func Profile(name string) (Params, bool) {
+	switch name {
+	case "lan":
+		return LANDefaults(), true
+	case "metro":
+		return MetroDefaults(), true
+	case "wan":
+		return WANDefaults(), true
+	}
+	return Params{}, false
+}
+
 // Fabric is the connectivity state: which links exist, which are cut, and
 // traffic counters. It is safe for concurrent use (the live runtime sends
 // from many goroutines).

@@ -80,6 +80,27 @@ const (
 	TCP = types.TransportTCP
 )
 
+// AdversaryKind selects an adversarial process twin for fault-injection
+// experiments: the named node keeps running the honest protocol code but
+// its outbound traffic is intercepted and corrupted the way a compromised
+// process with its own signing key could corrupt it.
+type AdversaryKind = harness.AdversaryKind
+
+// The adversarial twins (see Config.Adversaries).
+const (
+	// EquivocatingPrimary proposes conflicting batches for the same
+	// sequence number to different peers.
+	EquivocatingPrimary = harness.AdversaryEquivocatingPrimary
+	// SignalSuppressor endorses honestly but never emits a fail-signal.
+	SignalSuppressor = harness.AdversarySignalSuppressor
+	// StaleReplayer re-sends stale copies of its own earlier traffic
+	// alongside live messages, across restarts too.
+	StaleReplayer = harness.AdversaryStaleReplayer
+	// CatchUpLiar answers catch-up requests with claims inflated beyond
+	// its evidence.
+	CatchUpLiar = harness.AdversaryCatchUpLiar
+)
+
 // ReqID identifies a submitted request.
 type ReqID = message.ReqID
 
@@ -211,6 +232,12 @@ type Config struct {
 	// CommitRetention commit events earlier) times out rather than
 	// answering from history.
 	CommitRetention int
+	// Adversaries installs adversarial twins on the named order processes
+	// (SC/SCR only): each node runs the honest protocol but its outbound
+	// traffic is corrupted per its AdversaryKind. Fault-injection and
+	// robustness testing only — an adversarial cluster intentionally
+	// misbehaves.
+	Adversaries map[NodeID]AdversaryKind
 	// Seed seeds simulated network jitter.
 	Seed int64
 	// StateMachine, when non-nil, is instantiated per replica and applied
@@ -291,6 +318,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.Protocol != SC && cfg.Protocol != SCR {
 		return nil, fmt.Errorf("sof: MaxInflightBatches/BatchIdleArm/DigestOnlyAcks require Protocol SC or SCR")
 	}
+	if len(cfg.Adversaries) > 0 && cfg.Protocol != SC && cfg.Protocol != SCR {
+		return nil, fmt.Errorf("sof: Adversaries require Protocol SC or SCR")
+	}
 	mirror := cfg.Protocol == SC || cfg.Protocol == SCR
 	if cfg.Mirror != nil {
 		mirror = *cfg.Mirror
@@ -318,6 +348,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		DataDir:            cfg.DataDir,
 		CheckpointInterval: cfg.CheckpointInterval,
 		TCPShaping:         cfg.NetShaping,
+		Adversaries:        cfg.Adversaries,
 		KeepCommits:        true,
 		CommitRetention:    cfg.CommitRetention,
 	}
