@@ -11,7 +11,8 @@
 //	sofbench -json [-out BENCH_hotpath.json]  # hot-path overhead benchmark, JSON
 //	sofbench -json -transport tcp             # adds the TCP runtime series
 //	sofbench -json -transport tcp -load 1,2,4,8  # offered-load multipliers for the pipelined sweep
-//	sofbench -smoke                           # pipelined throughput smoke check (CI)
+//	sofbench -json -transport tcp -groups 1,2,4  # group counts for the tcp-sharded sweep
+//	sofbench -smoke                           # pipelined + sharded throughput smoke checks (CI)
 //	sofbench -scenarios [-seed N] [-out BENCH_scenarios.json]  # chaos/soak scenario campaign
 //	sofbench -scenarios -smoke                # short seeded campaign subset (CI)
 //
@@ -22,14 +23,20 @@
 // (HMAC-sealed frames, hello/ack handshake, retransmission ring),
 // "tcp-durable" points adding the write-ahead-logged durable node state
 // (session journals + commit stream, group-committed on the batching
-// interval), and a "tcp-pipelined" load sweep (proposal window of eight,
+// interval), a "tcp-pipelined" load sweep (proposal window of eight,
 // digest-only acks, client load scaled by each -load multiplier) showing
-// committed throughput past the interval-paced proposer's ceiling,
-// alongside the simulated overhead series.
+// committed throughput past the interval-paced proposer's ceiling, and a
+// "tcp-sharded" group sweep (the same interval-paced f=1 cluster at each
+// -groups count, one saturating client per group) whose aggregate
+// committed/s documents the partitioned-ingress scaling, alongside the
+// simulated overhead series.
 //
-// -smoke runs one short pipelined point and exits non-zero unless its
-// committed/s clears the interval-bound ceiling with margin; CI uses it to
-// keep the pipelined path from silently regressing to timer pacing.
+// -smoke runs two short guards and exits non-zero if either fails: one
+// pipelined point must clear the interval-bound ceiling with margin
+// (pipelining silently regressing to timer pacing shows as throughput AT
+// the ceiling), and a 4-group sharded point must aggregate at least 2.5x
+// the 1-group baseline at the same per-group load (sharding silently
+// collapsing into one serialized pipeline shows as a ~1x ratio).
 //
 // -scenarios runs the scripted chaos/soak campaign instead: real-TCP
 // clusters under WAN link profiles, partitions, restart storms and
@@ -66,7 +73,8 @@ func main() {
 		out       = flag.String("out", "BENCH_hotpath.json", "output file for -json")
 		transport = flag.String("transport", "sim", "hot-path substrate for -json: sim, or tcp to add the TCP runtime series")
 		loadStr   = flag.String("load", "1,2,4,8", "comma-separated offered-load multipliers for the tcp-pipelined sweep (-json -transport tcp)")
-		smoke     = flag.Bool("smoke", false, "run one short tcp-pipelined point and fail unless committed/s clears the interval-paced ceiling (CI guard)")
+		groupsStr = flag.String("groups", "1,2,4", "comma-separated ordering-group counts for the tcp-sharded sweep (-json -transport tcp)")
+		smoke     = flag.Bool("smoke", false, "run short tcp-pipelined and tcp-sharded points and fail unless both clear their scaling floors (CI guard)")
 		scenarios = flag.Bool("scenarios", false, "run the seeded chaos/soak scenario campaign and write BENCH_scenarios.json (with -smoke: the short CI subset)")
 	)
 	flag.Parse()
@@ -87,6 +95,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if err := runShardedSmoke(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 	withTCP := false
@@ -103,8 +115,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	groupCounts, err := parseGroups(*groupsStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *jsonMode {
-		if err := runHotPathJSON(*out, *seed, withTCP, loads); err != nil {
+		if err := runHotPathJSON(*out, *seed, withTCP, loads, groupCounts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -188,6 +205,26 @@ func parseLoads(s string) ([]float64, error) {
 	return out, nil
 }
 
+// parseGroups parses the -groups ordering-group-count list.
+func parseGroups(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -groups count %q (want positive integers, comma-separated)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-groups lists no counts")
+	}
+	return out, nil
+}
+
 // intervalCeiling is the committed-requests/s bound of the strictly
 // interval-paced proposer at the TCP benchmark's configuration: one 1 KB
 // batch of 128-byte requests per 10 ms interval. Each entry costs
@@ -196,6 +233,32 @@ func intervalCeiling() float64 {
 	const reqBytes, interval = 128, 0.010
 	perBatch := 1024 / (reqBytes + harness.EntryOverheadWire)
 	return float64(perBatch) / interval
+}
+
+// runShardedSmoke is the sharding CI guard: at the same per-group load, a
+// 4-group cluster's aggregate committed/s must reach at least 2.5x the
+// 1-group baseline. The guarded failure mode — the partitioned ingress
+// silently funnelling every group through one serialized ordering pipeline
+// (mis-routed frames, shared WAL, one recorder) — shows as a ratio near
+// 1x; genuine sharding on pacing-bound groups sits near 4x, so 2.5x
+// leaves noise margin without admitting a collapse.
+func runShardedSmoke(seed int64) error {
+	base, err := harness.RunTCPShardedPoint(2*time.Second, seed, 1)
+	if err != nil {
+		return err
+	}
+	sharded, err := harness.RunTCPShardedPoint(2*time.Second, seed, 4)
+	if err != nil {
+		return err
+	}
+	ratio := sharded.Throughput / base.Throughput
+	fmt.Printf("tcp-sharded smoke: 1-group=%.1f/s 4-group=%.1f/s scaling=%.2fx (floor 2.50x)\n",
+		base.Throughput, sharded.Throughput, ratio)
+	if ratio < 2.5 {
+		return fmt.Errorf("sharded scaling %.2fx below smoke floor 2.50x — groups are not ordering independently",
+			ratio)
+	}
+	return nil
 }
 
 // runPipelinedSmoke is the CI guard: one short pipelined point must beat
@@ -240,7 +303,7 @@ func runScenarios(path string, seed int64, smoke bool) error {
 	return runErr
 }
 
-func runHotPathJSON(path string, seed int64, withTCP bool, loads []float64) error {
+func runHotPathJSON(path string, seed int64, withTCP bool, loads []float64, groupCounts []int) error {
 	type report struct {
 		GeneratedBy string                 `json:"generated_by"`
 		Points      []harness.HotPathPoint `json:"points"`
@@ -287,6 +350,31 @@ func runHotPathJSON(path string, seed int64, withTCP bool, loads []float64) erro
 			rep.Points = append(rep.Points, pt)
 			fmt.Printf("%-14s load=%-4.1fx batches=%-5d committed/s=%-9.1f allocs/batch=%-10.1f\n",
 				pt.Mode, mult, pt.Batches, pt.Throughput, pt.AllocsPerBatch)
+		}
+		// The sharded group sweep: the interval-paced f=1 cluster at each
+		// group count, one saturating client per group, so the aggregate
+		// committed/s against the 1-group point IS the scaling factor of
+		// the partitioned ingress.
+		for _, g := range groupCounts {
+			pt, err := harness.RunTCPShardedPoint(4*time.Second, seed, g)
+			if err != nil {
+				return err
+			}
+			rep.Points = append(rep.Points, pt)
+			fmt.Printf("%-14s groups=%-3d batches=%-5d committed/s=%-9.1f allocs/batch=%-10.1f\n",
+				pt.Mode, g, pt.Batches, pt.Throughput, pt.AllocsPerBatch)
+		}
+		// A TCP run without the sharded series would silently regress the
+		// scaling evidence out of the artifact; refuse to write the file.
+		found := false
+		for _, pt := range rep.Points {
+			if pt.Mode == "tcp-sharded" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("tcp-sharded series missing from report; refusing to write %s", path)
 		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -6,6 +6,13 @@
 // With -auth (and optionally -resume) it speaks the same frame-v2
 // authenticated sessions as sofnode; the flags must match the cluster's.
 //
+// Against a sharded deployment (`sofnode -groups N`) pass the same
+// -groups N: the client derives each request's ordering group from its
+// routing key (the same pure rendezvous map every node uses), prefixes
+// the one-byte group address on the submission, and strips it off
+// inbound commit replies. Acceptance stays per request — f+1 verified
+// replies from the request's own group.
+//
 // With -bench it reports a submission-side load summary on exit:
 // submitted/failed counts, how many processes each submission reached,
 // and a latency summary of the synchronous submit path (sign + frame +
@@ -29,6 +36,7 @@ import (
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/session"
+	"github.com/sof-repro/sof/internal/shard"
 	"github.com/sof-repro/sof/internal/stats"
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
@@ -122,10 +130,15 @@ func main() {
 		bench     = flag.Bool("bench", false, "report submission counts and latency summary on exit")
 		listen    = flag.String("listen", "", "listen address for commit-observation replies (give it to the nodes via -clients); enables commit-side latency in -bench")
 		replyWait = flag.Duration("reply-wait", 5*time.Second, "after the last submission, how long to wait for outstanding commit replies")
+		groups    = flag.Int("groups", 1, "ordering groups of the target deployment (must match the nodes' -groups); >1 routes each request to its key's group and speaks the group-prefixed wire format")
 	)
 	flag.Parse()
 	if *resume {
 		*auth = true
+	}
+	router, err := shard.New(*groups)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var proto types.Protocol
@@ -193,6 +206,14 @@ func main() {
 		}
 		defer tr.Close()
 		tr.Start(func(from types.NodeID, frame []byte) {
+			// Sharded deployments group-prefix every frame, replies
+			// included; the group byte is addressing, not content.
+			if *groups > 1 {
+				if len(frame) < 1 || int(frame[0]) >= *groups {
+					return
+				}
+				frame = frame[1:]
+			}
 			m, err := message.Decode(frame)
 			if err != nil {
 				return
@@ -213,12 +234,26 @@ func main() {
 		failed     int
 		reachedAll int
 	)
+	byGroup := make([]int, *groups)
 	start := time.Now()
 	for i := 0; i < *n; i++ {
 		payload := make([]byte, *size)
 		copy(payload, fmt.Sprintf("req-%d", i))
 		t0 := time.Now()
-		id, reached, err := cl.Submit(payload)
+		var (
+			id      message.ReqID
+			reached int
+			err     error
+		)
+		if *groups > 1 {
+			// Route by the payload's key with the same pure map every node
+			// holds, and speak the group-prefixed wire format.
+			g := router.GroupFor(shard.RoutingKey(payload))
+			byGroup[g]++
+			id, reached, err = cl.SubmitToGroup(g, payload)
+		} else {
+			id, reached, err = cl.Submit(payload)
+		}
 		sampler.Add(time.Since(t0))
 		if tracker != nil {
 			tracker.submit(id, t0)
@@ -254,6 +289,13 @@ func main() {
 		fmt.Printf("bench: submitted=%d reached_all=%d partial=%d elapsed=%v rate=%.1f req/s\n",
 			submitted, reachedAll, failed, elapsed.Round(time.Millisecond),
 			stats.Rate(submitted, elapsed))
+		if *groups > 1 {
+			parts := make([]string, *groups)
+			for g, c := range byGroup {
+				parts[g] = fmt.Sprintf("g%d=%d", g, c)
+			}
+			fmt.Printf("bench: submissions by group: %s\n", strings.Join(parts, " "))
+		}
 		fmt.Printf("bench: submit latency %v\n", sampler.Summary())
 		if tracker != nil {
 			tracker.mu.Lock()

@@ -32,6 +32,16 @@
 // request's client whenever it commits an entry; `sofclient -bench
 // -listen` consumes these to measure commit-side latency end to end.
 //
+// With -groups N (sc/scr only) the node hosts N independent ordering
+// groups behind its one listener: each group is a complete ordering
+// cluster over the same physical nodes with its own coordinator pair —
+// rotated, so group g's pair sits on different machines — and its own
+// checkpoint WAL under -data-dir/g<i>/proto. Every frame of a sharded
+// deployment carries a one-byte group address; all nodes and clients
+// must agree on -groups (`sofclient -groups N` routes each request to
+// its key's group). Requests in different groups are deliberately
+// unordered relative to each other.
+//
 // Example 7-node SC cluster (f=2) on one machine:
 //
 //	for i in $(seq 0 6); do
@@ -60,6 +70,7 @@ import (
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/runtime"
 	"github.com/sof-repro/sof/internal/session"
+	"github.com/sof-repro/sof/internal/shard"
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
 	"github.com/sof-repro/sof/internal/wal/protolog"
@@ -84,6 +95,7 @@ func main() {
 		idleArm  = flag.Duration("idle-arm", 0, "sc/scr batch-timer delay armed when the first request reaches an idle primary (0 = the batching interval)")
 		digAcks  = flag.Bool("digest-acks", false, "sc/scr digest-only ordering: acks carry subject digests only; missing subjects/payloads are fetched off the critical path")
 		clients  = flag.String("clients", "", "comma-separated client listen addresses (index = client number) to send commit-observation replies to")
+		groups   = flag.Int("groups", 1, "independent ordering groups hosted on this node (sc/scr only; all nodes and clients must agree): each group is a complete ordering cluster with its own coordinator pair — rotated so group g's pair sits on different physical nodes — and its own WAL directory under -data-dir/g<i>, multiplexed over this node's one listener and session")
 	)
 	flag.Parse()
 	if *resume {
@@ -96,6 +108,12 @@ func main() {
 	proto, err := parseProtocol(*protoStr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *groups < 1 || *groups > shard.MaxGroups {
+		log.Fatalf("-groups %d outside [1, %d]", *groups, shard.MaxGroups)
+	}
+	if *groups > 1 && proto != types.SC && proto != types.SCR {
+		log.Fatalf("-groups needs sc or scr, not %v", proto)
 	}
 	topo, err := types.NewTopology(proto, *f)
 	if err != nil {
@@ -168,57 +186,84 @@ func main() {
 	}
 
 	var node *runtime.TCPNode
-	sendReply := func(ev core.CommitEvent) {
-		n := node // set before Start; commits only happen after
-		if n == nil || len(replyTo) == 0 {
-			return
-		}
-		for i := range ev.Entries {
-			e := &ev.Entries[i]
-			if _, known := replyTo[e.Req.Client]; !known {
-				continue
+	// Commit-observation replies carry the group address in sharded
+	// deployments: EVERY frame of such a deployment is group-prefixed, and
+	// sofclient demultiplexes replies by stripping the byte back off.
+	sendReplyFor := func(group int) func(core.CommitEvent) {
+		return func(ev core.CommitEvent) {
+			n := node // set before Start; commits only happen after
+			if n == nil || len(replyTo) == 0 {
+				return
 			}
-			rep := &message.Reply{
-				From: self, Client: e.Req.Client, ClientSeq: e.Req.ClientSeq,
-				Seq: ev.FirstSeq + types.Seq(i),
+			for i := range ev.Entries {
+				e := &ev.Entries[i]
+				if _, known := replyTo[e.Req.Client]; !known {
+					continue
+				}
+				rep := &message.Reply{
+					From: self, Client: e.Req.Client, ClientSeq: e.Req.ClientSeq,
+					Seq: ev.FirstSeq + types.Seq(i),
+				}
+				sig, err := message.SignSingle(idents[self], rep.SignedBody())
+				if err != nil {
+					continue
+				}
+				rep.Sig = sig
+				raw := rep.Marshal()
+				if *groups > 1 {
+					raw = shard.PrefixGroup(group, raw)
+				}
+				n.Transport().Send(e.Req.Client, raw)
 			}
-			sig, err := message.SignSingle(idents[self], rep.SignedBody())
-			if err != nil {
-				continue
-			}
-			rep.Sig = sig
-			n.Transport().Send(e.Req.Client, rep.Marshal())
 		}
 	}
-	// Protocol checkpoint store: with -data-dir an sc/scr order process
-	// snapshots its protocol state and a restarted node catches up on the
-	// commits it missed from its peers (works with or without -auth; the
-	// session journal is a separate, transport-level layer).
-	var ckpts *protolog.Store
-	if *dataDir != "" && *ckptIvl >= 0 && (proto == types.SC || proto == types.SCR) {
-		ckpts, err = protolog.Open(protolog.Options{
-			Dir:          filepath.Join(*dataDir, "proto"),
-			SyncInterval: *batch,
-			Logger:       logger,
-		})
+	// One order process per ordering group, each over the group's rotated
+	// topology (so group g's coordinator pair occupies different physical
+	// nodes) and — with -data-dir — its own checkpoint store: group WALs
+	// must never share a segment directory. Single-group deployments keep
+	// the pre-sharding <data-dir>/proto layout, so existing nodes restart
+	// against their old directories.
+	var ckptStores []*protolog.Store
+	procs := make([]runtime.Process, *groups)
+	for g := 0; g < *groups; g++ {
+		// Protocol checkpoint store: with -data-dir an sc/scr order process
+		// snapshots its protocol state and a restarted node catches up on the
+		// commits it missed from its peers (works with or without -auth; the
+		// session journal is a separate, transport-level layer).
+		var ckpts *protolog.Store
+		if *dataDir != "" && *ckptIvl >= 0 && (proto == types.SC || proto == types.SCR) {
+			dir := filepath.Join(*dataDir, "proto")
+			if *groups > 1 {
+				dir = filepath.Join(*dataDir, fmt.Sprintf("g%d", g), "proto")
+			}
+			ckpts, err = protolog.Open(protolog.Options{
+				Dir:          dir,
+				SyncInterval: *batch,
+				Logger:       logger,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ckptStores = append(ckptStores, ckpts)
+		}
+		procs[g], err = buildProcess(self, topo.Rotated(g), idents, proto, *batch, *delta, logger,
+			sendReplyFor(g), ckpts, *ckptIvl, *inflight, *idleArm, *digAcks)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	proc, err := buildProcess(self, topo, idents, proto, *batch, *delta, logger, sendReply, ckpts, *ckptIvl,
-		*inflight, *idleArm, *digAcks)
-	if err != nil {
-		log.Fatal(err)
+	if *groups == 1 {
+		node, err = runtime.NewTCPNode(self, peers[self], idents[self], procs[0], peers, logger, topts)
+	} else {
+		node, err = runtime.NewShardedTCPNode(self, peers[self], idents[self], procs, peers, logger, topts)
 	}
-
-	node, err = runtime.NewTCPNode(self, peers[self], idents[self], proc, peers, logger, topts)
 	if err != nil {
 		log.Fatalf("sofnode %d: %v", *id, err)
 	}
 	node.Start()
-	logger.Printf("up: %v f=%d n=%d listening on %s (auth=%v resume=%v durable=%v)",
-		proto, *f, topo.N(), node.Addr(), *auth, *resume, *dataDir != "")
+	logger.Printf("up: %v f=%d n=%d groups=%d listening on %s (auth=%v resume=%v durable=%v)",
+		proto, *f, topo.N(), *groups, node.Addr(), *auth, *resume, *dataDir != "")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -241,7 +286,7 @@ func main() {
 			logger.Printf("closing session journal: %v", err)
 		}
 	}
-	if ckpts != nil {
+	for _, ckpts := range ckptStores {
 		if err := ckpts.Close(); err != nil {
 			logger.Printf("closing checkpoint store: %v", err)
 		}

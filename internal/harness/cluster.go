@@ -5,6 +5,7 @@ import (
 	"log"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sof-repro/sof/internal/bft"
@@ -17,6 +18,7 @@ import (
 	"github.com/sof-repro/sof/internal/netsim"
 	"github.com/sof-repro/sof/internal/runtime"
 	"github.com/sof-repro/sof/internal/session"
+	"github.com/sof-repro/sof/internal/shard"
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
 	"github.com/sof-repro/sof/internal/wal/commitlog"
@@ -116,8 +118,22 @@ type Options struct {
 	// outbound traffic passes through a core.Tap that mutates, drops or
 	// duplicates messages per the kind (adversary.go). Taps persist
 	// across RestartNode, so a replayer's pre-restart capture survives
-	// its host's restart. SC/SCR only.
+	// its host's restart. SC/SCR only. In sharded clusters the tap
+	// attaches to the node's group-0 process.
 	Adversaries map[types.NodeID]AdversaryKind
+
+	// Groups runs that many independent ordering groups over the same
+	// physical nodes (default 1, today's single-group cluster,
+	// bit-for-bit). Each group is a complete SC/SCR deployment — its own
+	// coordinator pair (rotated so group g's pair occupies different
+	// physical nodes than group g+1's), its own recorder, commit stream,
+	// WAL checkpoint directories (<DataDir>/g<idx>/) and request pool —
+	// multiplexed over ONE tcpnet transport and session layer per
+	// physical node, so N groups do not mean N× sockets or session
+	// state. Requests are ordered within their group only; there is no
+	// cross-group order. Groups > 1 requires the live TCP transport and
+	// Protocol SC or SCR, and is capped at shard.MaxGroups.
+	Groups int
 
 	NumClients  int
 	Load        *LoadSpec
@@ -152,6 +168,9 @@ func (o Options) withDefaults() Options {
 	if o.NumClients == 0 {
 		o.NumClients = 1
 	}
+	if o.Groups == 0 {
+		o.Groups = 1
+	}
 	if o.Protocol == types.SCR && o.RecoveryInterval == 0 {
 		o.RecoveryInterval = o.Delta
 	}
@@ -166,6 +185,8 @@ type Cluster struct {
 	Opts   Options
 	Topo   types.Topology
 	Fabric *netsim.Fabric
+	// Events is group 0's recorder (the only group in an unsharded
+	// cluster); RecorderOf addresses the others.
 	Events *Recorder
 
 	sim   *runtime.SimCluster
@@ -174,29 +195,49 @@ type Cluster struct {
 	sched *des.Scheduler
 	sub   substrate
 
+	// groups is Options.Groups; groupTopos[g] is the physical topology
+	// rotated for group g (groupTopos[0] == Topo); recorders[g] observes
+	// group g (recorders[0] == Events).
+	groups     int
+	groupTopos []types.Topology
+	recorders  []*Recorder
+
 	idents map[types.NodeID]*crypto.Identity
 	// procMu guards the process maps below: RestartNode replaces an order
 	// process's incarnation while measurement goroutines (replica drains)
 	// look processes up.
-	procMu  sync.RWMutex
-	SC      map[types.NodeID]*core.Process
-	CT      map[types.NodeID]*ct.Process
-	BFT     map[types.NodeID]*bft.Process
-	clients map[types.NodeID]*clientProc
+	procMu       sync.RWMutex
+	SC           map[types.NodeID]*core.Process // group 0 (== scGroups[0])
+	CT           map[types.NodeID]*ct.Process
+	BFT          map[types.NodeID]*bft.Process
+	scGroups     []map[types.NodeID]*core.Process
+	clients      map[types.NodeID]*clientProc // group 0 (== clientGroups[id][0])
+	clientGroups map[types.NodeID][]*clientProc
 
-	// Durable state (Options.Durable): the shared commit stream plus one
-	// session journal per node. links is the dealer link-key material,
-	// kept for rebuilding session configs on RestartNode.
+	// Durable state (Options.Durable): one commit stream per group plus
+	// one session journal per node (the session layer is shared by all
+	// of a node's groups, exactly like the transport beneath it). links
+	// is the dealer link-key material, kept for rebuilding session
+	// configs on RestartNode.
 	links         *crypto.LinkKeys
-	commitStore   *commitlog.Store
+	commitStores  []*commitlog.Store
 	storeMu       sync.Mutex
 	sessionStores map[types.NodeID]*sessionlog.Store
-	protoStores   map[types.NodeID]*protolog.Store
-	stopped       bool
+	// protoStores is keyed per (node, group): two groups hosted on one
+	// node must never share a WAL segment directory.
+	protoStores map[protoKey]*protolog.Store
+	stopped     bool
 
 	// advTaps holds the per-node adversary taps, created once in New and
 	// re-attached on every RestartNode incarnation.
 	advTaps map[types.NodeID]adversaryTap
+}
+
+// protoKey addresses one order process's checkpoint store: the same
+// physical node hosts one independent protolog per ordering group.
+type protoKey struct {
+	id    types.NodeID
+	group int
 }
 
 // New builds (but does not start) a cluster.
@@ -223,6 +264,20 @@ func New(opts Options) (*Cluster, error) {
 	if len(opts.Adversaries) > 0 && opts.Protocol != types.SC && opts.Protocol != types.SCR {
 		return nil, fmt.Errorf("harness: Adversaries require the SC/SCR protocols")
 	}
+	if opts.Groups < 1 {
+		return nil, fmt.Errorf("harness: Groups must be >= 1, got %d", opts.Groups)
+	}
+	if opts.Groups > 1 {
+		if opts.Groups > shard.MaxGroups {
+			return nil, fmt.Errorf("harness: Groups %d exceeds the %d-group cap", opts.Groups, shard.MaxGroups)
+		}
+		if !opts.Live || opts.Transport != types.TransportTCP {
+			return nil, fmt.Errorf("harness: Groups > 1 requires the live TCP transport")
+		}
+		if opts.Protocol != types.SC && opts.Protocol != types.SCR {
+			return nil, fmt.Errorf("harness: Groups > 1 requires the SC/SCR protocols")
+		}
+	}
 	suite := opts.SuiteImpl
 	if suite == nil {
 		var err error
@@ -237,14 +292,26 @@ func New(opts Options) (*Cluster, error) {
 	c := &Cluster{
 		Opts:          opts,
 		Topo:          topo,
-		Events:        NewRecorder(opts.KeepCommits, opts.CommitRetention),
-		SC:            make(map[types.NodeID]*core.Process),
+		groups:        opts.Groups,
 		CT:            make(map[types.NodeID]*ct.Process),
 		BFT:           make(map[types.NodeID]*bft.Process),
 		clients:       make(map[types.NodeID]*clientProc),
+		clientGroups:  make(map[types.NodeID][]*clientProc),
 		sessionStores: make(map[types.NodeID]*sessionlog.Store),
-		protoStores:   make(map[types.NodeID]*protolog.Store),
+		protoStores:   make(map[protoKey]*protolog.Store),
 	}
+	// One rotated topology, recorder and SC process map per group. Group 0
+	// is today's cluster verbatim: Topo unrotated, Events its recorder.
+	c.groupTopos = make([]types.Topology, c.groups)
+	c.recorders = make([]*Recorder, c.groups)
+	c.scGroups = make([]map[types.NodeID]*core.Process, c.groups)
+	for g := 0; g < c.groups; g++ {
+		c.groupTopos[g] = topo.Rotated(g)
+		c.recorders[g] = NewRecorder(opts.KeepCommits, opts.CommitRetention)
+		c.scGroups[g] = make(map[types.NodeID]*core.Process)
+	}
+	c.Events = c.recorders[0]
+	c.SC = c.scGroups[0]
 	// Identities for every order process and client, from the trusted
 	// dealer; the shared cache keeps RSA/DSA setup fast across runs.
 	ids := topo.AllProcesses()
@@ -324,58 +391,116 @@ func New(opts Options) (*Cluster, error) {
 		c.closeStores(true)
 		return nil, err
 	}
-	// The durable commit stream: recover history into the recorder before
-	// anything commits, so stream positions and the committed index
-	// continue where the previous incarnation stopped.
+	// The durable commit streams (one per group): recover history into
+	// each group's recorder before anything commits, so stream positions
+	// and the committed index continue where the previous incarnation
+	// stopped.
 	if opts.Durable && opts.KeepCommits {
-		store, err := commitlog.Open(commitlog.Options{
-			Dir:          filepath.Join(opts.DataDir, "commits"),
-			SyncInterval: opts.BatchInterval,
-			Logger:       opts.Logger,
-		})
-		if err != nil {
-			return fail(err)
-		}
-		c.commitStore = store
-		if err := c.Events.AttachCommitStore(store); err != nil {
-			return fail(err)
+		c.commitStores = make([]*commitlog.Store, c.groups)
+		for g := 0; g < c.groups; g++ {
+			store, err := commitlog.Open(commitlog.Options{
+				Dir:          c.commitDir(g),
+				SyncInterval: opts.BatchInterval,
+				Logger:       opts.Logger,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			c.commitStores[g] = store
+			if err := c.recorders[g].AttachCommitStore(store); err != nil {
+				return fail(err)
+			}
 		}
 	}
-	// Order processes.
+	// Order processes: in a sharded cluster each physical node hosts one
+	// order process per group, multiplexed over one TCP endpoint.
 	for _, id := range topo.AllProcesses() {
-		proc, err := c.buildProcess(id)
-		if err != nil {
-			return fail(err)
+		if c.groups == 1 {
+			proc, err := c.buildProcess(id, 0)
+			if err != nil {
+				return fail(err)
+			}
+			if err := c.addNode(id, proc); err != nil {
+				return fail(err)
+			}
+			continue
 		}
-		if err := c.addNode(id, proc); err != nil {
+		procs := make([]runtime.Process, c.groups)
+		for g := 0; g < c.groups; g++ {
+			p, err := c.buildProcess(id, g)
+			if err != nil {
+				return fail(err)
+			}
+			procs[g] = p
+		}
+		if err := c.tcp.AddShardedNode(id, c.idents[id], procs); err != nil {
 			return fail(err)
 		}
 	}
 	// Clients. With a recovered commit store, continue the durable
 	// request-ID namespace: a client of the new incarnation must not
 	// reuse a ClientSeq that committed in a previous one (the recovered
-	// committed index would answer for the wrong request).
-	var committedSeqs map[types.NodeID]uint64
-	if c.commitStore != nil {
-		committedSeqs = c.commitStore.MaxClientSeqs()
+	// committed index would answer for the wrong request). The namespace
+	// is per client, not per group — all of one client's group endpoints
+	// share one atomic sequence counter, so ReqIDs stay globally unique.
+	committedSeqs := make(map[types.NodeID]uint64)
+	for _, store := range c.commitStores {
+		if store == nil {
+			continue
+		}
+		for id, max := range store.MaxClientSeqs() {
+			if max > committedSeqs[id] {
+				committedSeqs[id] = max
+			}
+		}
 	}
 	for k := 0; k < opts.NumClients; k++ {
 		id := types.ClientID(k)
-		cp := &clientProc{
-			id:      id,
-			targets: topo.AllProcesses(),
-			load:    opts.Load,
-			seed:    opts.Seed + int64(k),
+		seq := new(atomic.Uint64)
+		seq.Store(committedSeqs[id])
+		procs := make([]*clientProc, c.groups)
+		for g := 0; g < c.groups; g++ {
+			cp := &clientProc{
+				id:      id,
+				targets: topo.AllProcesses(),
+				seed:    opts.Seed + int64(k),
+				seq:     seq,
+			}
+			// Open-loop load: client k drives only its designated group
+			// (k mod Groups), so -groups sweeps scale offered load with
+			// the client count rather than multiplying it per group.
+			if c.groups == 1 || k%c.groups == g {
+				cp.load = opts.Load
+			}
+			procs[g] = cp
 		}
-		if max := committedSeqs[id]; max > cp.seq {
-			cp.seq = max
+		c.clientGroups[id] = procs
+		c.clients[id] = procs[0]
+		if c.groups == 1 {
+			if err := c.addNode(id, procs[0]); err != nil {
+				return fail(err)
+			}
+			continue
 		}
-		c.clients[id] = cp
-		if err := c.addNode(id, cp); err != nil {
+		rps := make([]runtime.Process, c.groups)
+		for g := range procs {
+			rps[g] = procs[g]
+		}
+		if err := c.tcp.AddShardedNode(id, c.idents[id], rps); err != nil {
 			return fail(err)
 		}
 	}
 	return c, nil
+}
+
+// commitDir is the durable commit stream directory for one group. Group
+// layout only appears when sharded: a single-group cluster keeps the
+// pre-sharding <DataDir>/commits path bit-for-bit.
+func (c *Cluster) commitDir(group int) string {
+	if c.groups == 1 {
+		return filepath.Join(c.Opts.DataDir, "commits")
+	}
+	return filepath.Join(c.Opts.DataDir, fmt.Sprintf("g%d", group), "commits")
 }
 
 // sessionlogOptions builds the per-node session-journal options: one
@@ -390,11 +515,20 @@ func (c *Cluster) sessionlogOptions(id types.NodeID) sessionlog.Options {
 	}
 }
 
-// protologOptions builds the per-node protocol-checkpoint store options,
-// sharing the node's DataDir subdirectory with its session journal.
-func (c *Cluster) protologOptions(id types.NodeID) protolog.Options {
+// protologOptions builds the per-(node, group) protocol-checkpoint store
+// options. A single-group cluster keeps the pre-sharding layout
+// (<DataDir>/node-N/proto, beside the node's session journal); sharded
+// clusters give every group its own directory tree
+// (<DataDir>/gG/node-N/proto) so two groups hosted on one node can never
+// share a WAL segment directory.
+func (c *Cluster) protologOptions(id types.NodeID, group int) protolog.Options {
+	dir := filepath.Join(c.Opts.DataDir, fmt.Sprintf("node-%d", int32(id)), "proto")
+	if c.groups > 1 {
+		dir = filepath.Join(c.Opts.DataDir, fmt.Sprintf("g%d", group),
+			fmt.Sprintf("node-%d", int32(id)), "proto")
+	}
 	return protolog.Options{
-		Dir:          filepath.Join(c.Opts.DataDir, fmt.Sprintf("node-%d", int32(id)), "proto"),
+		Dir:          dir,
 		SyncInterval: c.Opts.BatchInterval,
 		Logger:       c.Opts.Logger,
 	}
@@ -405,20 +539,21 @@ func (c *Cluster) protologOptions(id types.NodeID) protolog.Options {
 // (not Durable, negative CheckpointInterval, or a killed node whose store
 // was crashed and not yet reopened by RestartNode — reopening happens
 // here, through buildProcess).
-func (c *Cluster) protoStore(id types.NodeID) (*protolog.Store, error) {
+func (c *Cluster) protoStore(id types.NodeID, group int) (*protolog.Store, error) {
 	if !c.Opts.Durable || c.Opts.CheckpointInterval < 0 {
 		return nil, nil
 	}
 	c.storeMu.Lock()
 	defer c.storeMu.Unlock()
-	if st := c.protoStores[id]; st != nil {
+	key := protoKey{id: id, group: group}
+	if st := c.protoStores[key]; st != nil {
 		return st, nil
 	}
-	st, err := protolog.Open(c.protologOptions(id))
+	st, err := protolog.Open(c.protologOptions(id, group))
 	if err != nil {
 		return nil, err
 	}
-	c.protoStores[id] = st
+	c.protoStores[key] = st
 	return st, nil
 }
 
@@ -478,20 +613,28 @@ func (c *Cluster) closeStores(crash bool) {
 			c.Opts.Logger.Printf("harness: closing checkpoint store: %v", err)
 		}
 	}
-	if c.commitStore != nil {
+	for _, store := range c.commitStores {
+		if store == nil {
+			continue
+		}
 		if crash {
-			c.commitStore.Crash()
-		} else if err := c.commitStore.Close(); err != nil && c.Opts.Logger != nil {
+			store.Crash()
+		} else if err := store.Close(); err != nil && c.Opts.Logger != nil {
 			c.Opts.Logger.Printf("harness: closing commit store: %v", err)
 		}
 	}
 }
 
-func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
+func (c *Cluster) buildProcess(id types.NodeID, group int) (runtime.Process, error) {
 	switch c.Opts.Protocol {
 	case types.SC, types.SCR:
+		// Each group runs against its own rotated topology (so its
+		// coordinator pair sits on different physical nodes than its
+		// neighbours') and reports to its own recorder.
+		topo := c.groupTopos[group]
+		rec := c.recorders[group]
 		cfg := core.Config{
-			Topo:                c.Topo,
+			Topo:                topo,
 			BatchInterval:       c.Opts.BatchInterval,
 			MaxBatchBytes:       c.Opts.MaxBatchBytes,
 			Delta:               c.Opts.Delta,
@@ -503,28 +646,30 @@ func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
 			MaxInflightBatches:  c.Opts.MaxInflightBatches,
 			BatchIdleArm:        c.Opts.BatchIdleArm,
 			DigestOnlyAcks:      c.Opts.DigestOnlyAcks,
-			OnBatched:           c.Events.OnBatched,
-			OnCommit:            c.Events.OnCommit,
-			OnFailSignal:        c.Events.OnFailSignal,
-			OnInstalled:         c.Events.OnInstalled,
-			OnStartTuplesIssued: c.Events.OnStartTuplesIssued,
-			OnPairRecovered:     c.Events.OnPairRecovered,
+			OnBatched:           rec.OnBatched,
+			OnCommit:            rec.OnCommit,
+			OnFailSignal:        rec.OnFailSignal,
+			OnInstalled:         rec.OnInstalled,
+			OnStartTuplesIssued: rec.OnStartTuplesIssued,
+			OnPairRecovered:     rec.OnPairRecovered,
 		}
-		if tap, ok := c.advTaps[id]; ok {
+		// Adversary taps attach to the node's group-0 process only (the
+		// documented contract on Options.Adversaries).
+		if tap, ok := c.advTaps[id]; ok && group == 0 {
 			cfg.Tap = tap
 		}
 		// Durable protocol checkpoints: the process snapshots its view,
 		// watermark and committed-order digest to its own WAL store, and a
 		// restarted process (RestartNode reaches here too) restores the
 		// snapshot and catches up from its peers.
-		if st, err := c.protoStore(id); err != nil {
+		if st, err := c.protoStore(id, group); err != nil {
 			return nil, err
 		} else if st != nil {
 			cfg.Checkpointer = st
 		}
-		if counterpart, paired := c.Topo.PairOf(id); paired {
+		if counterpart, paired := topo.PairOf(id); paired {
 			pre, err := fsp.PresignFor(c.idents[counterpart],
-				types.Rank(c.Topo.PairIndex(id)), 0, counterpart)
+				types.Rank(topo.PairIndex(id)), 0, counterpart)
 			if err != nil {
 				return nil, err
 			}
@@ -535,7 +680,7 @@ func (c *Cluster) buildProcess(id types.NodeID) (runtime.Process, error) {
 			return nil, err
 		}
 		c.procMu.Lock()
-		c.SC[id] = proc
+		c.scGroups[group][id] = proc
 		c.procMu.Unlock()
 		return proc, nil
 	case types.CT:
@@ -609,8 +754,11 @@ func (c *Cluster) Stop() {
 func (c *Cluster) SyncDurable() error {
 	c.storeMu.Lock()
 	defer c.storeMu.Unlock()
-	if c.commitStore != nil {
-		if err := c.commitStore.Sync(); err != nil {
+	for _, store := range c.commitStores {
+		if store == nil {
+			continue
+		}
+		if err := store.Sync(); err != nil {
 			return err
 		}
 	}
@@ -651,9 +799,13 @@ func (c *Cluster) KillNode(id types.NodeID) error {
 		st.Crash()
 		c.sessionStores[id] = nil
 	}
-	if st := c.protoStores[id]; st != nil {
-		st.Crash()
-		c.protoStores[id] = nil
+	// Every group hosted on the node dies with it: crash each group's
+	// checkpoint store.
+	for key, st := range c.protoStores {
+		if key.id == id && st != nil {
+			st.Crash()
+			c.protoStores[key] = nil
+		}
 	}
 	c.storeMu.Unlock()
 	return nil
@@ -700,11 +852,33 @@ func (c *Cluster) RestartNode(id types.NodeID) error {
 		}
 		return err
 	}
+	if c.groups > 1 {
+		// Sharded: rebuild (or for clients, reuse) one process per group
+		// and restart the multiplexed endpoint with all of them.
+		procs := make([]runtime.Process, c.groups)
+		if cps, ok := c.clientGroups[id]; ok {
+			for g := range cps {
+				procs[g] = cps[g]
+			}
+		} else {
+			for g := 0; g < c.groups; g++ {
+				p, err := c.buildProcess(id, g)
+				if err != nil {
+					return failRestart(err)
+				}
+				procs[g] = p
+			}
+		}
+		if err := c.tcp.RestartSharded(id, c.idents[id], procs); err != nil {
+			return failRestart(err)
+		}
+		return nil
+	}
 	var proc runtime.Process
 	if cp, ok := c.clients[id]; ok {
 		proc = cp
 	} else {
-		p, err := c.buildProcess(id)
+		p, err := c.buildProcess(id, 0)
 		if err != nil {
 			return failRestart(err)
 		}
@@ -752,9 +926,51 @@ func (c *Cluster) TCP() *runtime.TCPCluster { return c.tcp }
 // SCProcess returns the current SC/SCR process incarnation for id (nil
 // if none), safe against a concurrent RestartNode.
 func (c *Cluster) SCProcess(id types.NodeID) *core.Process {
+	return c.SCProcessGroup(id, 0)
+}
+
+// SCProcessGroup returns node id's SC/SCR process for one ordering group.
+func (c *Cluster) SCProcessGroup(id types.NodeID, group int) *core.Process {
 	c.procMu.RLock()
 	defer c.procMu.RUnlock()
-	return c.SC[id]
+	if group < 0 || group >= len(c.scGroups) {
+		return nil
+	}
+	return c.scGroups[group][id]
+}
+
+// GroupCount returns the number of ordering groups (1 unless sharded).
+func (c *Cluster) GroupCount() int { return c.groups }
+
+// GroupTopo returns the rotated topology of one ordering group
+// (GroupTopo(0) == Topo).
+func (c *Cluster) GroupTopo(group int) (types.Topology, error) {
+	if group < 0 || group >= len(c.groupTopos) {
+		return types.Topology{}, fmt.Errorf("harness: group %d out of range [0, %d)", group, len(c.groupTopos))
+	}
+	return c.groupTopos[group], nil
+}
+
+// RecorderOf returns the recorder observing one ordering group
+// (RecorderOf(0) == Events), or nil for an out-of-range group.
+func (c *Cluster) RecorderOf(group int) *Recorder {
+	if group < 0 || group >= len(c.recorders) {
+		return nil
+	}
+	return c.recorders[group]
+}
+
+// injectGroup runs fn inside the event loop of node id's group-th order
+// core. Group 0 works on every substrate; other groups only exist on the
+// sharded TCP substrate.
+func (c *Cluster) injectGroup(id types.NodeID, group int, fn func(env runtime.Env)) error {
+	if c.tcp != nil {
+		return c.tcp.InjectGroup(id, group, fn)
+	}
+	if group != 0 {
+		return fmt.Errorf("harness: group %d requires the sharded TCP substrate", group)
+	}
+	return c.sub.Inject(id, fn)
 }
 
 // OrderState is a point-in-time snapshot of one SC/SCR order process's
@@ -782,7 +998,13 @@ type OrderState struct {
 // are race-free against a running cluster); in simulated mode the caller
 // owns the only driving goroutine and the state is read directly.
 func (c *Cluster) OrderStateOf(id types.NodeID) (OrderState, bool) {
-	p := c.SCProcess(id)
+	return c.OrderStateOfGroup(id, 0)
+}
+
+// OrderStateOfGroup snapshots the proposer gauges of node id's order
+// process in one ordering group.
+func (c *Cluster) OrderStateOfGroup(id types.NodeID, group int) (OrderState, bool) {
+	p := c.SCProcessGroup(id, group)
 	if p == nil {
 		return OrderState{}, false
 	}
@@ -802,7 +1024,7 @@ func (c *Cluster) OrderStateOf(id types.NodeID) (OrderState, bool) {
 		return snap(), true
 	}
 	done := make(chan OrderState, 1)
-	if err := c.Inject(id, func(runtime.Env) { done <- snap() }); err != nil {
+	if err := c.injectGroup(id, group, func(runtime.Env) { done <- snap() }); err != nil {
 		return OrderState{}, false
 	}
 	select {
@@ -826,7 +1048,13 @@ type RecoveryState struct {
 
 // RecoveryStateOf snapshots id's recovery gauges on its own reactor.
 func (c *Cluster) RecoveryStateOf(id types.NodeID) (RecoveryState, bool) {
-	p := c.SCProcess(id)
+	return c.RecoveryStateOfGroup(id, 0)
+}
+
+// RecoveryStateOfGroup snapshots the recovery gauges of node id's order
+// process in one ordering group.
+func (c *Cluster) RecoveryStateOfGroup(id types.NodeID, group int) (RecoveryState, bool) {
+	p := c.SCProcessGroup(id, group)
 	if p == nil {
 		return RecoveryState{}, false
 	}
@@ -842,7 +1070,7 @@ func (c *Cluster) RecoveryStateOf(id types.NodeID) (RecoveryState, bool) {
 		return snap(), true
 	}
 	done := make(chan RecoveryState, 1)
-	if err := c.Inject(id, func(runtime.Env) { done <- snap() }); err != nil {
+	if err := c.injectGroup(id, group, func(runtime.Env) { done <- snap() }); err != nil {
 		return RecoveryState{}, false
 	}
 	select {
@@ -871,16 +1099,36 @@ func (c *Cluster) OrderPool(id types.NodeID) *core.RequestPool {
 	return nil
 }
 
-// Submit sends one request from client k to every order process and
-// returns its ID.
+// OrderPoolGroup returns the request pool of node id's order process in
+// one ordering group (SC/SCR only — the only sharded protocols).
+func (c *Cluster) OrderPoolGroup(id types.NodeID, group int) *core.RequestPool {
+	if p := c.SCProcessGroup(id, group); p != nil {
+		return p.Pool()
+	}
+	return nil
+}
+
+// Submit sends one request from client k to every order process of group
+// 0 and returns its ID.
 func (c *Cluster) Submit(k int, payload []byte) (message.ReqID, error) {
+	return c.SubmitToGroup(k, 0, payload)
+}
+
+// SubmitToGroup sends one request from client k into one ordering group.
+// The request ID is drawn from the client's single cross-group sequence
+// counter, so IDs stay unique across groups.
+func (c *Cluster) SubmitToGroup(k, group int, payload []byte) (message.ReqID, error) {
 	id := types.ClientID(k)
-	cp, ok := c.clients[id]
+	cps, ok := c.clientGroups[id]
 	if !ok {
 		return message.ReqID{}, fmt.Errorf("harness: no client %d", k)
 	}
+	if group < 0 || group >= len(cps) {
+		return message.ReqID{}, fmt.Errorf("harness: client %d has no group %d endpoint", k, group)
+	}
+	cp := cps[group]
 	rid := cp.nextID()
-	err := c.Inject(id, func(env runtime.Env) { cp.submit(env, rid.ClientSeq, payload) })
+	err := c.injectGroup(id, group, func(env runtime.Env) { cp.submit(env, rid.ClientSeq, payload) })
 	return rid, err
 }
 
@@ -922,22 +1170,23 @@ func (c *Cluster) InjectValueFaultAt(rank types.Rank, view types.View) error {
 
 // clientProc is a client endpoint: it signs requests and multicasts them
 // to every order process; with a LoadSpec it generates an open-loop
-// workload on a timer.
+// workload on a timer. In a sharded cluster one client owns one
+// clientProc per ordering group; all of them draw request IDs from the
+// shared seq counter, so a ReqID never repeats across groups.
 type clientProc struct {
 	id      types.NodeID
 	targets []types.NodeID
 	load    *LoadSpec
 	seed    int64
 
-	seq  uint64
+	seq  *atomic.Uint64
 	sent int
 }
 
 var _ runtime.Process = (*clientProc)(nil)
 
 func (c *clientProc) nextID() message.ReqID {
-	c.seq++
-	return message.ReqID{Client: c.id, ClientSeq: c.seq}
+	return message.ReqID{Client: c.id, ClientSeq: c.seq.Add(1)}
 }
 
 // Init implements runtime.Process.

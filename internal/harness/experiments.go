@@ -147,6 +147,10 @@ type HotPathPoint struct {
 	// OfferedLoad is the client-load multiplier relative to LoadFor's
 	// saturating baseline (tcp-pipelined sweep points only; 0 otherwise).
 	OfferedLoad float64 `json:"offered_load_x,omitempty"`
+	// Groups is the ordering-group count of a "tcp-sharded" point (0 on
+	// every other series); Throughput is then the AGGREGATE committed
+	// rate summed over all groups.
+	Groups int `json:"groups,omitempty"`
 }
 
 // RunHotPathPoint measures harness overhead per committed batch over a
@@ -359,6 +363,118 @@ func RunTCPPipelinedPoint(window time.Duration, seed int64, loadMult float64) (H
 	}
 	p.OfferedLoad = loadMult
 	return p, nil
+}
+
+// ShardedGroupCounts is the -groups sweep of the "tcp-sharded" series:
+// the same per-group configuration at 1, 2 and 4 ordering groups, so the
+// aggregate-throughput scaling of the partitioned ingress is read
+// directly off the series.
+var ShardedGroupCounts = []int{1, 2, 4}
+
+// RunTCPShardedPoint measures the sharded ordering path end to end: one
+// live SC cluster (f=1) running `groups` independent ordering groups over
+// the same four physical TCP endpoints, each group driven by its own
+// saturating open-loop client at the strictly interval-paced proposer
+// (the per-group commit rate is bounded by entries-per-batch /
+// BatchInterval, NOT by the machine), so aggregate throughput scales with
+// the group count until the shared cores saturate. Throughput is the sum
+// of per-group committed rates; the 1-group point is the unsharded
+// baseline the scaling factor is measured against.
+func RunTCPShardedPoint(window time.Duration, seed int64, groups int) (HotPathPoint, error) {
+	const interval = 10 * time.Millisecond
+	if groups < 1 {
+		return HotPathPoint{}, fmt.Errorf("harness: sharded point needs groups >= 1, got %d", groups)
+	}
+	opts := Options{
+		Protocol:         types.SC,
+		F:                1,
+		Suite:            crypto.HMACSHA256,
+		BatchInterval:    interval,
+		MaxBatchBytes:    1024,
+		Delta:            time.Hour,
+		Mirror:           true,
+		DumbOptimization: true,
+		Net:              netsim.LANDefaults(),
+		Seed:             seed,
+		// One loaded client per group (client k drives group k mod
+		// groups), so every group sees the same saturating load at every
+		// sweep point and the aggregate scales only through sharding.
+		Load:            LoadFor(interval, 1024),
+		NumClients:      groups,
+		Groups:          groups,
+		KeepCommits:     true,
+		CommitRetention: 4096,
+		Live:            true,
+		Transport:       types.TransportTCP,
+	}
+	c, err := New(opts)
+	if err != nil {
+		return HotPathPoint{}, err
+	}
+	c.Start()
+	defer c.Stop()
+	c.RunFor(500 * time.Millisecond) // warm-up (wall clock)
+
+	n := c.GroupCount()
+	cursors := make([]uint64, n)
+	batches0 := 0
+	for g := 0; g < n; g++ {
+		rec := c.RecorderOf(g)
+		rec.StartWindow(c.Now())
+		cursors[g] = rec.CommitCursor()
+		batches0 += rec.BatchCount()
+	}
+	commitEvents := 0
+
+	stdruntime.GC()
+	var ms0, ms1 stdruntime.MemStats
+	stdruntime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	for elapsed := time.Duration(0); elapsed < window; elapsed += 100 * time.Millisecond {
+		c.RunFor(100 * time.Millisecond)
+		// The cursor-consumer pattern of the public API, once per group.
+		for g := 0; g < n; g++ {
+			rec := c.RecorderOf(g)
+			events, next, _ := rec.CommitsSince(cursors[g])
+			cursors[g] = next
+			commitEvents += len(events)
+			rec.PruneCommittedBelow(next)
+			_ = rec.LatencySummary()
+		}
+	}
+	elapsedWall := time.Since(t0)
+	stdruntime.ReadMemStats(&ms1)
+
+	batches := -batches0
+	var throughput float64
+	for g := 0; g < n; g++ {
+		rec := c.RecorderOf(g)
+		batches += rec.BatchCount()
+		topo, err := c.GroupTopo(g)
+		if err != nil {
+			return HotPathPoint{}, err
+		}
+		// Per-group probe: that group's last (non-coordinator) replica,
+		// under the group's own rotation.
+		probeNode, err := topo.ReplicaID(topo.NumReplicas())
+		if err != nil {
+			return HotPathPoint{}, err
+		}
+		throughput += stats.Rate(rec.CommittedEntries(probeNode), elapsedWall)
+	}
+	if batches == 0 {
+		return HotPathPoint{}, fmt.Errorf("harness: no batches committed in sharded window %v", window)
+	}
+	return HotPathPoint{
+		Mode:           "tcp-sharded",
+		Window:         window,
+		Batches:        batches,
+		CommitEvents:   commitEvents,
+		NsPerBatch:     float64(elapsedWall.Nanoseconds()) / float64(batches),
+		AllocsPerBatch: float64(ms1.Mallocs-ms0.Mallocs) / float64(batches),
+		Throughput:     throughput,
+		Groups:         groups,
+	}, nil
 }
 
 // measureTCPPoint runs the shared TCP measurement loop: warm-up, then

@@ -39,7 +39,7 @@ type CampaignOptions struct {
 	// Seed drives every random choice in the campaign (0 = 1).
 	Seed int64
 	// Smoke runs the short CI subset: one WAN profile, one adversary, one
-	// restart storm.
+	// restart storm, one sharded pair partition.
 	Smoke bool
 	// DataDir is scratch space for the durable scenarios' WAL stores
 	// (empty = a fresh temp dir).
@@ -120,6 +120,7 @@ func RunScenarioCampaign(opts CampaignOptions) (CampaignReport, error) {
 			g.wanSweep("wan", 2*time.Second),
 			g.adversaryEquivocation(4*time.Second),
 			g.restartStorm(1, 5*time.Second),
+			g.shardedPartition(6*time.Second),
 		)
 	} else {
 		for _, profile := range netsim.ProfileNames() {
@@ -133,6 +134,7 @@ func RunScenarioCampaign(opts CampaignOptions) (CampaignReport, error) {
 			g.adversaryReplayer(7*time.Second),
 			g.adversaryLiar(8*time.Second),
 			g.pairedRestart(10*time.Second),
+			g.shardedPartition(9*time.Second),
 		)
 	}
 
@@ -268,13 +270,20 @@ func awaitCommitted(c *Cluster, ids []message.ReqID, deadline time.Duration) int
 // commit events of every non-excluded process, a sequence number maps to
 // exactly one request.
 func orderViolations(c *Cluster, exclude map[types.NodeID]bool) []string {
+	return orderViolationsIn(c.Events, exclude)
+}
+
+// orderViolationsIn is orderViolations against one recorder — in a sharded
+// cluster each ordering group keeps its own sequence space, so the
+// invariant holds per group recorder, not across them.
+func orderViolationsIn(rec *Recorder, exclude map[types.NodeID]bool) []string {
 	type owner struct {
 		req  string
 		node types.NodeID
 	}
 	assign := make(map[types.Seq]owner)
 	var out []string
-	for _, ev := range c.Events.Commits() {
+	for _, ev := range rec.Commits() {
 		if exclude[ev.Node] {
 			continue
 		}
@@ -498,6 +507,163 @@ func (g *campaign) restartStorm(kills int, dur time.Duration) ScenarioPoint {
 		}
 	}
 	finishScenario(c, &pt, tracked, dur, 12*time.Second, nil, false)
+	return g.report(pt)
+}
+
+// driveShardedScenario is driveScenario for sharded clusters: requests go
+// round-robin across every ordering group (identical payloads would all
+// hash to one group through the public router, so the spread is explicit
+// here), returning the tracked IDs per group.
+func driveShardedScenario(c *Cluster, total, interval time.Duration, actions []actionAt) ([][]message.ReqID, []string) {
+	payload := make([]byte, scenarioRequestBytes)
+	tracked := make([][]message.ReqID, c.GroupCount())
+	var errs []string
+	fire := func(a actionAt) {
+		if err := a.fn(); err != nil {
+			errs = append(errs, fmt.Sprintf("action %s: %v", a.name, err))
+		}
+	}
+	start := time.Now()
+	next, turn := 0, 0
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= total {
+			break
+		}
+		for next < len(actions) && elapsed >= actions[next].at {
+			fire(actions[next])
+			next++
+		}
+		gi := turn % c.GroupCount()
+		turn++
+		if id, err := c.SubmitToGroup(0, gi, payload); err == nil {
+			tracked[gi] = append(tracked[gi], id)
+		} else {
+			errs = append(errs, fmt.Sprintf("submit g%d: %v", gi, err))
+		}
+		time.Sleep(interval)
+	}
+	for ; next < len(actions); next++ {
+		fire(actions[next])
+	}
+	return tracked, errs
+}
+
+// shardedPartition cuts the physical link under group 0's coordinator pair
+// mid-load on a 3-group cluster. All groups share those TCP endpoints, but
+// only group 0's pair straddles the cut link, so exactly group 0 must fail
+// over to its next candidate pair — the other groups keep committing
+// straight through the cut — and after the heal every tracked request has
+// committed in its home group, each group holding its own single total
+// order.
+func (g *campaign) shardedPartition(dur time.Duration) ScenarioPoint {
+	const groups = 3
+	pt := ScenarioPoint{Name: "sharded/pair-partition", Series: "sharded", Profile: "lan", Seed: g.scenarioSeed()}
+	opts := baseOptions("lan", pt.Seed)
+	opts.Groups = groups
+	// Low enough that the cut span (35% of dur) comfortably exceeds the
+	// time-domain expectation, so the pair silence is detected while the
+	// link is still down.
+	opts.Delta = time.Second
+	c, err := New(opts)
+	if err != nil {
+		return g.report(failedPoint(pt, err))
+	}
+	c.Start()
+	defer c.Stop()
+
+	topo0, _ := c.GroupTopo(0)
+	p1, _ := topo0.ReplicaID(1)
+	s1, _ := topo0.ShadowID(1)
+	var atCut [groups]int
+	actions := []actionAt{
+		{at: dur / 4, name: "cut g0 pair link", fn: func() error {
+			c.Fabric.Cut(p1, s1)
+			for gi := 0; gi < groups; gi++ {
+				atCut[gi] = c.RecorderOf(gi).BatchCount()
+			}
+			return nil
+		}},
+		{at: dur * 3 / 5, name: "heal g0 pair link", fn: func() error {
+			// Liveness through the cut: the unaffected groups must have
+			// committed fresh batches while group 0's pair was severed.
+			for gi := 1; gi < groups; gi++ {
+				if c.RecorderOf(gi).BatchCount() <= atCut[gi] {
+					return fmt.Errorf("group %d stalled during group 0's pair partition", gi)
+				}
+			}
+			c.Fabric.Heal(p1, s1)
+			return nil
+		}},
+	}
+
+	for gi := 0; gi < groups; gi++ {
+		c.RecorderOf(gi).StartWindow(time.Now())
+	}
+	tracked, errs := driveShardedScenario(c, dur, 5*time.Millisecond, actions)
+	pt.Violations = append(pt.Violations, errs...)
+
+	// Per-group drain and invariants: zero loss and a single total order
+	// within each group's own sequence space.
+	for gi := 0; gi < groups; gi++ {
+		rec := c.RecorderOf(gi)
+		end := time.Now().Add(15 * time.Second)
+		for {
+			missing := 0
+			for _, id := range tracked[gi] {
+				if !rec.Committed(id) {
+					missing++
+				}
+			}
+			if missing == 0 || time.Now().After(end) {
+				pt.Submitted += len(tracked[gi])
+				pt.Committed += len(tracked[gi]) - missing
+				pt.Lost += missing
+				if missing > 0 {
+					pt.Violations = append(pt.Violations, fmt.Sprintf(
+						"group %d lost %d of %d requests", gi, missing, len(tracked[gi])))
+				}
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		pt.Violations = append(pt.Violations, orderViolationsIn(rec, nil)...)
+
+		emitted := 0
+		for _, ev := range rec.FailSignals() {
+			if ev.Emitter {
+				emitted++
+			}
+		}
+		pt.FailSignals += emitted
+		maxRank := types.Rank(1)
+		for _, ev := range rec.Installs() {
+			if ev.Rank > maxRank {
+				maxRank = ev.Rank
+			}
+		}
+		if gi == 0 {
+			pt.FailOvers = int(maxRank - 1)
+			if maxRank == 1 {
+				pt.Violations = append(pt.Violations,
+					"group 0 never failed over despite its severed pair")
+			}
+			if d, ok := rec.FailOverLatency(); ok {
+				pt.FailOverMS = float64(d) / float64(time.Millisecond)
+			}
+		} else if maxRank > 1 {
+			pt.Violations = append(pt.Violations, fmt.Sprintf(
+				"group %d failed over (rank %d) though its pair was never cut", gi, maxRank))
+		}
+	}
+	pt.DurationSec = dur.Seconds()
+	if s := dur.Seconds(); s > 0 {
+		pt.CommittedPerSec = float64(pt.Committed) / s
+	}
+	// Latency from the partitioned group: it carries the fail-over stall.
+	sum := c.RecorderOf(0).LatencySummary()
+	pt.MeanLatencyMS = float64(sum.Mean) / float64(time.Millisecond)
+	pt.P99LatencyMS = float64(sum.P99) / float64(time.Millisecond)
 	return g.report(pt)
 }
 

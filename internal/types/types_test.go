@@ -227,3 +227,69 @@ func TestProtocolString(t *testing.T) {
 		}
 	}
 }
+
+// Rotated topologies relabel roles over the same physical ID space: the
+// role methods must stay mutually consistent at every rotation, the
+// candidate pairs must actually move, and Rot 0 must be today's layout.
+func TestTopologyRotation(t *testing.T) {
+	for _, proto := range []Protocol{SC, SCR, BFT, CT} {
+		for f := 1; f <= 3; f++ {
+			base, err := NewTopology(proto, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := base.N()
+			for rot := 0; rot < n; rot++ {
+				topo := base.Rotated(rot)
+				if got := len(topo.AllProcesses()); got != n {
+					t.Fatalf("%v f=%d rot=%d: AllProcesses has %d ids, want %d", proto, f, rot, got, n)
+				}
+				// Every role map is a bijection over the physical space.
+				seen := make(map[NodeID]bool)
+				for i := 1; i <= topo.numOrderReplicas(); i++ {
+					id, err := topo.ReplicaID(i)
+					if err != nil || seen[id] || !topo.IsProcess(id) || topo.IsShadow(id) {
+						t.Fatalf("%v f=%d rot=%d: replica %d -> %v (err %v)", proto, f, rot, i, id, err)
+					}
+					seen[id] = true
+				}
+				for i := 1; i <= topo.NumShadows(); i++ {
+					id, err := topo.ShadowID(i)
+					if err != nil || seen[id] || !topo.IsShadow(id) {
+						t.Fatalf("%v f=%d rot=%d: shadow %d -> %v (err %v)", proto, f, rot, i, id, err)
+					}
+					seen[id] = true
+				}
+				// Pairs stay involutions.
+				for _, id := range topo.AllProcesses() {
+					if other, ok := topo.PairOf(id); ok {
+						back, ok2 := topo.PairOf(other)
+						if !ok2 || back != id {
+							t.Fatalf("%v f=%d rot=%d: PairOf not an involution at %v", proto, f, rot, id)
+						}
+						if topo.PairIndex(id) != topo.PairIndex(other) {
+							t.Fatalf("%v f=%d rot=%d: pair indices disagree at %v", proto, f, rot, id)
+						}
+					}
+				}
+				// The primary is the rotated image of the unrotated primary.
+				p, _, _, err := topo.Candidate(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p0, _, _, _ := base.Candidate(1)
+				if want := NodeID((int(p0) + rot) % n); p != want {
+					t.Fatalf("%v f=%d rot=%d: primary %v, want %v", proto, f, rot, p, want)
+				}
+			}
+			// Rot 0 is bit-for-bit the historical layout.
+			if r0, _, _, _ := base.Rotated(0).Candidate(1); r0 != NodeID(0) {
+				t.Fatalf("%v f=%d: unrotated primary moved to %v", proto, f, r0)
+			}
+			// Rotations compose and normalise mod N.
+			if got := base.Rotated(1).Rotated(n - 1).Rot; got != 0 {
+				t.Fatalf("%v f=%d: rotation composition gave Rot %d", proto, f, got)
+			}
+		}
+	}
+}

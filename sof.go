@@ -33,6 +33,7 @@ import (
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/netsim"
 	"github.com/sof-repro/sof/internal/replica"
+	"github.com/sof-repro/sof/internal/shard"
 	"github.com/sof-repro/sof/internal/stats"
 	"github.com/sof-repro/sof/internal/types"
 )
@@ -238,6 +239,22 @@ type Config struct {
 	// robustness testing only — an adversarial cluster intentionally
 	// misbehaves.
 	Adversaries map[NodeID]AdversaryKind
+	// Groups shards the cluster into that many independent ordering
+	// groups over the same physical nodes (default 1: today's
+	// single-group cluster, bit-for-bit). Submit routes each request to
+	// a group by its key (the KV key for EncodeKV payloads, the whole
+	// payload otherwise) through a deterministic rendezvous hash, so the
+	// same key always reaches the same group across processes and
+	// restarts. Each group is a complete SC/SCR deployment — its own
+	// coordinator pair (rotated onto different physical nodes per
+	// group), recorder, commit stream, WAL checkpoint directories
+	// (<DataDir>/g<idx>/) and replica partition — multiplexed over one
+	// TCP transport and session per node. Requests are totally ordered
+	// within their group only; there is no cross-group order, and
+	// multi-key submissions spanning two groups are rejected with a
+	// *CrossGroupError (SubmitMulti). Requires Transport TCP, a live
+	// cluster and Protocol SC or SCR; capped at MaxGroups.
+	Groups int
 	// Seed seeds simulated network jitter.
 	Seed int64
 	// StateMachine, when non-nil, is instantiated per replica and applied
@@ -264,21 +281,46 @@ const (
 // EncodeKV builds a KVStore command payload.
 func EncodeKV(op byte, key, value string) []byte { return replica.EncodeKV(op, key, value) }
 
+// MaxGroups caps Config.Groups (the group index must fit the one-byte
+// wire prefix that demultiplexes groups on a shared connection).
+const MaxGroups = shard.MaxGroups
+
+// CrossGroupError reports a multi-key submission whose keys route to two
+// different ordering groups — the library orders within a group only, so
+// such requests are rejected rather than silently given no relative
+// order. Returned (wrapped) by SubmitMulti; unwrap with errors.As.
+type CrossGroupError = shard.CrossGroupError
+
+// repKey addresses one replica instance: the state machine of one order
+// process in one ordering group (group is always 0 unless sharded).
+type repKey struct {
+	node  NodeID
+	group int
+}
+
 // Cluster is a running order-protocol deployment with optional replicated
 // state machines on top.
 type Cluster struct {
 	cfg      Config
 	h        *harness.Cluster
-	replicas map[NodeID]*replica.Replica
+	router   shard.Map
+	replicas map[repKey]*replica.Replica
 
-	// drainMu serialises replica replay; commitCursor is the position in
-	// the recorder's commit stream up to which replicas have been fed, so
+	// drainMu serialises replica replay; commitCursors[g] is the position
+	// in group g's commit stream up to which replicas have been fed, so
 	// each drain costs O(new commits), not O(history). droppedCommits
 	// counts commit events evicted by CommitRetention before replicas saw
 	// them (see DroppedCommits).
 	drainMu        sync.Mutex
-	commitCursor   uint64
+	commitCursors  []uint64
 	droppedCommits uint64
+
+	// routeMu guards routes, the group each in-flight submitted request
+	// was routed to; entries are dropped once the commit is observed
+	// (AwaitCommit) or its event is drained, so the map tracks in-flight
+	// requests, not history.
+	routeMu sync.Mutex
+	routes  map[ReqID]int
 }
 
 // NewCluster builds a cluster (call Start to run it).
@@ -321,6 +363,23 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if len(cfg.Adversaries) > 0 && cfg.Protocol != SC && cfg.Protocol != SCR {
 		return nil, fmt.Errorf("sof: Adversaries require Protocol SC or SCR")
 	}
+	if cfg.Groups < 0 {
+		return nil, fmt.Errorf("sof: Groups must not be negative, got %d", cfg.Groups)
+	}
+	if cfg.Groups > MaxGroups {
+		return nil, fmt.Errorf("sof: Groups %d exceeds MaxGroups (%d)", cfg.Groups, MaxGroups)
+	}
+	if cfg.Groups > 1 {
+		if cfg.Simulated {
+			return nil, fmt.Errorf("sof: Groups > 1 requires a live cluster (Simulated: false)")
+		}
+		if cfg.Transport != TCP {
+			return nil, fmt.Errorf("sof: Groups > 1 requires Transport: TCP")
+		}
+		if cfg.Protocol != SC && cfg.Protocol != SCR {
+			return nil, fmt.Errorf("sof: Groups > 1 requires Protocol SC or SCR")
+		}
+	}
 	mirror := cfg.Protocol == SC || cfg.Protocol == SCR
 	if cfg.Mirror != nil {
 		mirror = *cfg.Mirror
@@ -349,10 +408,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		CheckpointInterval: cfg.CheckpointInterval,
 		TCPShaping:         cfg.NetShaping,
 		Adversaries:        cfg.Adversaries,
+		Groups:             cfg.Groups,
 		KeepCommits:        true,
 		CommitRetention:    cfg.CommitRetention,
 	}
-	c := &Cluster{cfg: cfg, replicas: make(map[NodeID]*replica.Replica)}
+	groups := cfg.Groups
+	if groups == 0 {
+		groups = 1
+	}
+	router, err := shard.New(groups)
+	if err != nil {
+		return nil, fmt.Errorf("sof: %w", err)
+	}
+	c := &Cluster{
+		cfg:           cfg,
+		router:        router,
+		replicas:      make(map[repKey]*replica.Replica),
+		commitCursors: make([]uint64, groups),
+		routes:        make(map[ReqID]int),
+	}
 	if cfg.StateMachine != nil {
 		// Chain the replica layer onto the commit hook; the recorder still
 		// observes every event.
@@ -364,22 +438,35 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c.h = h
 	if cfg.StateMachine != nil {
-		// One state-machine instance per order process; commits reach the
-		// replicas through drainReplicas, which replays the recorder's
+		// One state-machine instance per order process per group (each
+		// group is its own replica partition, keyed by the same routing
+		// map that partitions requests); commits reach the replicas
+		// through drainReplicas, which replays each group recorder's
 		// retained commit events in order.
-		for _, id := range h.Topo.AllProcesses() {
-			rep := replica.New(id, cfg.StateMachine())
-			if cfg.CommitRetention > 0 {
-				// Bounded commit retention is the operator's opt-in to
-				// forgetting; bound the replica-side result maps by the
-				// same window so long-running clusters stop growing there
-				// too.
-				rep.SetResultRetention(cfg.CommitRetention)
+		for g := 0; g < groups; g++ {
+			for _, id := range h.Topo.AllProcesses() {
+				rep := replica.New(id, cfg.StateMachine())
+				if cfg.CommitRetention > 0 {
+					// Bounded commit retention is the operator's opt-in to
+					// forgetting; bound the replica-side result maps by the
+					// same window so long-running clusters stop growing there
+					// too.
+					rep.SetResultRetention(cfg.CommitRetention)
+				}
+				c.replicas[repKey{node: id, group: g}] = rep
 			}
-			c.replicas[id] = rep
 		}
 	}
 	return c, nil
+}
+
+// Groups returns the number of ordering groups (1 unless sharded).
+func (c *Cluster) Groups() int { return c.h.GroupCount() }
+
+// GroupOf returns the ordering group a payload routes to — by its KV key
+// for EncodeKV payloads, by the whole payload otherwise.
+func (c *Cluster) GroupOf(payload []byte) int {
+	return c.router.GroupFor(shard.RoutingKey(payload))
 }
 
 // Start launches the cluster.
@@ -396,9 +483,74 @@ func (c *Cluster) RunFor(d time.Duration) {
 }
 
 // Submit sends one request from the built-in client to every order
-// process.
+// process of the group its key routes to (group 0 always, unless the
+// cluster is sharded).
 func (c *Cluster) Submit(payload []byte) (ReqID, error) {
-	return c.h.Submit(0, payload)
+	group := c.GroupOf(payload)
+	id, err := c.h.SubmitToGroup(0, group, payload)
+	if err == nil && c.Groups() > 1 {
+		c.routeMu.Lock()
+		c.routes[id] = group
+		c.routeMu.Unlock()
+	}
+	return id, err
+}
+
+// SubmitMulti submits a set of payloads that form one logical multi-key
+// operation: all of them must route to the same ordering group (the
+// library imposes no cross-group order), otherwise nothing is submitted
+// and the error unwraps to a *CrossGroupError naming the conflicting
+// keys. On success the payloads are submitted to the shared group in
+// argument order.
+func (c *Cluster) SubmitMulti(payloads ...[]byte) ([]ReqID, error) {
+	if len(payloads) == 0 {
+		return nil, fmt.Errorf("sof: SubmitMulti needs at least one payload")
+	}
+	keys := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		keys[i] = shard.RoutingKey(p)
+	}
+	group, err := c.router.GroupForKeys(keys...)
+	if err != nil {
+		return nil, fmt.Errorf("sof: %w", err)
+	}
+	ids := make([]ReqID, 0, len(payloads))
+	for _, p := range payloads {
+		id, err := c.h.SubmitToGroup(0, group, p)
+		if err != nil {
+			return ids, err
+		}
+		if c.Groups() > 1 {
+			c.routeMu.Lock()
+			c.routes[id] = group
+			c.routeMu.Unlock()
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// groupOf returns the group a submitted request was routed to. ok is
+// false when the route is unknown — the request was never submitted
+// through this cluster value, or its commit has already been drained and
+// the route entry dropped (in which case the committed index answers).
+func (c *Cluster) groupOf(id ReqID) (int, bool) {
+	if c.Groups() == 1 {
+		return 0, true
+	}
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	g, ok := c.routes[id]
+	return g, ok
+}
+
+func (c *Cluster) forgetRoute(id ReqID) {
+	if c.Groups() == 1 {
+		return
+	}
+	c.routeMu.Lock()
+	delete(c.routes, id)
+	c.routeMu.Unlock()
 }
 
 // AwaitCommit waits (wall or virtual time) until the request is committed
@@ -408,14 +560,35 @@ func (c *Cluster) Submit(payload []byte) (ReqID, error) {
 // history.
 func (c *Cluster) AwaitCommit(id ReqID, timeout time.Duration) error {
 	if !c.cfg.Simulated {
-		ch := c.h.Events.CommitNotify(id)
+		group, known := c.groupOf(id)
+		if !known {
+			// The route is gone: either the commit was already drained
+			// (forgetRoute) — then the committed index answers now — or the
+			// ID is foreign. Either way there is no single recorder to block
+			// on, so poll the per-group committed indexes (O(groups) each).
+			deadline := time.Now().Add(timeout)
+			for {
+				if c.committed(id) {
+					c.drainReplicas()
+					return nil
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("sof: request %v not committed within %v", id, timeout)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		rec := c.h.RecorderOf(group)
+		ch := rec.CommitNotify(id)
 		select {
 		case <-ch:
+			c.forgetRoute(id)
 			c.drainReplicas()
 			return nil
 		case <-time.After(timeout):
-			c.h.Events.CancelNotify(id, ch) // don't leak the waiter
-			if c.committed(id) {            // won the race at the deadline
+			rec.CancelNotify(id, ch) // don't leak the waiter
+			if c.committed(id) {     // won the race at the deadline
+				c.forgetRoute(id)
 				c.drainReplicas()
 				return nil
 			}
@@ -437,58 +610,74 @@ func (c *Cluster) AwaitCommit(id ReqID, timeout time.Duration) error {
 	return fmt.Errorf("sof: request %v not committed within %v", id, timeout)
 }
 
-func (c *Cluster) committed(id ReqID) bool { return c.h.Events.Committed(id) }
+func (c *Cluster) committed(id ReqID) bool {
+	for g := 0; g < c.Groups(); g++ {
+		if c.h.RecorderOf(g).Committed(id) {
+			return true
+		}
+	}
+	return false
+}
 
 // drainReplicas feeds commit events the replicas have not seen yet into the
-// replica layer, advancing the cursor so each event is replayed exactly
-// once and each drain costs O(new commits).
+// replica layer, advancing each group's cursor so each event is replayed
+// exactly once and each drain costs O(new commits).
 func (c *Cluster) drainReplicas() {
 	c.drainMu.Lock()
 	defer c.drainMu.Unlock()
-	if len(c.replicas) == 0 {
-		// No replay consumer: everything is trivially drained, so keep
-		// the cursor at end-of-stream and let bounded retention truncate
-		// the committed index the same way it would with replicas.
-		c.commitCursor = c.h.Events.CommitCursor()
-		c.h.Events.PruneCommittedBelow(c.commitCursor)
-		return
-	}
-	events, next, dropped := c.h.Events.CommitsSince(c.commitCursor)
-	c.commitCursor = next
-	c.droppedCommits += dropped
-	// Replicas have now replayed everything below the cursor, so index
-	// entries below it that have also left the retention ring can go; with
-	// CommitRetention unset this is a no-op and the index stays complete.
-	c.h.Events.PruneCommittedBelow(c.commitCursor)
-	for _, ev := range events {
-		rep, ok := c.replicas[ev.Node]
-		if !ok {
+	for g := range c.commitCursors {
+		rec := c.h.RecorderOf(g)
+		if len(c.replicas) == 0 {
+			// No replay consumer: everything is trivially drained, so keep
+			// the cursor at end-of-stream and let bounded retention truncate
+			// the committed index the same way it would with replicas.
+			c.commitCursors[g] = rec.CommitCursor()
+			rec.PruneCommittedBelow(c.commitCursors[g])
 			continue
 		}
-		pool := c.poolOf(ev.Node)
-		if pool == nil {
-			continue
+		events, next, dropped := rec.CommitsSince(c.commitCursors[g])
+		c.commitCursors[g] = next
+		c.droppedCommits += dropped
+		// Replicas have now replayed everything below the cursor, so index
+		// entries below it that have also left the retention ring can go; with
+		// CommitRetention unset this is a no-op and the index stays complete.
+		rec.PruneCommittedBelow(c.commitCursors[g])
+		for _, ev := range events {
+			for i := range ev.Entries {
+				c.forgetRoute(ev.Entries[i].Req)
+			}
+			rep, ok := c.replicas[repKey{node: ev.Node, group: g}]
+			if !ok {
+				continue
+			}
+			pool := c.poolOf(ev.Node, g)
+			if pool == nil {
+				continue
+			}
+			rep.HandleCommit(pool, ev)
 		}
-		rep.HandleCommit(pool, ev)
 	}
 	// A commit event can outrun its request payloads (a request commits
 	// through peers' acks before the client's own copy reaches the node);
 	// with no later commit to re-trigger application the stream tail would
 	// wedge in pending, so retry replicas that still hold buffered events.
-	for node, rep := range c.replicas {
+	for key, rep := range c.replicas {
 		if rep.PendingCount() == 0 {
 			continue
 		}
-		if pool := c.poolOf(node); pool != nil {
+		if pool := c.poolOf(key.node, key.group); pool != nil {
 			rep.Retry(pool)
 		}
 	}
 }
 
-func (c *Cluster) poolOf(id NodeID) *core.RequestPool {
-	// Through the locked accessor: RestartNode swaps order-process
+func (c *Cluster) poolOf(id NodeID, group int) *core.RequestPool {
+	// Through the locked accessors: RestartNode swaps order-process
 	// incarnations (and their pools) while drains run.
-	return c.h.OrderPool(id)
+	if c.Groups() == 1 {
+		return c.h.OrderPool(id)
+	}
+	return c.h.OrderPoolGroup(id, group)
 }
 
 // DroppedCommits reports how many commit events were evicted by
@@ -503,28 +692,41 @@ func (c *Cluster) DroppedCommits() uint64 {
 }
 
 // Result returns a request's execution result at one replica (requires a
-// StateMachine).
+// StateMachine). In a sharded cluster the node's per-group partitions are
+// consulted in turn — a request has exactly one home group, so at most
+// one holds the result.
 func (c *Cluster) Result(node NodeID, id ReqID) ([]byte, bool) {
 	c.drainReplicas()
-	rep, ok := c.replicas[node]
-	if !ok {
-		return nil, false
+	for g := 0; g < c.Groups(); g++ {
+		if rep, ok := c.replicas[repKey{node: node, group: g}]; ok {
+			if res, ok := rep.Result(id); ok {
+				return res, true
+			}
+		}
 	}
-	return rep.Result(id)
+	return nil, false
 }
 
 // ReplicaState reports one replica's execution progress — the highest
-// applied sequence number, how many commit events await contiguous
-// application, and how many results are retained — for tests and
-// operational introspection. ok is false without a StateMachine.
+// applied sequence number (summed over group partitions in a sharded
+// cluster, where each group runs its own sequence space), how many commit
+// events await contiguous application, and how many results are retained
+// — for tests and operational introspection. ok is false without a
+// StateMachine.
 func (c *Cluster) ReplicaState(node NodeID) (applied uint64, pending, results int, ok bool) {
 	c.drainReplicas()
-	rep, ok := c.replicas[node]
-	if !ok {
-		return 0, 0, 0, false
+	for g := 0; g < c.Groups(); g++ {
+		rep, found := c.replicas[repKey{node: node, group: g}]
+		if !found {
+			continue
+		}
+		seq, _ := rep.Applied()
+		applied += uint64(seq)
+		pending += rep.PendingCount()
+		results += rep.ResultCount()
+		ok = true
 	}
-	seq, _ := rep.Applied()
-	return uint64(seq), rep.PendingCount(), rep.ResultCount(), true
+	return applied, pending, results, ok
 }
 
 // OrderState is a snapshot of one SC/SCR order process's proposer gauges:
@@ -540,14 +742,21 @@ func (c *Cluster) OrderState(node NodeID) (OrderState, bool) {
 	return c.h.OrderStateOf(node)
 }
 
+// OrderStateGroup reports the proposer gauges of one node's order process
+// in one ordering group (OrderStateGroup(node, 0) == OrderState(node)).
+func (c *Cluster) OrderStateGroup(node NodeID, group int) (OrderState, bool) {
+	return c.h.OrderStateOfGroup(node, group)
+}
+
 // Results returns the per-replica results for a request (f+1 identical
-// results are what a real client would require).
+// results are what a real client would require). A request lives in
+// exactly one group, so each node contributes at most one result.
 func (c *Cluster) Results(id ReqID) map[NodeID][]byte {
 	c.drainReplicas()
 	out := make(map[NodeID][]byte)
-	for node, rep := range c.replicas {
+	for key, rep := range c.replicas {
 		if res, ok := rep.Result(id); ok {
-			out[node] = res
+			out[key.node] = res
 		}
 	}
 	return out
