@@ -31,12 +31,15 @@
 // committed/s documents the partitioned-ingress scaling, alongside the
 // simulated overhead series.
 //
-// -smoke runs two short guards and exits non-zero if either fails: one
+// -smoke runs three short guards and exits non-zero if any fails: one
 // pipelined point must clear the interval-bound ceiling with margin
 // (pipelining silently regressing to timer pacing shows as throughput AT
-// the ceiling), and a 4-group sharded point must aggregate at least 2.5x
+// the ceiling), a 4-group sharded point must aggregate at least 2.5x
 // the 1-group baseline at the same per-group load (sharding silently
-// collapsing into one serialized pipeline shows as a ~1x ratio).
+// collapsing into one serialized pipeline shows as a ~1x ratio), and a
+// metrics-instrumented pipelined point must hold at least 90% of the
+// metrics-off baseline (an instrument creeping onto the hot path shows
+// as a throughput drop).
 //
 // -scenarios runs the scripted chaos/soak campaign instead: real-TCP
 // clusters under WAN link profiles, partitions, restart storms and
@@ -96,6 +99,10 @@ func main() {
 			os.Exit(1)
 		}
 		if err := runShardedSmoke(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := runMetricsOverheadSmoke(*seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -277,6 +284,32 @@ func runPipelinedSmoke(seed int64) error {
 	if pt.Throughput < floor {
 		return fmt.Errorf("pipelined throughput %.1f/s below smoke floor %.1f/s — pipelining regressed to interval pacing",
 			pt.Throughput, floor)
+	}
+	return nil
+}
+
+// runMetricsOverheadSmoke is the observability cost guard: the default
+// pipelined point runs with every per-node registry wired (commit
+// watermark, batch fill, per-peer counters, WAL fsync histogram — the
+// lot), and must stay within 10% of the identical point with metrics
+// disabled. The instrumented hot path is direct atomics with no map
+// lookups or allocation, so a miss here means an instrument crept onto
+// the critical path, not noise — the floor leaves CI jitter room.
+func runMetricsOverheadSmoke(seed int64) error {
+	off, err := harness.RunTCPPipelinedPointNoMetrics(3*time.Second, seed, 8)
+	if err != nil {
+		return err
+	}
+	on, err := harness.RunTCPPipelinedPoint(3*time.Second, seed, 8)
+	if err != nil {
+		return err
+	}
+	ratio := on.Throughput / off.Throughput
+	fmt.Printf("metrics-overhead smoke: metrics-off=%.1f/s metrics-on=%.1f/s ratio=%.2f (floor 0.90)\n",
+		off.Throughput, on.Throughput, ratio)
+	if ratio < 0.9 {
+		return fmt.Errorf("instrumented throughput %.1f/s is %.0f%% of the metrics-off baseline %.1f/s — an instrument is on the hot path",
+			on.Throughput, ratio*100, off.Throughput)
 	}
 	return nil
 }

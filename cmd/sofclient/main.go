@@ -35,6 +35,7 @@ import (
 
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/shard"
 	"github.com/sof-repro/sof/internal/stats"
@@ -228,8 +229,13 @@ func main() {
 	cl := tcpnet.NewClient(me, idents[me], peers, clOpts...)
 	defer cl.Close()
 
+	// Submit latency goes into the same fixed-boundary histogram type the
+	// nodes expose for WAL fsyncs: allocation-free to record, and the
+	// summary is bucket-quantile based, so arbitrarily long runs cost
+	// constant memory (the exact-sample Sampler stays on the bounded
+	// commit-reply paths).
 	var (
-		sampler    stats.Sampler
+		submitHist = obs.NewHistogram(obs.DefBuckets())
 		submitted  int
 		failed     int
 		reachedAll int
@@ -254,7 +260,7 @@ func main() {
 		} else {
 			id, reached, err = cl.Submit(payload)
 		}
-		sampler.Add(time.Since(t0))
+		submitHist.ObserveDuration(time.Since(t0))
 		if tracker != nil {
 			tracker.submit(id, t0)
 		}
@@ -296,7 +302,7 @@ func main() {
 			}
 			fmt.Printf("bench: submissions by group: %s\n", strings.Join(parts, " "))
 		}
-		fmt.Printf("bench: submit latency %v\n", sampler.Summary())
+		fmt.Printf("bench: submit latency %v\n", submitHist)
 		if tracker != nil {
 			tracker.mu.Lock()
 			fmt.Printf("bench: commit observed=%d/%d accepted(f+1)=%d/%d bad_sig=%d\n",

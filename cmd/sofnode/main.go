@@ -10,8 +10,16 @@
 // authenticated (frame v2); with -resume reconnects additionally replay
 // in-flight frames from each sender's retransmission ring instead of
 // dropping them. All nodes and clients of a deployment must agree on
-// these flags. On shutdown the node logs its per-peer transport counters
-// (queued/dropped/retransmitted/reconnects).
+// these flags.
+//
+// With -metrics-addr the node serves its live ops surface: /metrics in
+// the Prometheus text exposition format (commit watermark, view and
+// fail-over counters, batch fill, per-peer transport/session counters,
+// WAL fsync latency), /healthz (liveness) and /readyz (readiness —
+// 503 while any hosted group is still catching up after a restart or
+// while the node is connected to fewer than a majority of the other
+// order processes). On shutdown the node logs every registry counter in
+// one sorted block.
 //
 // With -data-dir the node journals durable state to write-ahead logs
 // under that directory, group-committed on the batching interval. For
@@ -55,6 +63,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -68,6 +78,7 @@ import (
 	"github.com/sof-repro/sof/internal/ct"
 	"github.com/sof-repro/sof/internal/fsp"
 	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/runtime"
 	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/shard"
@@ -79,23 +90,24 @@ import (
 
 func main() {
 	var (
-		id       = flag.Int("id", 0, "this node's process ID (0-based)")
-		f        = flag.Int("f", 2, "fault-tolerance parameter")
-		protoStr = flag.String("protocol", "sc", "protocol: sc, scr, bft or ct")
-		suiteStr = flag.String("suite", string(crypto.HMACSHA256), "signature suite")
-		secret   = flag.String("secret", "streets-of-byzantium", "shared dealer secret")
-		peersStr = flag.String("peers", "", "comma-separated node addresses, index = node ID")
-		batch    = flag.Duration("batch", 100*time.Millisecond, "batching interval")
-		delta    = flag.Duration("delta", 5*time.Second, "pair differential delay estimate")
-		auth     = flag.Bool("auth", false, "authenticate frames: HMAC-sealed frame v2 with authenticated hellos (all nodes and clients must agree)")
-		resume   = flag.Bool("resume", false, "resume sessions across reconnects, replaying in-flight frames (implies -auth)")
-		dataDir  = flag.String("data-dir", "", "journal durable node state to this directory: protocol checkpoints (sc/scr), and — with -auth — session state, so a restarted node restores its watermark, catches up on missed commits from its peers, and replays its dead incarnation's in-flight frames")
-		ckptIvl  = flag.Int("ckpt-interval", 0, "delivered sequence numbers between protocol checkpoints (0 = default 64, negative disables; requires -data-dir)")
-		inflight = flag.Int("inflight", 1, "sc/scr proposal-window width: <=1 keeps the paper's one-batch-per-interval proposer, >=2 enables pipelined size-triggered batch closes")
-		idleArm  = flag.Duration("idle-arm", 0, "sc/scr batch-timer delay armed when the first request reaches an idle primary (0 = the batching interval)")
-		digAcks  = flag.Bool("digest-acks", false, "sc/scr digest-only ordering: acks carry subject digests only; missing subjects/payloads are fetched off the critical path")
-		clients  = flag.String("clients", "", "comma-separated client listen addresses (index = client number) to send commit-observation replies to")
-		groups   = flag.Int("groups", 1, "independent ordering groups hosted on this node (sc/scr only; all nodes and clients must agree): each group is a complete ordering cluster with its own coordinator pair — rotated so group g's pair sits on different physical nodes — and its own WAL directory under -data-dir/g<i>, multiplexed over this node's one listener and session")
+		id          = flag.Int("id", 0, "this node's process ID (0-based)")
+		f           = flag.Int("f", 2, "fault-tolerance parameter")
+		protoStr    = flag.String("protocol", "sc", "protocol: sc, scr, bft or ct")
+		suiteStr    = flag.String("suite", string(crypto.HMACSHA256), "signature suite")
+		secret      = flag.String("secret", "streets-of-byzantium", "shared dealer secret")
+		peersStr    = flag.String("peers", "", "comma-separated node addresses, index = node ID")
+		batch       = flag.Duration("batch", 100*time.Millisecond, "batching interval")
+		delta       = flag.Duration("delta", 5*time.Second, "pair differential delay estimate")
+		auth        = flag.Bool("auth", false, "authenticate frames: HMAC-sealed frame v2 with authenticated hellos (all nodes and clients must agree)")
+		resume      = flag.Bool("resume", false, "resume sessions across reconnects, replaying in-flight frames (implies -auth)")
+		dataDir     = flag.String("data-dir", "", "journal durable node state to this directory: protocol checkpoints (sc/scr), and — with -auth — session state, so a restarted node restores its watermark, catches up on missed commits from its peers, and replays its dead incarnation's in-flight frames")
+		ckptIvl     = flag.Int("ckpt-interval", 0, "delivered sequence numbers between protocol checkpoints (0 = default 64, negative disables; requires -data-dir)")
+		inflight    = flag.Int("inflight", 1, "sc/scr proposal-window width: <=1 keeps the paper's one-batch-per-interval proposer, >=2 enables pipelined size-triggered batch closes")
+		idleArm     = flag.Duration("idle-arm", 0, "sc/scr batch-timer delay armed when the first request reaches an idle primary (0 = the batching interval)")
+		digAcks     = flag.Bool("digest-acks", false, "sc/scr digest-only ordering: acks carry subject digests only; missing subjects/payloads are fetched off the critical path")
+		clients     = flag.String("clients", "", "comma-separated client listen addresses (index = client number) to send commit-observation replies to")
+		groups      = flag.Int("groups", 1, "independent ordering groups hosted on this node (sc/scr only; all nodes and clients must agree): each group is a complete ordering cluster with its own coordinator pair — rotated so group g's pair sits on different physical nodes — and its own WAL directory under -data-dir/g<i>, multiplexed over this node's one listener and session")
+		metricsAddr = flag.String("metrics-addr", "", "serve the ops surface on this address: /metrics (Prometheus text exposition), /healthz (liveness), /readyz (ready once catch-up is done and a majority of order processes are connected)")
 	)
 	flag.Parse()
 	if *resume {
@@ -149,10 +161,24 @@ func main() {
 	}
 	logger := log.New(os.Stderr, fmt.Sprintf("sofnode[%d] ", *id), log.Ltime|log.Lmicroseconds)
 
+	// One registry for the whole node: every layer registers its
+	// instruments here, -metrics-addr serves it, and the shutdown dump
+	// renders it. Ordering instruments carry node= always and group=
+	// only when sharded, so single-group series match the harness's.
+	reg := obs.NewRegistry()
+	coreLabels := func(g int) []obs.Label {
+		labels := []obs.Label{obs.L("node", fmt.Sprint(self))}
+		if *groups > 1 {
+			labels = append(labels, obs.L("group", fmt.Sprint(g)))
+		}
+		return labels
+	}
+
 	// Link keys draw from the same deterministic stream, after the same
 	// Issue call, on every node and client — so all endpoints derive
 	// identical session keys (sofclient performs the same sequence).
 	var topts tcpnet.Options
+	topts.Metrics = reg
 	var journal *sessionlog.Store
 	if *auth {
 		links, err := dealer.IssueLinks()
@@ -162,9 +188,11 @@ func main() {
 		cfg := &session.Config{Keys: links, Resume: *resume}
 		if *dataDir != "" {
 			journal, err = sessionlog.Open(sessionlog.Options{
-				Dir:          filepath.Join(*dataDir, "session"),
-				SyncInterval: *batch,
-				Logger:       logger,
+				Dir:           filepath.Join(*dataDir, "session"),
+				SyncInterval:  *batch,
+				Logger:        logger,
+				Metrics:       reg,
+				MetricsLabels: []obs.Label{obs.L("node", fmt.Sprint(self))},
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -237,9 +265,11 @@ func main() {
 				dir = filepath.Join(*dataDir, fmt.Sprintf("g%d", g), "proto")
 			}
 			ckpts, err = protolog.Open(protolog.Options{
-				Dir:          dir,
-				SyncInterval: *batch,
-				Logger:       logger,
+				Dir:           dir,
+				SyncInterval:  *batch,
+				Logger:        logger,
+				Metrics:       reg,
+				MetricsLabels: coreLabels(g),
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -247,7 +277,8 @@ func main() {
 			ckptStores = append(ckptStores, ckpts)
 		}
 		procs[g], err = buildProcess(self, topo.Rotated(g), idents, proto, *batch, *delta, logger,
-			sendReplyFor(g), ckpts, *ckptIvl, *inflight, *idleArm, *digAcks)
+			sendReplyFor(g), ckpts, *ckptIvl, *inflight, *idleArm, *digAcks,
+			reg, coreLabels(g))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -265,6 +296,53 @@ func main() {
 	logger.Printf("up: %v f=%d n=%d groups=%d listening on %s (auth=%v resume=%v durable=%v)",
 		proto, *f, topo.N(), *groups, node.Addr(), *auth, *resume, *dataDir != "")
 
+	// Ops surface: /metrics, /healthz and /readyz on -metrics-addr.
+	// Readiness mirrors the harness's formula — every hosted group has
+	// left restart catch-up (the sof_catching_up gauge each order
+	// process keeps) and the transport holds live connections to a
+	// majority of the other order processes — so it goes not-ready for
+	// exactly the restart catch-up window a rolling upgrade must wait
+	// out. Gauge reads and transport state only; never the event loop.
+	if *metricsAddr != "" {
+		ready := func() error {
+			if proto == types.SC || proto == types.SCR {
+				for g := 0; g < *groups; g++ {
+					gauge := reg.Gauge("sof_catching_up",
+						"1 while the process is catching up on missed commits after a restart.",
+						coreLabels(g)...)
+					if gauge.Value() != 0 {
+						return fmt.Errorf("group %d catching up", g)
+					}
+				}
+			}
+			all := topo.AllProcesses()
+			isProc := make(map[types.NodeID]bool, len(all))
+			for _, p := range all {
+				isProc[p] = true
+			}
+			connected := 0
+			for _, peer := range node.Transport().ConnectedPeers() {
+				if isProc[peer] {
+					connected++
+				}
+			}
+			if 2*(connected+1) <= len(all) {
+				return fmt.Errorf("connected to %d of %d other order processes", connected, len(all)-1)
+			}
+			return nil
+		}
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("sofnode %d: metrics listener: %v", *id, err)
+		}
+		go func() {
+			if err := http.Serve(ln, obs.NewMux(reg, ready)); err != nil {
+				logger.Printf("metrics server stopped: %v", err)
+			}
+		}()
+		logger.Printf("ops surface on http://%s/metrics (/healthz, /readyz)", ln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	fatal := false
@@ -276,7 +354,7 @@ func main() {
 		logger.Printf("fatal transport loss on %s: %v", node.Addr(), err)
 		fatal = true
 	}
-	logTransportStats(logger, node)
+	logFinalCounters(logger, reg)
 	node.Stop()
 	if journal != nil {
 		// Clean shutdown: flush the journal so the successor incarnation
@@ -296,19 +374,36 @@ func main() {
 	}
 }
 
-// logTransportStats prints the per-peer transport counters — queued,
-// dropped, retransmitted, reconnects, plus the inbound session counters —
-// so an operator shutting a node down can see which links were lossy.
-func logTransportStats(logger *log.Logger, node *runtime.TCPNode) {
-	tr := node.Transport()
-	for id, ps := range tr.Stats() {
-		logger.Printf("peer %v: queued=%d dropped=%d retransmitted=%d session_lost=%d reconnects=%d",
-			id, ps.Queued, ps.Dropped, ps.Retransmitted, ps.SessionLost, ps.Reconnects)
+// logFinalCounters dumps the node's registry on shutdown as one sorted,
+// atomic block — Collect() orders families by name and samples by label
+// set, and the single Printf keeps concurrent log lines from
+// interleaving — so an operator sees the final ordering, transport,
+// session and WAL counters (which links were lossy, what was
+// retransmitted, where the watermark stopped) in one place.
+func logFinalCounters(logger *log.Logger, reg *obs.Registry) {
+	var b strings.Builder
+	for _, f := range reg.Collect() {
+		for _, s := range f.Samples {
+			b.WriteString("\n  ")
+			b.WriteString(f.Name)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+				}
+				b.WriteByte('}')
+			}
+			if f.Kind == obs.KindHistogram && s.Histogram != nil {
+				fmt.Fprintf(&b, " count=%d sum=%gs", s.Histogram.Count, s.Histogram.Sum)
+				continue
+			}
+			fmt.Fprintf(&b, " %g", s.Value)
+		}
 	}
-	for id, rs := range tr.SessionStats() {
-		logger.Printf("session from %v: delivered=%d duplicates=%d gaps=%d rejected=%d",
-			id, rs.Delivered, rs.Duplicates, rs.Gaps, rs.Rejected)
-	}
+	logger.Printf("final counters:%s", b.String())
 }
 
 func parseProtocol(s string) (types.Protocol, error) {
@@ -330,7 +425,8 @@ func buildProcess(self types.NodeID, topo types.Topology,
 	idents map[types.NodeID]*crypto.Identity, proto types.Protocol,
 	batch, delta time.Duration, logger *log.Logger,
 	sendReply func(core.CommitEvent), ckpts *protolog.Store, ckptIvl int,
-	inflight int, idleArm time.Duration, digestAcks bool) (runtime.Process, error) {
+	inflight int, idleArm time.Duration, digestAcks bool,
+	metrics *obs.Registry, metricsLabels []obs.Label) (runtime.Process, error) {
 
 	onCommit := func(ev core.CommitEvent) {
 		logger.Printf("COMMIT view=%d seqs=[%d..%d] entries=%d", ev.View, ev.FirstSeq, ev.LastSeq, len(ev.Entries))
@@ -350,6 +446,8 @@ func buildProcess(self types.NodeID, topo types.Topology,
 			MaxInflightBatches: inflight,
 			BatchIdleArm:       idleArm,
 			DigestOnlyAcks:     digestAcks,
+			Metrics:            metrics,
+			MetricsLabels:      metricsLabels,
 			OnCommit:           onCommit,
 			OnFailSignal: func(ev core.FailSignalEvent) {
 				logger.Printf("FAILSIGNAL pair=%d emitter=%v reason=%s", ev.Pair, ev.Emitter, ev.Reason)

@@ -218,6 +218,9 @@ func (p *Process) finishCatchUp(env runtime.Env) {
 	p.catchingUp = false
 	p.catchupFrom = nil
 	p.catchupMaxUpTo = 0
+	p.m.catchingUp.Set(0)
+	p.m.catchups.Inc()
+	p.m.syncRegime(p)
 	if p.catchupTimer != nil {
 		p.catchupTimer.Stop()
 		p.catchupTimer = nil
@@ -415,6 +418,7 @@ func (p *Process) onCatchUp(env runtime.Env, from types.NodeID, m *message.Catch
 		p.catchupFrom[from] = true
 		if upTo > p.catchupMaxUpTo {
 			p.catchupMaxUpTo = upTo
+			p.m.catchupTarget.SetInt(int64(upTo))
 		}
 	}
 	switch {
@@ -581,6 +585,7 @@ func (p *Process) installCommittedStart(env runtime.Env, st *message.Start) {
 		p.rank = st.Coord
 		p.installed = true
 		p.installing = false
+		p.m.syncRegime(p)
 	}
 }
 

@@ -184,6 +184,7 @@ func (p *Process) onPairDown(env runtime.Env, fs *message.FailSignal, reason str
 	for k := range p.inflight {
 		delete(p.inflight, k)
 	}
+	p.m.failSignals.Inc()
 	if p.cfg.OnFailSignal != nil && fs != nil {
 		p.cfg.OnFailSignal(FailSignalEvent{
 			Node: p.id, Pair: fs.Pair, Emitter: fs.Second == p.id, Reason: reason, At: env.Now(),

@@ -49,6 +49,7 @@ func (p *Process) onFailSignal(env runtime.Env, from types.NodeID, fs *message.F
 		if fs.First != p.id && fs.Second != p.id {
 			p.send(env, fs.First, fs)
 		}
+		p.m.failSignals.Inc()
 		if p.cfg.OnFailSignal != nil && fs.Second != p.id {
 			p.cfg.OnFailSignal(FailSignalEvent{
 				Node: p.id, Pair: fs.Pair, Emitter: false,
@@ -620,6 +621,8 @@ func (p *Process) tryCompleteInstall(env runtime.Env) {
 	p.replayPendingAcks(env, t)
 	p.checkQuorum(env, t)
 
+	p.m.failovers.Inc()
+	p.m.syncRegime(p)
 	if p.cfg.OnInstalled != nil {
 		p.cfg.OnInstalled(InstallEvent{Node: p.id, Rank: p.rank, StartSeq: st.StartSeq, At: env.Now()})
 	}
@@ -629,6 +632,7 @@ func (p *Process) tryCompleteInstall(env runtime.Env) {
 	for k := range p.inflight {
 		delete(p.inflight, k)
 	}
+	p.m.inflight.SetInt(0)
 	if p.isPrimaryNow() && !p.muted() && (p.pair == nil || p.pair.Active()) {
 		p.nextSeq = st.StartSeq + 1
 		p.armBatchTimer(env)

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"github.com/sof-repro/sof/internal/obs"
+)
+
+// coreMetrics holds the process's registry instruments as direct
+// pointers: the event loop updates them with single atomic operations —
+// no map lookup, no allocation — and every field is nil when the
+// process was built without a registry (obs instruments are nil-safe),
+// so the unwired hot path pays one predicted branch per event.
+type coreMetrics struct {
+	watermark     *obs.Gauge   // highest contiguously delivered sequence
+	entries       *obs.Counter // committed entries
+	batches       *obs.Counter // committed subjects (batches + Starts)
+	view          *obs.Gauge   // current view number
+	rank          *obs.Gauge   // installed coordinator rank
+	failovers     *obs.Counter // coordinator installations beyond the initial regime
+	failSignals   *obs.Counter // fail-signals emitted or first received
+	batchFill     *obs.Gauge   // fill ratio of the last closed batch
+	inflight      *obs.Gauge   // proposal-window occupancy
+	catchingUp    *obs.Gauge   // 1 while restart catch-up is in progress
+	catchupTarget *obs.Gauge   // highest responder watermark seen this catch-up
+	catchups      *obs.Counter // completed restart catch-up rounds
+}
+
+// newCoreMetrics registers the ordering instruments (labeled by
+// whatever the owner supplies — node, and group when sharded). A nil
+// registry yields a zero coreMetrics whose nil instruments no-op.
+func newCoreMetrics(r *obs.Registry, labels []obs.Label) coreMetrics {
+	if r == nil {
+		return coreMetrics{}
+	}
+	return coreMetrics{
+		watermark: r.Gauge("sof_commit_watermark",
+			"Highest contiguously delivered sequence number.", labels...),
+		entries: r.Counter("sof_committed_entries_total",
+			"Request entries delivered in committed subjects.", labels...),
+		batches: r.Counter("sof_committed_batches_total",
+			"Subjects (batches and Starts) delivered.", labels...),
+		view: r.Gauge("sof_view",
+			"Current view number.", labels...),
+		rank: r.Gauge("sof_coordinator_rank",
+			"Rank of the installed coordinator regime.", labels...),
+		failovers: r.Counter("sof_failovers_total",
+			"Coordinator installations completed after a fail-signal.", labels...),
+		failSignals: r.Counter("sof_fail_signals_total",
+			"Fail-signals emitted by or first reaching this process.", labels...),
+		batchFill: r.Gauge("sof_batch_fill_ratio",
+			"Wire-byte fill ratio of the last closed batch (0..1).", labels...),
+		inflight: r.Gauge("sof_inflight_proposals",
+			"Proposed-but-undelivered batches in the primary's window.", labels...),
+		catchingUp: r.Gauge("sof_catching_up",
+			"1 while the process is catching up on missed commits after a restart.", labels...),
+		catchupTarget: r.Gauge("sof_catchup_target",
+			"Highest peer watermark seen during the current catch-up round.", labels...),
+		catchups: r.Counter("sof_catchups_total",
+			"Restart catch-up rounds completed.", labels...),
+	}
+}
+
+// syncRegime refreshes the regime gauges after view/rank/watermark jumps
+// that bypass the incremental update sites (checkpoint restore,
+// committed Starts adopted from catch-up answers).
+func (m *coreMetrics) syncRegime(p *Process) {
+	m.view.SetInt(int64(p.view))
+	m.rank.SetInt(int64(p.rank))
+	m.watermark.SetInt(int64(p.deliveredUpTo))
+}

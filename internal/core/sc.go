@@ -8,6 +8,7 @@ import (
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/fsp"
 	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/runtime"
 	"github.com/sof-repro/sof/internal/types"
 )
@@ -98,6 +99,16 @@ type Config struct {
 	// injection seam the adversary harness builds on; production configs
 	// leave it nil, which keeps the zero-overhead direct send paths.
 	Tap Tap
+
+	// Metrics, when non-nil, receives the process's live ordering
+	// instruments (commit watermark, view and fail-over counts, batch
+	// fill, proposal-window occupancy, catch-up state). Instruments are
+	// registered once here in New and updated by the event loop with
+	// single atomic operations — the hot path stays allocation-free.
+	Metrics *obs.Registry
+	// MetricsLabels qualify this process's series (node, and group when
+	// sharded). Ignored without Metrics.
+	MetricsLabels []obs.Label
 }
 
 // BatchEvent reports batch formation at the coordinator.
@@ -241,6 +252,10 @@ type Process struct {
 	subjFetchAsked map[types.Seq]time.Time
 	reqFetchAsked  map[message.ReqID]time.Time
 	fetchServed    map[types.NodeID]time.Time
+
+	// m holds the registry instruments (metrics.go); zero-valued (and
+	// no-op) when the config carried no registry.
+	m coreMetrics
 }
 
 var _ runtime.Process = (*Process)(nil)
@@ -331,6 +346,16 @@ func New(id types.NodeID, cfg Config) (*Process, error) {
 		// ahead answer with the missed history, peers that are not answer
 		// with an empty CatchUp that completes the round immediately.
 		p.catchingUp = true
+	}
+	p.m = newCoreMetrics(cfg.Metrics, cfg.MetricsLabels)
+	p.m.syncRegime(p)
+	// Unconditional: a restarted incarnation re-attaches to its
+	// predecessor's series, so a stale 1 from a mid-catch-up kill must be
+	// overwritten as much as a fresh catch-up must be announced.
+	if p.catchingUp {
+		p.m.catchingUp.Set(1)
+	} else {
+		p.m.catchingUp.Set(0)
 	}
 	if p.pairIdx > 0 {
 		counterpart, _ := cfg.Topo.PairOf(id)
@@ -614,6 +639,8 @@ func (p *Process) closeBatch(env runtime.Env, sizeTriggered bool) bool {
 	} else {
 		p.timerTriggeredCount++
 	}
+	p.m.batchFill.Set(fill)
+	p.m.inflight.SetInt(int64(len(p.inflight)))
 	if p.cfg.OnBatched != nil {
 		p.cfg.OnBatched(BatchEvent{
 			Node: p.id, View: p.view, FirstSeq: batch.FirstSeq,
@@ -647,6 +674,7 @@ func (p *Process) releaseInflight(env runtime.Env) {
 			delete(p.inflight, first)
 		}
 	}
+	p.m.inflight.SetInt(int64(len(p.inflight)))
 	p.onPoolTarget(env)
 }
 
@@ -965,6 +993,9 @@ func (p *Process) deliver(env runtime.Env, t *Tracker) {
 		last = t.StartMsg.StartSeq
 	}
 	p.deliveredUpTo = last
+	p.m.watermark.SetInt(int64(last))
+	p.m.batches.Inc()
+	p.m.entries.Add(uint64(len(entries)))
 	if p.cfg.Checkpointer != nil {
 		p.orderDigest = chainDigest(env, p.orderDigest, t.Digest)
 	}

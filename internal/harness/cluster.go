@@ -16,6 +16,7 @@ import (
 	"github.com/sof-repro/sof/internal/fsp"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/netsim"
+	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/runtime"
 	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/shard"
@@ -135,6 +136,13 @@ type Options struct {
 	// Protocol SC or SCR, and is capped at shard.MaxGroups.
 	Groups int
 
+	// DisableMetrics turns off the per-node obs registries. Metrics are on
+	// by default: every layer's instruments are either func-backed (read
+	// only at scrape time) or single atomics on the event path, so the
+	// cost is within benchmark noise — the sofbench smoke guard pins that.
+	// The guard itself uses this switch for its metrics-off baseline.
+	DisableMetrics bool
+
 	NumClients  int
 	Load        *LoadSpec
 	KeepCommits bool
@@ -231,6 +239,14 @@ type Cluster struct {
 	// advTaps holds the per-node adversary taps, created once in New and
 	// re-attached on every RestartNode incarnation.
 	advTaps map[types.NodeID]adversaryTap
+
+	// registries holds one obs registry per node (lazily created, nil
+	// when Options.DisableMetrics). A registry outlives its node's
+	// incarnations: RestartNode's new process re-attaches to the same
+	// series, so counters keep their pre-restart totals and gauge
+	// watchers (awaitCaughtUp, readiness probes) span the restart.
+	regMu      sync.Mutex
+	registries map[types.NodeID]*obs.Registry
 }
 
 // protoKey addresses one order process's checkpoint store: the same
@@ -299,6 +315,7 @@ func New(opts Options) (*Cluster, error) {
 		clientGroups:  make(map[types.NodeID][]*clientProc),
 		sessionStores: make(map[types.NodeID]*sessionlog.Store),
 		protoStores:   make(map[protoKey]*protolog.Store),
+		registries:    make(map[types.NodeID]*obs.Registry),
 	}
 	// One rotated topology, recorder and SC process map per group. Group 0
 	// is today's cluster verbatim: Topo unrotated, Events its recorder.
@@ -362,7 +379,7 @@ func New(opts Options) (*Cluster, error) {
 				}
 			}
 		}
-		if c.links != nil || opts.TCPShaping {
+		if c.links != nil || opts.TCPShaping || !opts.DisableMetrics {
 			c.tcp.SetNodeOptions(c.tcpOptionsFor)
 		}
 		c.sub = c.tcp
@@ -508,10 +525,12 @@ func (c *Cluster) commitDir(group int) string {
 // interval so the fsync cadence matches the protocol's own batching.
 func (c *Cluster) sessionlogOptions(id types.NodeID) sessionlog.Options {
 	return sessionlog.Options{
-		Dir:          filepath.Join(c.Opts.DataDir, fmt.Sprintf("node-%d", int32(id)), "session"),
-		SyncInterval: c.Opts.BatchInterval,
-		RingLen:      c.Opts.SessionRingLen,
-		Logger:       c.Opts.Logger,
+		Dir:           filepath.Join(c.Opts.DataDir, fmt.Sprintf("node-%d", int32(id)), "session"),
+		SyncInterval:  c.Opts.BatchInterval,
+		RingLen:       c.Opts.SessionRingLen,
+		Logger:        c.Opts.Logger,
+		Metrics:       c.RegistryOf(id),
+		MetricsLabels: []obs.Label{obs.L("node", fmt.Sprint(id))},
 	}
 }
 
@@ -528,9 +547,11 @@ func (c *Cluster) protologOptions(id types.NodeID, group int) protolog.Options {
 			fmt.Sprintf("node-%d", int32(id)), "proto")
 	}
 	return protolog.Options{
-		Dir:          dir,
-		SyncInterval: c.Opts.BatchInterval,
-		Logger:       c.Opts.Logger,
+		Dir:           dir,
+		SyncInterval:  c.Opts.BatchInterval,
+		Logger:        c.Opts.Logger,
+		Metrics:       c.RegistryOf(id),
+		MetricsLabels: c.coreMetricsLabels(id, group),
 	}
 }
 
@@ -582,7 +603,105 @@ func (c *Cluster) tcpOptionsFor(id types.NodeID) tcpnet.Options {
 			return c.Fabric.Delay(from, to, size)
 		}
 	}
+	o.Metrics = c.RegistryOf(id)
 	return o
+}
+
+// RegistryOf returns node id's metrics registry, creating it on first
+// use (nil when Options.DisableMetrics). The registry is stable across
+// the node's incarnations.
+func (c *Cluster) RegistryOf(id types.NodeID) *obs.Registry {
+	if c.Opts.DisableMetrics {
+		return nil
+	}
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	r := c.registries[id]
+	if r == nil {
+		r = obs.NewRegistry()
+		c.registries[id] = r
+	}
+	return r
+}
+
+// coreMetricsLabels is the label set of node id's group-g order-process
+// instruments: node always, group only when the cluster is sharded (a
+// single-group cluster's series stay identical to sofnode's).
+func (c *Cluster) coreMetricsLabels(id types.NodeID, group int) []obs.Label {
+	labels := []obs.Label{obs.L("node", fmt.Sprint(id))}
+	if c.groups > 1 {
+		labels = append(labels, obs.L("group", fmt.Sprint(group)))
+	}
+	return labels
+}
+
+// CatchingUpGauge re-attaches to node id's sof_catching_up gauge for one
+// group (nil with metrics disabled): 1 while the process is replaying
+// missed commits after a restart, 0 once caught up. Reading it is one
+// atomic load — no event-loop injection — which is what lets scenario
+// assertions and readiness probes poll it tightly.
+func (c *Cluster) CatchingUpGauge(id types.NodeID, group int) *obs.Gauge {
+	r := c.RegistryOf(id)
+	if r == nil {
+		return nil
+	}
+	return r.Gauge("sof_catching_up",
+		"1 while the process is catching up on missed commits after a restart.",
+		c.coreMetricsLabels(id, group)...)
+}
+
+// FailoversOf reads node id's sof_failovers_total counter for one group:
+// coordinator installations completed after a fail-signal, summed across
+// the node's incarnations. Returns 0 with metrics disabled.
+func (c *Cluster) FailoversOf(id types.NodeID, group int) uint64 {
+	r := c.RegistryOf(id)
+	if r == nil {
+		return 0
+	}
+	return r.Counter("sof_failovers_total",
+		"Coordinator installations completed after a fail-signal.",
+		c.coreMetricsLabels(id, group)...).Value()
+}
+
+// ReadinessOf builds node id's readiness probe: ready when every hosted
+// group has left restart catch-up AND (on the TCP substrate) the node's
+// transport holds live connections to a majority of the other order
+// processes. The returned func is what obs.ReadyHandler serves as
+// /readyz; it reads registry gauges and transport state only, never the
+// event loop.
+func (c *Cluster) ReadinessOf(id types.NodeID) obs.ReadyFunc {
+	return func() error {
+		for g := 0; g < c.groups; g++ {
+			if c.SCProcessGroup(id, g) == nil {
+				continue
+			}
+			if gauge := c.CatchingUpGauge(id, g); gauge != nil && gauge.Value() != 0 {
+				return fmt.Errorf("group %d catching up", g)
+			}
+		}
+		if c.tcp != nil {
+			n, ok := c.tcp.Node(id)
+			if !ok {
+				return fmt.Errorf("node %v is down", id)
+			}
+			procs := c.Topo.AllProcesses()
+			isProc := make(map[types.NodeID]bool, len(procs))
+			for _, p := range procs {
+				isProc[p] = true
+			}
+			connected := 0
+			for _, peer := range n.Transport().ConnectedPeers() {
+				if isProc[peer] {
+					connected++
+				}
+			}
+			// The node itself counts toward the quorum it needs sessions to.
+			if 2*(connected+1) <= len(procs) {
+				return fmt.Errorf("connected to %d of %d order processes", connected, len(procs)-1)
+			}
+		}
+		return nil
+	}
 }
 
 // closeStores closes (or, on the crash path, drops) every durable store.
@@ -652,6 +771,8 @@ func (c *Cluster) buildProcess(id types.NodeID, group int) (runtime.Process, err
 			OnInstalled:         rec.OnInstalled,
 			OnStartTuplesIssued: rec.OnStartTuplesIssued,
 			OnPairRecovered:     rec.OnPairRecovered,
+			Metrics:             c.RegistryOf(id),
+			MetricsLabels:       c.coreMetricsLabels(id, group),
 		}
 		// Adversary taps attach to the node's group-0 process only (the
 		// documented contract on Options.Adversaries).

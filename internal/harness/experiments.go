@@ -329,6 +329,17 @@ func RunTCPHotPathPoint(window time.Duration, seed int64, mode string) (HotPathP
 // size-triggered close + window refill actually broke that ceiling (and
 // at what batch fill it did so).
 func RunTCPPipelinedPoint(window time.Duration, seed int64, loadMult float64) (HotPathPoint, error) {
+	return runTCPPipelinedPoint(window, seed, loadMult, false)
+}
+
+// RunTCPPipelinedPointNoMetrics is the same point with the per-node
+// registries disabled: the baseline the metrics-overhead smoke guard
+// compares the default (instrumented) point against.
+func RunTCPPipelinedPointNoMetrics(window time.Duration, seed int64, loadMult float64) (HotPathPoint, error) {
+	return runTCPPipelinedPoint(window, seed, loadMult, true)
+}
+
+func runTCPPipelinedPoint(window time.Duration, seed int64, loadMult float64, noMetrics bool) (HotPathPoint, error) {
 	const interval = 10 * time.Millisecond
 	if loadMult <= 0 {
 		loadMult = 1
@@ -356,6 +367,7 @@ func RunTCPPipelinedPoint(window time.Duration, seed int64, loadMult float64) (H
 		Transport:          types.TransportTCP,
 		MaxInflightBatches: 8,
 		DigestOnlyAcks:     true,
+		DisableMetrics:     noMetrics,
 	}
 	p, err := measureTCPPoint(opts, window, "tcp-pipelined")
 	if err != nil {

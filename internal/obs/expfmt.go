@@ -1,0 +1,406 @@
+// Prometheus text exposition (expfmt version 0.0.4), hand-rolled: the
+// writer renders Collect() snapshots, the parser validates scraped
+// output in tests and CI without an external binary.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus does.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeLabels(w *bufio.Writer, labels []Label, extra ...Label) {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label(nil), labels...), extra...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	w.WriteByte('}')
+}
+
+// WriteText renders collected families in the text exposition format.
+func WriteText(w io.Writer, fams []Family) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Samples {
+			if f.Kind == KindHistogram && s.Histogram != nil {
+				for _, b := range s.Histogram.Buckets {
+					bw.WriteString(f.Name)
+					bw.WriteString("_bucket")
+					writeLabels(bw, s.Labels, L("le", formatValue(b.UpperBound)))
+					fmt.Fprintf(bw, " %d\n", b.Count)
+				}
+				bw.WriteString(f.Name)
+				bw.WriteString("_sum")
+				writeLabels(bw, s.Labels)
+				fmt.Fprintf(bw, " %s\n", formatValue(s.Histogram.Sum))
+				bw.WriteString(f.Name)
+				bw.WriteString("_count")
+				writeLabels(bw, s.Labels)
+				fmt.Fprintf(bw, " %d\n", s.Histogram.Count)
+				continue
+			}
+			bw.WriteString(f.Name)
+			writeLabels(bw, s.Labels)
+			fmt.Fprintf(bw, " %s\n", formatValue(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// ParsedSample is one sample line as seen by the validating parser.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one TYPE-declared family and its samples.
+type ParsedFamily struct {
+	Name    string
+	Kind    string
+	Samples []ParsedSample
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// baseName strips a histogram sample suffix so _bucket/_sum/_count
+// lines attach to their declared family.
+func baseName(name string, fams map[string]*ParsedFamily) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok {
+			if f := fams[b]; f != nil && f.Kind == "histogram" {
+				return b
+			}
+		}
+	}
+	return name
+}
+
+// ParseText is the validating exposition parser used by tests and the
+// CI scrape step. It checks line syntax, metric/label name validity,
+// label-value unescaping, that every sample belongs to a TYPE-declared
+// family, and that each histogram series carries a monotonic bucket
+// set ending in le="+Inf" whose count equals its _count sample. It
+// returns the families keyed by name.
+func ParseText(data []byte) (map[string]*ParsedFamily, error) {
+	fams := make(map[string]*ParsedFamily)
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("exposition line %d: %s (%q)", ln+1, fmt.Sprintf(format, args...), line)
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				return nil, fail("malformed comment")
+			}
+			if !validMetricName(parts[2]) {
+				return nil, fail("invalid metric name %q", parts[2])
+			}
+			if parts[1] == "TYPE" {
+				if len(parts) != 4 {
+					return nil, fail("TYPE missing kind")
+				}
+				switch parts[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fail("unknown kind %q", parts[3])
+				}
+				if fams[parts[2]] != nil {
+					return nil, fail("duplicate TYPE for %q", parts[2])
+				}
+				fams[parts[2]] = &ParsedFamily{Name: parts[2], Kind: parts[3]}
+			}
+			continue
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		f := fams[baseName(sample.Name, fams)]
+		if f == nil {
+			return nil, fail("sample %q has no TYPE declaration", sample.Name)
+		}
+		f.Samples = append(f.Samples, sample)
+	}
+	for _, f := range fams {
+		if f.Kind != "histogram" {
+			continue
+		}
+		if err := checkHistogram(f); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+func parseSampleLine(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return s, fmt.Errorf("no metric name")
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote, esc := false, false
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			switch {
+			case esc:
+				esc = false
+			case inQuote && c == '\\':
+				esc = true
+			case c == '"':
+				inQuote = !inQuote
+			case !inQuote && c == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set")
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", fields[0])
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, out map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label in %q", body)
+		}
+		name := body[:eq]
+		if !validMetricName(name) || strings.Contains(name, ":") {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		if len(body) < eq+2 || body[eq+1] != '"' {
+			return fmt.Errorf("label %q value not quoted", name)
+		}
+		// Find the closing quote, honouring escapes.
+		j := eq + 2
+		var val strings.Builder
+		for ; j < len(body); j++ {
+			c := body[j]
+			if c == '\\' {
+				if j+1 >= len(body) {
+					return fmt.Errorf("dangling escape in label %q", name)
+				}
+				j++
+				switch body[j] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("bad escape \\%c in label %q", body[j], name)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if j >= len(body) {
+			return fmt.Errorf("unterminated value for label %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+		body = body[j+1:]
+		if len(body) > 0 {
+			if body[0] != ',' {
+				return fmt.Errorf("expected ',' after label %q", name)
+			}
+			body = body[1:]
+		}
+	}
+	return nil
+}
+
+// checkHistogram validates one histogram family: per label set, the
+// buckets must be le-sorted, cumulative, end at +Inf, and agree with
+// the _count sample.
+func checkHistogram(f *ParsedFamily) error {
+	type hseries struct {
+		buckets []ParsedSample
+		count   *float64
+		sum     bool
+	}
+	series := map[string]*hseries{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%s;", k, labels[k])
+		}
+		return b.String()
+	}
+	get := func(k string) *hseries {
+		h := series[k]
+		if h == nil {
+			h = &hseries{}
+			series[k] = h
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		h := get(keyOf(s.Labels))
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", f.Name)
+			}
+			h.buckets = append(h.buckets, s)
+		case strings.HasSuffix(s.Name, "_count"):
+			v := s.Value
+			h.count = &v
+		case strings.HasSuffix(s.Name, "_sum"):
+			h.sum = true
+		default:
+			return fmt.Errorf("histogram %s: unexpected sample %s", f.Name, s.Name)
+		}
+	}
+	for k, h := range series {
+		if len(h.buckets) == 0 || h.count == nil || !h.sum {
+			return fmt.Errorf("histogram %s{%s}: missing _bucket/_sum/_count triple", f.Name, k)
+		}
+		prev := math.Inf(-1)
+		prevCount := -1.0
+		for _, b := range h.buckets {
+			le, err := parseLe(b.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("histogram %s{%s}: %v", f.Name, k, err)
+			}
+			if le <= prev {
+				return fmt.Errorf("histogram %s{%s}: le %v out of order", f.Name, k, le)
+			}
+			if b.Value < prevCount {
+				return fmt.Errorf("histogram %s{%s}: bucket counts not cumulative", f.Name, k)
+			}
+			prev, prevCount = le, b.Value
+		}
+		last := h.buckets[len(h.buckets)-1]
+		if last.Labels["le"] != "+Inf" {
+			return fmt.Errorf("histogram %s{%s}: last bucket is %q, want +Inf", f.Name, k, last.Labels["le"])
+		}
+		if last.Value != *h.count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != _count %v", f.Name, k, last.Value, *h.count)
+		}
+	}
+	return nil
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q", s)
+	}
+	return v, nil
+}

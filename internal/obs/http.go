@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler serves the registry in the text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteText(w, r.Collect())
+	})
+}
+
+// ReadyFunc reports readiness: nil means ready, an error names what is
+// not (catching up, below session quorum, ...). It must be safe to call
+// from any goroutine.
+type ReadyFunc func() error
+
+// ReadyHandler serves 200 "ok" when check returns nil and 503 with the
+// error text otherwise. A nil check is always ready.
+func ReadyHandler(check ReadyFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if check != nil {
+			if err := check(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	})
+}
+
+// NewMux builds the ops mux a node serves on -metrics-addr: /metrics
+// (exposition), /healthz (liveness: the process is serving, always
+// 200) and /readyz (readiness per check).
+func NewMux(r *Registry, ready ReadyFunc) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	}))
+	mux.Handle("/readyz", ReadyHandler(ready))
+	return mux
+}

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sof-repro/sof/internal/core"
 	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/types"
 )
 
@@ -38,6 +40,8 @@ type Replica struct {
 	retention  int
 	resultLog  []message.ReqID
 	resultHead int
+
+	retries atomic.Uint64 // Retry() drains (outside mu: drains are concurrent)
 }
 
 // New returns a replica wrapping sm for the given order process node.
@@ -86,9 +90,31 @@ func (r *Replica) HandleCommit(pool *core.RequestPool, ev core.CommitEvent) {
 // Drains call Retry so the tail of the stream applies as soon as its
 // payloads arrive.
 func (r *Replica) Retry(pool *core.RequestPool) {
+	r.retries.Add(1)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.advanceLocked(pool)
+}
+
+// RegisterMetrics attaches func-backed gauges over the replica's existing
+// thread-safe accessors — the apply path is untouched; values are read
+// only when the registry is scraped.
+func (r *Replica) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("sof_replica_applied_seq",
+		"Highest sequence number applied to the state machine.",
+		func() float64 { seq, _ := r.Applied(); return float64(seq) }, labels...)
+	reg.GaugeFunc("sof_replica_pending_events",
+		"Commit events buffered awaiting contiguous application.",
+		func() float64 { return float64(r.PendingCount()) }, labels...)
+	reg.GaugeFunc("sof_replica_results_retained",
+		"Execution results retained for client Result lookups.",
+		func() float64 { return float64(r.ResultCount()) }, labels...)
+	reg.CounterFunc("sof_replica_retries_total",
+		"Retry drains re-attempting application after late payload arrival.",
+		func() uint64 { return r.retries.Load() }, labels...)
 }
 
 // advanceLocked applies buffered events contiguously and sweeps entries

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"strconv"
 	"sync"
 
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/shard"
 	"github.com/sof-repro/sof/internal/tcpnet"
 	"github.com/sof-repro/sof/internal/types"
@@ -43,6 +45,13 @@ type TCPNode struct {
 	wg      sync.WaitGroup
 	sharded bool       // frames carry the one-byte group prefix
 	cores   []*tcpCore // index = group; nil entries host no process
+
+	// Routing instruments, pre-registered per hosted group and indexed by
+	// the same slice position as cores — the dispatch hot path does one
+	// slice load and one atomic add, no map lookup. All nil (and no-op)
+	// when the transport options carried no registry.
+	routed     []*obs.Counter // frames routed to each group's event loop
+	unroutable *obs.Counter   // frames with no hosting group (or no prefix)
 }
 
 // tcpCore is one group's delivery engine on a (possibly shared) TCP
@@ -131,10 +140,21 @@ func newTCPEndpoint(id types.NodeID, addr string, ident *crypto.Identity, procs 
 	if err != nil {
 		return nil, err
 	}
-	n := &TCPNode{tr: tr, sharded: sharded, cores: make([]*tcpCore, len(procs))}
+	n := &TCPNode{tr: tr, sharded: sharded, cores: make([]*tcpCore, len(procs)),
+		routed: make([]*obs.Counter, len(procs))}
+	if m := opts.Metrics; m != nil {
+		n.unroutable = m.Counter("sof_frames_unroutable_total",
+			"Inbound frames dropped for lacking a hosted group (or a group prefix).",
+			obs.L("node", fmt.Sprint(id)))
+	}
 	for g, proc := range procs {
 		if proc == nil {
 			continue
+		}
+		if m := opts.Metrics; m != nil {
+			n.routed[g] = m.Counter("sof_group_frames_routed_total",
+				"Inbound frames routed to this group's event loop.",
+				obs.L("node", fmt.Sprint(id)), obs.L("group", strconv.Itoa(g)))
 		}
 		core := &tcpCore{n: n, group: g}
 		logf := func(format string, args ...any) {
@@ -190,17 +210,22 @@ func (n *TCPNode) Start() {
 func (n *TCPNode) dispatch(from types.NodeID, frame []byte) {
 	if !n.sharded {
 		if c := n.cores[0]; c != nil {
+			n.routed[0].Inc()
 			c.enqueue(liveEvent{from: from, raw: frame})
 		}
 		return
 	}
 	if len(frame) < 1 {
+		n.unroutable.Inc()
 		return
 	}
-	c := n.core(int(frame[0]))
+	g := int(frame[0])
+	c := n.core(g)
 	if c == nil {
+		n.unroutable.Inc()
 		return
 	}
+	n.routed[g].Inc()
 	c.enqueue(liveEvent{from: from, raw: frame[1:]})
 }
 

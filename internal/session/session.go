@@ -483,6 +483,9 @@ type Receiver struct {
 
 // ReceiverStats is a point-in-time snapshot of a Receiver's counters.
 type ReceiverStats struct {
+	// Epoch is the sender incarnation currently accepted on this
+	// direction (0 until the first authenticated hello).
+	Epoch uint64
 	// Delivered is the highest sequence number delivered so far.
 	Delivered uint64
 	// Duplicates counts frames dropped because they were already
@@ -502,6 +505,7 @@ func (r *Receiver) Stats() ReceiverStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return ReceiverStats{
+		Epoch:      r.epoch,
 		Delivered:  r.lastDelivered,
 		Duplicates: r.duplicates,
 		Gaps:       r.gaps,

@@ -134,6 +134,14 @@ func (p *peer) adoptConn(c net.Conn) bool {
 	return true
 }
 
+// connectedNow reports whether an outbound connection is currently
+// live. Scrape-time only.
+func (p *peer) connectedNow() bool {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	return p.conn != nil && !p.closed
+}
+
 func (p *peer) dropCurrentConn() {
 	p.connMu.Lock()
 	if p.conn != nil {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/types"
 )
@@ -43,6 +44,12 @@ type Options struct {
 	// HandshakeTimeout bounds the dial-side wait for the session
 	// hello-ack (default 5 s). Ignored without Session.
 	HandshakeTimeout time.Duration
+	// Metrics, when non-nil, receives live transport instruments: the
+	// per-peer queue/drop/retransmit/reconnect counters and queue depth,
+	// and the inbound session counters, all labeled node/peer. They are
+	// function-backed — the registry reads the counters the transport
+	// already keeps, at scrape time — so the frame hot path is untouched.
+	Metrics *obs.Registry
 	// Shape, when non-nil, imposes simulated link conditions on outbound
 	// traffic (the netsim fabric wired onto real sockets for WAN-profile
 	// experiments): for a write of size bytes to peer `to` it returns the
@@ -129,6 +136,12 @@ func Listen(id types.NodeID, addr string, peers map[types.NodeID]string,
 		fatal:         make(chan error, 1),
 	}
 	t.SetPeers(peers)
+	if m := t.opts.Metrics; m != nil {
+		m.GaugeFunc("sof_transport_connected_peers",
+			"Peers with a live outbound connection from this node.",
+			func() float64 { return float64(len(t.ConnectedPeers())) },
+			obs.L("node", fmt.Sprint(id)))
+	}
 	return t, nil
 }
 
@@ -259,6 +272,81 @@ func (t *Transport) SessionStats() map[types.NodeID]session.ReceiverStats {
 	return out
 }
 
+// ConnectedPeers returns the IDs of every peer this transport currently
+// holds a live outbound connection to. Readiness checks count the
+// process peers in it against the quorum they need.
+func (t *Transport) ConnectedPeers() []types.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]types.NodeID, 0, len(t.senders))
+	for id, p := range t.senders {
+		if p.connectedNow() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// registerPeerMetrics promotes one peer sender's counters to live,
+// function-backed registry series. Called once per sender, off the hot
+// path; the sender's own atomics stay the single source of truth.
+func (t *Transport) registerPeerMetrics(p *peer) {
+	m := t.opts.Metrics
+	if m == nil {
+		return
+	}
+	labels := []obs.Label{obs.L("node", fmt.Sprint(t.id)), obs.L("peer", fmt.Sprint(p.id))}
+	m.GaugeFunc("sof_peer_queue_depth", "Frames waiting in the peer's bounded send queue.",
+		func() float64 { return float64(len(p.ch)) }, labels...)
+	m.GaugeFunc("sof_peer_connected", "1 while an outbound connection to the peer is live.",
+		func() float64 {
+			if p.connectedNow() {
+				return 1
+			}
+			return 0
+		}, labels...)
+	m.CounterFunc("sof_peer_queued_total", "Frames accepted into the peer's send queue.",
+		func() uint64 { return p.queued.Load() }, labels...)
+	m.CounterFunc("sof_peer_dropped_total", "Frames dropped because the peer's send queue was full.",
+		func() uint64 { return p.dropped.Load() }, labels...)
+	m.CounterFunc("sof_peer_reconnects_total", "Connections torn down after a write error and redialled.",
+		func() uint64 { return p.reconnects.Load() }, labels...)
+	m.CounterFunc("sof_peer_retransmitted_total", "Frames replayed from the session retransmission ring on reconnect.",
+		func() uint64 {
+			if p.tx == nil {
+				return 0
+			}
+			return p.tx.Stats().Retransmitted
+		}, labels...)
+	m.CounterFunc("sof_peer_session_lost_total", "Frames a session reconnect could not recover.",
+		func() uint64 {
+			if p.tx == nil {
+				return 0
+			}
+			return p.tx.Stats().Lost
+		}, labels...)
+}
+
+// registerSessionMetrics promotes one inbound session receiver's
+// counters to live registry series, labeled by the sending peer.
+func (t *Transport) registerSessionMetrics(from types.NodeID, r *session.Receiver) {
+	m := t.opts.Metrics
+	if m == nil {
+		return
+	}
+	labels := []obs.Label{obs.L("node", fmt.Sprint(t.id)), obs.L("peer", fmt.Sprint(from))}
+	m.GaugeFunc("sof_session_epoch", "Sender incarnation (epoch) of the inbound session.",
+		func() float64 { return float64(r.Stats().Epoch) }, labels...)
+	m.GaugeFunc("sof_session_delivered", "Highest frame sequence delivered on the inbound session.",
+		func() float64 { return float64(r.Stats().Delivered) }, labels...)
+	m.CounterFunc("sof_session_duplicates_total", "Inbound frames dropped as already delivered.",
+		func() uint64 { return r.Stats().Duplicates }, labels...)
+	m.CounterFunc("sof_session_gaps_total", "Inbound frame sequences skipped as unrecoverable.",
+		func() uint64 { return r.Stats().Gaps }, labels...)
+	m.CounterFunc("sof_session_rejected_total", "Inbound frames and hellos refused (bad MAC or malformed).",
+		func() uint64 { return r.Stats().Rejected }, labels...)
+}
+
 // BounceConns forcibly closes every live connection — inbound readers and
 // outbound senders — without closing the transport, as a network fault
 // would. Senders redial (and, with sessions, handshake and replay the
@@ -300,6 +388,7 @@ func (t *Transport) receiver(from types.NodeID) *session.Receiver {
 	if !ok {
 		r = t.opts.Session.NewReceiver(t.id, from)
 		t.recvs[from] = r
+		t.registerSessionMetrics(from, r)
 	}
 	return r
 }
@@ -326,6 +415,7 @@ func (t *Transport) sender(to types.NodeID) *peer {
 	}
 	p := newPeer(t.id, to, addr, t.opts, t.logger)
 	t.senders[to] = p
+	t.registerPeerMetrics(p)
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()

@@ -24,6 +24,7 @@ import (
 
 	"github.com/sof-repro/sof/internal/core"
 	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/types"
 	"github.com/sof-repro/sof/internal/wal"
 )
@@ -39,6 +40,10 @@ type Options struct {
 	SegmentBytes int
 	// Logger receives recovery and append diagnostics.
 	Logger *log.Logger
+	// Metrics registers the underlying wal.Log's instruments, tagged
+	// wal="commit" on top of MetricsLabels. nil disables.
+	Metrics       *obs.Registry
+	MetricsLabels []obs.Label
 }
 
 // Store is a durable commit stream. It is safe for concurrent use.
@@ -58,10 +63,12 @@ type Store struct {
 // committed in a previous incarnation).
 func Open(opts Options) (*Store, error) {
 	l, err := wal.Open(wal.Options{
-		Dir:          opts.Dir,
-		SegmentBytes: opts.SegmentBytes,
-		SyncInterval: opts.SyncInterval,
-		Logger:       opts.Logger,
+		Dir:           opts.Dir,
+		SegmentBytes:  opts.SegmentBytes,
+		SyncInterval:  opts.SyncInterval,
+		Logger:        opts.Logger,
+		Metrics:       opts.Metrics,
+		MetricsLabels: append(append([]obs.Label{}, opts.MetricsLabels...), obs.L("wal", "commit")),
 	})
 	if err != nil {
 		return nil, err

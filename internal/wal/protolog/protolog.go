@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/sof-repro/sof/internal/core"
+	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/types"
 	"github.com/sof-repro/sof/internal/wal"
 )
@@ -54,6 +55,10 @@ type Options struct {
 	SegmentBytes int
 	// Logger receives recovery and append diagnostics.
 	Logger *log.Logger
+	// Metrics registers the underlying wal.Log's instruments, tagged
+	// wal="proto" on top of MetricsLabels. nil disables.
+	Metrics       *obs.Registry
+	MetricsLabels []obs.Label
 }
 
 // pendingSave is a checkpoint appended but not yet known durable.
@@ -88,10 +93,12 @@ var (
 // recovers the previous incarnation's last checkpoint from it.
 func Open(opts Options) (*Store, error) {
 	l, err := wal.Open(wal.Options{
-		Dir:          opts.Dir,
-		SegmentBytes: opts.SegmentBytes,
-		SyncInterval: opts.SyncInterval,
-		Logger:       opts.Logger,
+		Dir:           opts.Dir,
+		SegmentBytes:  opts.SegmentBytes,
+		SyncInterval:  opts.SyncInterval,
+		Logger:        opts.Logger,
+		Metrics:       opts.Metrics,
+		MetricsLabels: append(append([]obs.Label{}, opts.MetricsLabels...), obs.L("wal", "proto")),
 	})
 	if err != nil {
 		return nil, err

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/session"
 	"github.com/sof-repro/sof/internal/types"
 	"github.com/sof-repro/sof/internal/wal"
@@ -61,6 +62,10 @@ type Options struct {
 	RingLen int
 	// Logger receives recovery and prune diagnostics.
 	Logger *log.Logger
+	// Metrics registers the underlying wal.Log's instruments, tagged
+	// wal="session" on top of MetricsLabels. nil disables.
+	Metrics       *obs.Registry
+	MetricsLabels []obs.Label
 }
 
 type dirKey struct{ from, to types.NodeID }
@@ -112,10 +117,12 @@ func Open(opts Options) (*Store, error) {
 		opts.RingLen = session.DefaultRingLen
 	}
 	l, err := wal.Open(wal.Options{
-		Dir:          opts.Dir,
-		SegmentBytes: opts.SegmentBytes,
-		SyncInterval: opts.SyncInterval,
-		Logger:       opts.Logger,
+		Dir:           opts.Dir,
+		SegmentBytes:  opts.SegmentBytes,
+		SyncInterval:  opts.SyncInterval,
+		Logger:        opts.Logger,
+		Metrics:       opts.Metrics,
+		MetricsLabels: append(append([]obs.Label{}, opts.MetricsLabels...), obs.L("wal", "session")),
 	})
 	if err != nil {
 		return nil, err

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/sof-repro/sof/internal/obs"
 )
 
 // LSN is the 1-based position of a record in the log's append stream. 0
@@ -60,6 +62,13 @@ type Options struct {
 	// Logger receives recovery diagnostics (torn tails truncated, orphan
 	// segments dropped). nil discards them.
 	Logger *log.Logger
+	// Metrics, when non-nil, registers the log's instruments (fsync
+	// latency histogram, segment/LSN gauges, append/sync counters) under
+	// MetricsLabels. Counters and gauges are func-backed over the log's
+	// existing mutex-guarded state, read only at scrape time; only the
+	// fsync histogram touches the sync path (two atomic ops per fsync).
+	Metrics       *obs.Registry
+	MetricsLabels []obs.Label
 }
 
 // Stats is a point-in-time snapshot of a Log's counters.
@@ -111,6 +120,7 @@ type Log struct {
 	crashing bool
 	stats    Stats
 	hdrBuf   [recHeaderLen]byte
+	fsyncH   *obs.Histogram // nil-safe: no-op when Options.Metrics was nil
 
 	flusherStop chan struct{}
 	flusherDone chan struct{}
@@ -145,7 +155,41 @@ func Open(opts Options) (*Log, error) {
 		l.flusherDone = make(chan struct{})
 		go l.flusher()
 	}
+	l.registerMetrics()
 	return l, nil
+}
+
+// registerMetrics attaches the log's instruments to Options.Metrics.
+// Everything but the fsync histogram is func-backed over the log's
+// mutex-guarded state, so the append path pays nothing.
+func (l *Log) registerMetrics() {
+	r, labels := l.opts.Metrics, l.opts.MetricsLabels
+	if r == nil {
+		return
+	}
+	l.fsyncH = r.Histogram("sof_wal_fsync_seconds",
+		"Latency of WAL fsync batches (group commits).",
+		obs.DefBuckets(), labels...)
+	r.CounterFunc("sof_wal_appends_total",
+		"Records appended to the WAL this incarnation.",
+		func() uint64 { return l.Stats().Appended }, labels...)
+	r.CounterFunc("sof_wal_syncs_total",
+		"WAL fsync batches (group commits).",
+		func() uint64 { return l.Stats().Syncs }, labels...)
+	r.GaugeFunc("sof_wal_segments",
+		"Live WAL segment files on disk.",
+		func() float64 { return float64(l.Stats().Segments) }, labels...)
+	r.GaugeFunc("sof_wal_synced_lsn",
+		"Highest WAL LSN known durable.",
+		func() float64 { return float64(l.SyncedLSN()) }, labels...)
+	r.GaugeFunc("sof_wal_unsynced_records",
+		"Appended records not yet fsynced (durability lag).",
+		func() float64 {
+			l.mu.Lock()
+			lag := l.next - 1 - l.synced
+			l.mu.Unlock()
+			return float64(lag)
+		}, labels...)
 }
 
 func (l *Log) logf(format string, args ...any) {
@@ -412,8 +456,15 @@ func (l *Log) syncLocked() error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.flushed = l.next - 1
+	var start time.Time
+	if l.fsyncH != nil {
+		start = time.Now()
+	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
+	}
+	if l.fsyncH != nil {
+		l.fsyncH.ObserveDuration(time.Since(start))
 	}
 	l.synced = l.next - 1
 	l.stats.Syncs++

@@ -24,6 +24,7 @@ package sof
 
 import (
 	"fmt"
+	"net/http"
 	"sync"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"github.com/sof-repro/sof/internal/harness"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/netsim"
+	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/replica"
 	"github.com/sof-repro/sof/internal/shard"
 	"github.com/sof-repro/sof/internal/stats"
@@ -255,6 +257,9 @@ type Config struct {
 	// *CrossGroupError (SubmitMulti). Requires Transport TCP, a live
 	// cluster and Protocol SC or SCR; capped at MaxGroups.
 	Groups int
+	// DisableMetrics turns off the per-node metrics registries (on by
+	// default; the instrumentation cost is within benchmark noise).
+	DisableMetrics bool
 	// Seed seeds simulated network jitter.
 	Seed int64
 	// StateMachine, when non-nil, is instantiated per replica and applied
@@ -411,6 +416,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Groups:             cfg.Groups,
 		KeepCommits:        true,
 		CommitRetention:    cfg.CommitRetention,
+		DisableMetrics:     cfg.DisableMetrics,
 	}
 	groups := cfg.Groups
 	if groups == 0 {
@@ -453,6 +459,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 					// too.
 					rep.SetResultRetention(cfg.CommitRetention)
 				}
+				labels := []obs.Label{obs.L("node", fmt.Sprint(id))}
+				if groups > 1 {
+					labels = append(labels, obs.L("group", fmt.Sprint(g)))
+				}
+				rep.RegisterMetrics(h.RegistryOf(id), labels...)
 				c.replicas[repKey{node: id, group: g}] = rep
 			}
 		}
@@ -764,6 +775,41 @@ func (c *Cluster) Results(id ReqID) map[NodeID][]byte {
 
 // Processes returns the order-process IDs.
 func (c *Cluster) Processes() []NodeID { return c.h.Topo.AllProcesses() }
+
+// MetricFamily is one collected metric family: a named set of labeled
+// samples (counter, gauge or histogram) from a node's registry.
+type MetricFamily = obs.Family
+
+// Metrics collects one node's live metrics: every layer's instruments
+// (ordering watermark, view and fail-over counters, batch fill, session
+// and peer-queue state, WAL fsync latency, replica progress), families
+// sorted by name. Empty with Config.DisableMetrics.
+func (c *Cluster) Metrics(node NodeID) []MetricFamily {
+	return c.h.RegistryOf(node).Collect()
+}
+
+// MetricsRegistry exposes node's live registry — obs.WriteText renders
+// Prometheus text exposition, obs.NewMux serves /metrics, /healthz and
+// /readyz over it. Nil with Config.DisableMetrics.
+func (c *Cluster) MetricsRegistry(node NodeID) *obs.Registry {
+	return c.h.RegistryOf(node)
+}
+
+// Readiness returns node's readiness probe — nil error when every hosted
+// ordering group has left restart catch-up and (on the TCP transport)
+// the node holds live connections to a majority of the other order
+// processes. Pair it with obs.ReadyHandler to serve /readyz.
+func (c *Cluster) Readiness(node NodeID) func() error {
+	return c.h.ReadinessOf(node)
+}
+
+// OpsHandler serves node's live ops surface — /metrics (Prometheus text
+// exposition), /healthz (liveness) and /readyz (Readiness) — ready to
+// mount on any HTTP server. With Config.DisableMetrics /metrics is an
+// empty exposition.
+func (c *Cluster) OpsHandler(node NodeID) http.Handler {
+	return obs.NewMux(c.h.RegistryOf(node), c.h.ReadinessOf(node))
+}
 
 // Latency summarises order latencies observed so far.
 func (c *Cluster) Latency() LatencySummary { return c.h.Events.LatencySummary() }

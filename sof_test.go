@@ -3,6 +3,9 @@ package sof_test
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -128,6 +131,95 @@ func TestPublicAPILiveMode(t *testing.T) {
 	}
 	if err := cluster.AwaitCommit(id, 10*time.Second); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIMetricsAndOpsHandler covers the programmatic ops surface:
+// Metrics collects every layer's families, Readiness reports ready on a
+// settled cluster, OpsHandler serves /metrics, /healthz and /readyz, and
+// DisableMetrics degrades all three gracefully instead of panicking.
+func TestPublicAPIMetricsAndOpsHandler(t *testing.T) {
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SC,
+		BatchInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	id, err := cluster.Submit([]byte("observed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.AwaitCommit(id, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The recorder resolves AwaitCommit on the commit event; the gauge
+	// write is a separate hook on the process's own loop, so allow it a
+	// moment to land.
+	node := cluster.Processes()[0]
+	watermark := -1.0
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		for _, fam := range cluster.Metrics(node) {
+			if fam.Name == "sof_commit_watermark" && len(fam.Samples) > 0 {
+				watermark = fam.Samples[0].Value
+			}
+		}
+		if watermark > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if watermark <= 0 {
+		t.Errorf("sof_commit_watermark = %v after a commit, want > 0", watermark)
+	}
+	if err := cluster.Readiness(node)(); err != nil {
+		t.Errorf("Readiness on a settled cluster: %v", err)
+	}
+	srv := httptest.NewServer(cluster.OpsHandler(node))
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "sof_commit_watermark") {
+		t.Errorf("/metrics: status %d, watermark present=%v", code, strings.Contains(body, "sof_commit_watermark"))
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("/healthz: status %d", code)
+	}
+	if code, body := get("/readyz"); code != 200 {
+		t.Errorf("/readyz: status %d body %q", code, body)
+	}
+
+	dark, err := sof.NewCluster(sof.Config{
+		Protocol:       sof.SC,
+		BatchInterval:  5 * time.Millisecond,
+		DisableMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dark.Start()
+	defer dark.Stop()
+	if fams := dark.Metrics(node); len(fams) != 0 {
+		t.Errorf("DisableMetrics cluster collected %d families, want 0", len(fams))
+	}
+	darkSrv := httptest.NewServer(dark.OpsHandler(node))
+	defer darkSrv.Close()
+	if resp, err := darkSrv.Client().Get(darkSrv.URL + "/metrics"); err != nil {
+		t.Errorf("dark /metrics: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("dark /metrics: status %d", resp.StatusCode)
+		}
 	}
 }
 
