@@ -26,20 +26,25 @@
 // interval), a "tcp-pipelined" load sweep (proposal window of eight,
 // digest-only acks, client load scaled by each -load multiplier) showing
 // committed throughput past the interval-paced proposer's ceiling, and a
+// "tcp-ingress" point (the saturating pipelined cluster with the full
+// client admission pipeline on but tuned to shed nothing, so its delta
+// against "tcp-pipelined" is the admission layer's hot-path cost), and a
 // "tcp-sharded" group sweep (the same interval-paced f=1 cluster at each
 // -groups count, one saturating client per group) whose aggregate
 // committed/s documents the partitioned-ingress scaling, alongside the
 // simulated overhead series.
 //
-// -smoke runs three short guards and exits non-zero if any fails: one
+// -smoke runs four short guards and exits non-zero if any fails: one
 // pipelined point must clear the interval-bound ceiling with margin
 // (pipelining silently regressing to timer pacing shows as throughput AT
 // the ceiling), a 4-group sharded point must aggregate at least 2.5x
 // the 1-group baseline at the same per-group load (sharding silently
-// collapsing into one serialized pipeline shows as a ~1x ratio), and a
+// collapsing into one serialized pipeline shows as a ~1x ratio), a
 // metrics-instrumented pipelined point must hold at least 90% of the
 // metrics-off baseline (an instrument creeping onto the hot path shows
-// as a throughput drop).
+// as a throughput drop), and an admission-controlled pipelined point
+// must likewise hold 90% of the ingress-off baseline (the admission
+// pipeline creeping onto the request hot path shows the same way).
 //
 // -scenarios runs the scripted chaos/soak campaign instead: real-TCP
 // clusters under WAN link profiles, partitions, restart storms and
@@ -103,6 +108,10 @@ func main() {
 			os.Exit(1)
 		}
 		if err := runMetricsOverheadSmoke(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := runIngressOverheadSmoke(*seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -314,6 +323,33 @@ func runMetricsOverheadSmoke(seed int64) error {
 	return nil
 }
 
+// runIngressOverheadSmoke is the admission cost guard: the pipelined
+// point with the full ingress pipeline on — limiter lookup, per-client
+// pool accounting, brownout sampling and DRR fair dequeue on every
+// request, configured so nothing is actually shed — must hold at least
+// 90% of the ingress-off baseline. A miss means the admission layer put
+// allocation or contention onto the request hot path (the pipeline is
+// designed as map upserts and integer compares per request), not that
+// policy fired: at these settings no decision ever refuses.
+func runIngressOverheadSmoke(seed int64) error {
+	off, err := harness.RunTCPPipelinedPoint(3*time.Second, seed, 8)
+	if err != nil {
+		return err
+	}
+	on, err := harness.RunTCPIngressPoint(3*time.Second, seed, 8)
+	if err != nil {
+		return err
+	}
+	ratio := on.Throughput / off.Throughput
+	fmt.Printf("ingress-overhead smoke: ingress-off=%.1f/s ingress-on=%.1f/s ratio=%.2f (floor 0.90)\n",
+		off.Throughput, on.Throughput, ratio)
+	if ratio < 0.9 {
+		return fmt.Errorf("admission-controlled throughput %.1f/s is %.0f%% of the ingress-off baseline %.1f/s — the admission layer is on the hot path",
+			on.Throughput, ratio*100, off.Throughput)
+	}
+	return nil
+}
+
 // runScenarios runs the chaos/soak campaign and persists the report even
 // when invariants fail, so the violating series is inspectable alongside
 // the printed replay seed.
@@ -383,6 +419,19 @@ func runHotPathJSON(path string, seed int64, withTCP bool, loads []float64, grou
 			rep.Points = append(rep.Points, pt)
 			fmt.Printf("%-14s load=%-4.1fx batches=%-5d committed/s=%-9.1f allocs/batch=%-10.1f\n",
 				pt.Mode, mult, pt.Batches, pt.Throughput, pt.AllocsPerBatch)
+		}
+		// The ingress point: the saturating pipelined configuration with
+		// the full client admission pipeline on but no request shed, so
+		// its delta against the load-8 "tcp-pipelined" point is the
+		// admission layer's hot-path cost in the artifact.
+		{
+			pt, err := harness.RunTCPIngressPoint(4*time.Second, seed, 8)
+			if err != nil {
+				return err
+			}
+			rep.Points = append(rep.Points, pt)
+			fmt.Printf("%-14s load=%-4.1fx batches=%-5d committed/s=%-9.1f allocs/batch=%-10.1f\n",
+				pt.Mode, pt.OfferedLoad, pt.Batches, pt.Throughput, pt.AllocsPerBatch)
 		}
 		// The sharded group sweep: the interval-paced f=1 cluster at each
 		// group count, one saturating client per group, so the aggregate

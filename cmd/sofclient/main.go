@@ -13,6 +13,17 @@
 // inbound commit replies. Acceptance stays per request — f+1 verified
 // replies from the request's own group.
 //
+// Against an admission-controlled cluster (`sofnode -ingress`) the
+// client consumes the nodes' signed Rejected messages on the same
+// -listen channel as commit replies. A rejected request is retried with
+// jittered backoff honouring the node's RetryAfter hint, up to -retries
+// times; the bench summary classifies every submission's final outcome
+// (accepted / shed / pending) and counts rejections by decision code.
+//
+// With -tls every node connection (and the -listen reply listener) is
+// wrapped in TLS 1.3 using the DevTLS identity derived from -secret;
+// must match the nodes' -tls.
+//
 // With -bench it reports a submission-side load summary on exit:
 // submitted/failed counts, how many processes each submission reached,
 // and a latency summary of the synchronous submit path (sign + frame +
@@ -25,15 +36,18 @@
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/ingress"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/session"
@@ -54,6 +68,25 @@ type replyTracker struct {
 	accepted  int           // requests with >= f+1 replies
 	bad       int           // replies failing signature verification
 	need      int           // f+1
+
+	// Ingress backpressure state: requests the nodes refused at
+	// admission, and the retry bookkeeping around them.
+	payloads map[message.ReqID][]byte    // original payloads, for retries
+	attempt  map[message.ReqID]int       // 0 for a first submission
+	retryAt  map[message.ReqID]time.Time // rejected, due for a retry
+	byCode   map[ingress.Code]int        // rejections by decision code
+	rejects  int                         // Rejected messages consumed
+	retried  int                         // retry submissions issued
+	settled  int                         // superseded by a retry, or retries exhausted
+	shed     int                         // settled with the retry budget spent
+	rng      *rand.Rand                  // backoff jitter
+}
+
+// retryJob is one due retry: the refused request's payload and which
+// attempt the resubmission will be.
+type retryJob struct {
+	payload []byte
+	attempt int
 }
 
 func newReplyTracker(need int) *replyTracker {
@@ -61,12 +94,19 @@ func newReplyTracker(need int) *replyTracker {
 		submitted: make(map[message.ReqID]time.Time),
 		replies:   make(map[message.ReqID]map[types.NodeID]struct{}),
 		need:      need,
+		payloads:  make(map[message.ReqID][]byte),
+		attempt:   make(map[message.ReqID]int),
+		retryAt:   make(map[message.ReqID]time.Time),
+		byCode:    make(map[ingress.Code]int),
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
 
-func (rt *replyTracker) submit(id message.ReqID, at time.Time) {
+func (rt *replyTracker) submit(id message.ReqID, at time.Time, payload []byte, attempt int) {
 	rt.mu.Lock()
 	rt.submitted[id] = at
+	rt.payloads[id] = payload
+	rt.attempt[id] = attempt
 	rt.mu.Unlock()
 }
 
@@ -107,12 +147,79 @@ func (rt *replyTracker) onReply(verifier *crypto.Identity, from types.NodeID, re
 	}
 }
 
-// done reports whether every submitted request has reached the acceptance
-// quorum.
+// onRejected consumes a node's signed backpressure signal: the request
+// was refused at admission and this node will not order it. The tracker
+// schedules a retry honouring the RetryAfter hint plus jitter (up to
+// half the hint again), so a herd of rejected clients does not return in
+// lockstep. maxRetries bounds resubmissions per original request; a
+// request whose budget is spent is settled as shed.
+func (rt *replyTracker) onRejected(verifier *crypto.Identity, from types.NodeID, rej *message.Rejected, maxRetries int) {
+	if rej.From != from {
+		return // a node may not speak for another
+	}
+	if err := rej.VerifySig(verifier); err != nil {
+		rt.mu.Lock()
+		rt.bad++
+		rt.mu.Unlock()
+		return
+	}
+	id := message.ReqID{Client: rej.Client, ClientSeq: rej.ClientSeq}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, known := rt.submitted[id]; !known {
+		return // someone else's request, or a stale run
+	}
+	rt.rejects++
+	rt.byCode[ingress.Code(rej.Code)]++
+	if len(rt.replies[id]) >= rt.need {
+		return // committed anyway (only the proposer's admission gates ordering)
+	}
+	if _, scheduled := rt.retryAt[id]; scheduled {
+		return // another node already rejected it; one retry is enough
+	}
+	if rt.attempt[id] >= maxRetries {
+		rt.settled++ // budget spent: this request is shed for good
+		rt.shed++
+		return
+	}
+	backoff := rej.RetryAfter
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	backoff += time.Duration(rt.rng.Int63n(int64(backoff/2) + 1))
+	rt.retryAt[id] = time.Now().Add(backoff)
+}
+
+// dueRetries pops every rejected request whose backoff has expired and
+// that still lacks an acceptance quorum. The popped originals are
+// settled — their retry carries the payload forward under a fresh
+// request ID.
+func (rt *replyTracker) dueRetries(now time.Time) []retryJob {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var due []retryJob
+	for id, at := range rt.retryAt {
+		if now.Before(at) {
+			continue
+		}
+		delete(rt.retryAt, id)
+		if len(rt.replies[id]) >= rt.need {
+			continue // a quorum landed while we were backing off
+		}
+		due = append(due, retryJob{payload: rt.payloads[id], attempt: rt.attempt[id] + 1})
+		rt.settled++ // the original is superseded by the retry
+		rt.retried++
+	}
+	return due
+}
+
+// done reports whether every submitted request has settled: accepted by
+// an f+1 quorum, superseded by a retry, or shed with its retry budget
+// spent.
 func (rt *replyTracker) done() bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.accepted == len(rt.submitted)
+	return rt.accepted+rt.settled >= len(rt.submitted) && len(rt.retryAt) == 0
 }
 
 func main() {
@@ -132,6 +239,8 @@ func main() {
 		listen    = flag.String("listen", "", "listen address for commit-observation replies (give it to the nodes via -clients); enables commit-side latency in -bench")
 		replyWait = flag.Duration("reply-wait", 5*time.Second, "after the last submission, how long to wait for outstanding commit replies")
 		groups    = flag.Int("groups", 1, "ordering groups of the target deployment (must match the nodes' -groups); >1 routes each request to its key's group and speaks the group-prefixed wire format")
+		useTLS    = flag.Bool("tls", false, "TLS 1.3 on every node connection and the -listen reply listener, with the DevTLS identity derived from -secret (must match the nodes' -tls)")
+		retries   = flag.Int("retries", 3, "resubmissions per request rejected at admission, each after a jittered backoff honouring the node's RetryAfter hint (requires -listen to hear the rejections)")
 	)
 	flag.Parse()
 	if *resume {
@@ -193,6 +302,17 @@ func main() {
 		sessCfg = &session.Config{Keys: links, Resume: *resume}
 		clOpts = append(clOpts, tcpnet.WithSession(sessCfg))
 	}
+	var tlsSrv *tls.Config
+	if *useTLS {
+		// Same DevTLS pair the nodes derive: client config for our dials,
+		// server config for the reply listener the nodes dial back into.
+		srv, cli, err := tcpnet.DevTLS(*secret)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tlsSrv = srv
+		clOpts = append(clOpts, tcpnet.WithTLS(cli))
+	}
 	me := types.ClientID(*client)
 
 	// The commit-observation listener: nodes dial this address (their
@@ -201,7 +321,7 @@ func main() {
 	if *listen != "" {
 		tracker = newReplyTracker(*f + 1)
 		logger := log.New(os.Stderr, fmt.Sprintf("sofclient[%d] ", *client), log.Ltime)
-		tr, err := tcpnet.Listen(me, *listen, nil, logger, tcpnet.Options{Session: sessCfg})
+		tr, err := tcpnet.Listen(me, *listen, nil, logger, tcpnet.Options{Session: sessCfg, TLSServer: tlsSrv})
 		if err != nil {
 			log.Fatalf("listening for commit replies: %v", err)
 		}
@@ -219,8 +339,11 @@ func main() {
 			if err != nil {
 				return
 			}
-			if rep, ok := m.(*message.Reply); ok {
-				tracker.onReply(idents[me], from, rep)
+			switch m := m.(type) {
+			case *message.Reply:
+				tracker.onReply(idents[me], from, m)
+			case *message.Rejected:
+				tracker.onRejected(idents[me], from, m, *retries)
 			}
 		})
 		fmt.Printf("listening for commit replies on %s (give the nodes -clients %s)\n", tr.Addr(), tr.Addr())
@@ -241,6 +364,17 @@ func main() {
 		reachedAll int
 	)
 	byGroup := make([]int, *groups)
+	// sendOne routes one payload — in sharded deployments by its key with
+	// the same pure map every node holds, speaking the group-prefixed
+	// wire format — and is shared by first submissions and retries.
+	sendOne := func(payload []byte) (message.ReqID, int, error) {
+		if *groups > 1 {
+			g := router.GroupFor(shard.RoutingKey(payload))
+			byGroup[g]++
+			return cl.SubmitToGroup(g, payload)
+		}
+		return cl.Submit(payload)
+	}
 	start := time.Now()
 	for i := 0; i < *n; i++ {
 		payload := make([]byte, *size)
@@ -251,18 +385,10 @@ func main() {
 			reached int
 			err     error
 		)
-		if *groups > 1 {
-			// Route by the payload's key with the same pure map every node
-			// holds, and speak the group-prefixed wire format.
-			g := router.GroupFor(shard.RoutingKey(payload))
-			byGroup[g]++
-			id, reached, err = cl.SubmitToGroup(g, payload)
-		} else {
-			id, reached, err = cl.Submit(payload)
-		}
+		id, reached, err = sendOne(payload)
 		submitHist.ObserveDuration(time.Since(t0))
 		if tracker != nil {
-			tracker.submit(id, t0)
+			tracker.submit(id, t0, payload, 0)
 		}
 		if reached == 0 {
 			// Total transport loss is fatal: every peer failed, and err
@@ -283,10 +409,22 @@ func main() {
 		time.Sleep(*interval)
 	}
 	if tracker != nil {
-		// Let stragglers arrive: commit-side latency includes batching,
-		// ordering and the reply leg.
+		// Let stragglers arrive — commit-side latency includes batching,
+		// ordering and the reply leg — and pump the retry queue: a request
+		// the nodes rejected at admission is resubmitted under a fresh
+		// request ID once its jittered backoff expires.
 		deadline := time.Now().Add(*replyWait)
 		for !tracker.done() && time.Now().Before(deadline) {
+			for _, job := range tracker.dueRetries(time.Now()) {
+				t0 := time.Now()
+				id, reached, err := sendOne(job.payload)
+				if reached == 0 {
+					log.Printf("retry (attempt %d) reached no process:\n%v", job.attempt, err)
+					continue
+				}
+				submitted++
+				tracker.submit(id, t0, job.payload, job.attempt)
+			}
 			time.Sleep(10 * time.Millisecond)
 		}
 	}
@@ -309,6 +447,23 @@ func main() {
 				tracker.observed, submitted, tracker.accepted, submitted, tracker.bad)
 			fmt.Printf("bench: commit latency (first reply) %v\n", tracker.first.Summary())
 			fmt.Printf("bench: commit latency (f+1 replies) %v\n", tracker.quorum.Summary())
+			if tracker.rejects > 0 {
+				// Outcome classification under admission control: every
+				// submission ends accepted (f+1 quorum), shed (rejected with
+				// the retry budget spent), or pending (no quorum yet when the
+				// reply wait expired; superseded originals are excluded —
+				// their retry carries the payload forward).
+				pendingN := len(tracker.submitted) - tracker.accepted - tracker.settled
+				fmt.Printf("bench: ingress rejects=%d retried=%d outcomes: accepted=%d shed=%d pending=%d\n",
+					tracker.rejects, tracker.retried, tracker.accepted, tracker.shed, pendingN)
+				parts := make([]string, 0, len(tracker.byCode))
+				for c := ingress.Code(0); c <= ingress.InflightCap; c++ {
+					if n := tracker.byCode[c]; n > 0 {
+						parts = append(parts, fmt.Sprintf("%s=%d", c, n))
+					}
+				}
+				fmt.Printf("bench: rejects by code: %s\n", strings.Join(parts, " "))
+			}
 			tracker.mu.Unlock()
 		}
 	}

@@ -40,6 +40,22 @@
 // request's client whenever it commits an entry; `sofclient -bench
 // -listen` consumes these to measure commit-side latency end to end.
 //
+// With -ingress (sc/scr only) the node runs client admission control in
+// front of its request pool: a per-client rate limiter with an optional
+// failure-count lockout, a per-client pending bound, deficit-round-robin
+// fair dequeue into batches, and an overload brownout that sheds
+// over-share clients while the backlog exceeds its high watermark. A
+// refused request is answered with a signed Rejected message carrying
+// the decision code and a retry hint (delivered over the -clients reply
+// channel; `sofclient -bench -listen` consumes it and backs off). The
+// admission counters appear on /metrics as sof_ingress_*.
+//
+// With -tls every connection — node-to-node and client-to-node — is
+// wrapped in TLS 1.3 before any frame flows. The identity is DevTLS:
+// both endpoints derive the same certificate deterministically from
+// -secret, so no files are exchanged (demo-grade trust, same standing
+// as the dealer). All nodes and clients of a deployment must agree.
+//
 // With -groups N (sc/scr only) the node hosts N independent ordering
 // groups behind its one listener: each group is a complete ordering
 // cluster over the same physical nodes with its own coordinator pair —
@@ -77,6 +93,7 @@ import (
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/ct"
 	"github.com/sof-repro/sof/internal/fsp"
+	"github.com/sof-repro/sof/internal/ingress"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/runtime"
@@ -108,6 +125,13 @@ func main() {
 		clients     = flag.String("clients", "", "comma-separated client listen addresses (index = client number) to send commit-observation replies to")
 		groups      = flag.Int("groups", 1, "independent ordering groups hosted on this node (sc/scr only; all nodes and clients must agree): each group is a complete ordering cluster with its own coordinator pair — rotated so group g's pair sits on different physical nodes — and its own WAL directory under -data-dir/g<i>, multiplexed over this node's one listener and session")
 		metricsAddr = flag.String("metrics-addr", "", "serve the ops surface on this address: /metrics (Prometheus text exposition), /healthz (liveness), /readyz (ready once catch-up is done and a majority of order processes are connected)")
+		useTLS      = flag.Bool("tls", false, "wrap every connection — peer and client — in TLS 1.3; both endpoints derive a matched DevTLS certificate from -secret, so all nodes and clients must agree")
+		ingressOn   = flag.Bool("ingress", false, "client admission control (sc/scr only): per-client rate limit, lockout, pending bound, fair dequeue and overload brownout; refused requests get a signed Rejected with a retry hint")
+		ingRate     = flag.Int("ingress-rate", 0, "admitted requests per client per -ingress-period (0 = default 256, negative = unlimited)")
+		ingPeriod   = flag.Duration("ingress-period", 0, "rate-limiter period (0 = default 1s)")
+		ingLockout  = flag.Int("ingress-lockout", 0, "lock a client out once its rejections within the lockout window reach this count (0 = no lockout)")
+		ingPending  = flag.Int("ingress-pending", 0, "per-client bound on admitted-but-unordered requests in the pool (0 = unbounded)")
+		ingEvict    = flag.Duration("ingress-evict", 0, "drop a pooled request that has gone this long without an ordering decision (0 = default 30s, negative disables)")
 	)
 	flag.Parse()
 	if *resume {
@@ -126,6 +150,23 @@ func main() {
 	}
 	if *groups > 1 && proto != types.SC && proto != types.SCR {
 		log.Fatalf("-groups needs sc or scr, not %v", proto)
+	}
+	var ingCfg ingress.Config
+	if *ingressOn {
+		if proto != types.SC && proto != types.SCR {
+			log.Fatalf("-ingress needs sc or scr, not %v", proto)
+		}
+		ingCfg = ingress.Config{
+			Enabled:          true,
+			Rate:             *ingRate,
+			RatePeriod:       *ingPeriod,
+			LockoutThreshold: *ingLockout,
+			MaxClientPending: *ingPending,
+			EvictAfter:       *ingEvict,
+		}
+		if err := ingCfg.Validate(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	topo, err := types.NewTopology(proto, *f)
 	if err != nil {
@@ -179,6 +220,17 @@ func main() {
 	// identical session keys (sofclient performs the same sequence).
 	var topts tcpnet.Options
 	topts.Metrics = reg
+	if *useTLS {
+		// DevTLS: both configs derive from the shared secret, so every
+		// endpoint of the deployment presents and expects the same
+		// deterministic certificate. TLS runs beneath the session frames.
+		srv, cli, err := tcpnet.DevTLS(*secret)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topts.TLSServer = srv
+		topts.TLSClient = cli
+	}
 	var journal *sessionlog.Store
 	if *auth {
 		links, err := dealer.IssueLinks()
@@ -277,7 +329,7 @@ func main() {
 			ckptStores = append(ckptStores, ckpts)
 		}
 		procs[g], err = buildProcess(self, topo.Rotated(g), idents, proto, *batch, *delta, logger,
-			sendReplyFor(g), ckpts, *ckptIvl, *inflight, *idleArm, *digAcks,
+			sendReplyFor(g), ckpts, *ckptIvl, *inflight, *idleArm, *digAcks, ingCfg,
 			reg, coreLabels(g))
 		if err != nil {
 			log.Fatal(err)
@@ -293,8 +345,8 @@ func main() {
 		log.Fatalf("sofnode %d: %v", *id, err)
 	}
 	node.Start()
-	logger.Printf("up: %v f=%d n=%d groups=%d listening on %s (auth=%v resume=%v durable=%v)",
-		proto, *f, topo.N(), *groups, node.Addr(), *auth, *resume, *dataDir != "")
+	logger.Printf("up: %v f=%d n=%d groups=%d listening on %s (auth=%v resume=%v durable=%v tls=%v ingress=%v)",
+		proto, *f, topo.N(), *groups, node.Addr(), *auth, *resume, *dataDir != "", *useTLS, *ingressOn)
 
 	// Ops surface: /metrics, /healthz and /readyz on -metrics-addr.
 	// Readiness mirrors the harness's formula — every hosted group has
@@ -425,7 +477,7 @@ func buildProcess(self types.NodeID, topo types.Topology,
 	idents map[types.NodeID]*crypto.Identity, proto types.Protocol,
 	batch, delta time.Duration, logger *log.Logger,
 	sendReply func(core.CommitEvent), ckpts *protolog.Store, ckptIvl int,
-	inflight int, idleArm time.Duration, digestAcks bool,
+	inflight int, idleArm time.Duration, digestAcks bool, ingCfg ingress.Config,
 	metrics *obs.Registry, metricsLabels []obs.Label) (runtime.Process, error) {
 
 	onCommit := func(ev core.CommitEvent) {
@@ -446,6 +498,7 @@ func buildProcess(self types.NodeID, topo types.Topology,
 			MaxInflightBatches: inflight,
 			BatchIdleArm:       idleArm,
 			DigestOnlyAcks:     digestAcks,
+			Ingress:            ingCfg,
 			Metrics:            metrics,
 			MetricsLabels:      metricsLabels,
 			OnCommit:           onCommit,

@@ -82,12 +82,15 @@ func (p *Process) onProposal(env runtime.Env, b *message.OrderBatch) {
 		p.validateAndEndorse(env, b)
 		return
 	}
-	// Defer endorsement until every referenced request has arrived
-	// (clients multicast to all nodes, so arrival is guaranteed for
-	// correct clients; a fabricated ReqID from a faulty primary keeps the
+	// Defer endorsement until every referenced request has arrived.
+	// Clients multicast to all nodes, so a correct client's request is on
+	// its way — unless our own admission shed it before the primary's
+	// proposal named it, in which case no further copy is coming and the
+	// fetch below (with its retry timer) recovers the body from the
+	// primary. A fabricated ReqID from a faulty primary keeps the
 	// proposal pending and the next real request's expectation will
-	// eventually flag the primary as untimely).
-	p.deferredProposals[b.FirstSeq] = unresolved
+	// eventually flag the primary as untimely.
+	p.deferredProposals[b.FirstSeq] = &deferredProposal{batch: b, left: unresolved}
 	for _, e := range b.Entries {
 		e := e
 		if _, known := p.pool.Get(e.Req); known {
@@ -96,19 +99,27 @@ func (p *Process) onProposal(env runtime.Env, b *message.OrderBatch) {
 		first := b.FirstSeq
 		batch := b
 		p.pool.WhenAvailable(e.Req, func(*message.Request) {
-			left, pending := p.deferredProposals[first]
+			d, pending := p.deferredProposals[first]
 			if !pending {
 				return
 			}
-			left--
-			if left > 0 {
-				p.deferredProposals[first] = left
+			if d.left--; d.left > 0 {
 				return
 			}
 			delete(p.deferredProposals, first)
 			p.validateAndEndorse(env, batch)
 		})
 	}
+	p.requestPayloadFetch(env, b)
+	p.armDeferredFetch(env)
+}
+
+// deferredProposal is a shadow-side proposal awaiting referenced request
+// bodies: left counts the outstanding WhenAvailable waiters, batch keeps
+// the entries so the fetch retry knows what is still missing.
+type deferredProposal struct {
+	batch *message.OrderBatch
+	left  int
 }
 
 // validateAndEndorse performs the shadow's value-domain check against its
@@ -177,6 +188,10 @@ func (p *Process) onPairDown(env runtime.Env, fs *message.FailSignal, reason str
 	}
 	for k := range p.deferredProposals {
 		delete(p.deferredProposals, k)
+	}
+	if p.deferFetchTimer != nil {
+		p.deferFetchTimer.Stop()
+		p.deferFetchTimer = nil
 	}
 	// A deposed primary abandons its proposal window outright: the
 	// uncommitted tail is the new coordinator's to re-order (the

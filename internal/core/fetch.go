@@ -86,6 +86,60 @@ func (p *Process) requestPayloadFetch(env runtime.Env, b *message.OrderBatch) {
 	p.sendFetch(env, b.Primary, nil, missing)
 }
 
+// armDeferredFetch keeps a retry timer running while the shadow holds
+// proposals deferred on missing request bodies. The first fetch can be
+// dropped by the responder-side throttle, and nothing else is guaranteed
+// to re-trigger one (the client will not re-send a request we shed at
+// admission), so the timer re-asks every throttle window until no
+// proposal is deferred.
+func (p *Process) armDeferredFetch(env runtime.Env) {
+	if p.deferFetchTimer != nil || len(p.deferredProposals) == 0 {
+		return
+	}
+	p.deferFetchTimer = env.SetTimer(p.fetchThrottle(), func() {
+		p.deferFetchTimer = nil
+		p.fetchDeferredPayloads(env)
+		p.armDeferredFetch(env)
+	})
+}
+
+// fetchDeferredPayloads re-asks the primary for every request body a
+// deferred proposal is still waiting on, merged into one FetchReq per
+// primary so the responder's one-answer-per-window throttle covers them
+// all at once.
+func (p *Process) fetchDeferredPayloads(env runtime.Env) {
+	if p.muted() {
+		return
+	}
+	missing := make(map[types.NodeID][]message.ReqID)
+	for _, d := range p.deferredProposals {
+		if d.batch.Primary == p.id {
+			continue
+		}
+		for _, e := range d.batch.Entries {
+			if _, ok := p.pool.Get(e.Req); ok {
+				continue
+			}
+			if at, ok := p.reqFetchAsked[e.Req]; ok && env.Now().Sub(at) < p.fetchThrottle() {
+				continue
+			}
+			missing[d.batch.Primary] = append(missing[d.batch.Primary], e.Req)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if p.reqFetchAsked == nil {
+		p.reqFetchAsked = make(map[message.ReqID]time.Time)
+	}
+	for target, ids := range missing {
+		for _, id := range ids {
+			p.reqFetchAsked[id] = env.Now()
+		}
+		p.sendFetch(env, target, nil, ids)
+	}
+}
+
 func (p *Process) sendFetch(env runtime.Env, target types.NodeID, seqs []types.Seq, reqs []message.ReqID) {
 	m := &message.FetchReq{From: p.id, Seqs: seqs, Reqs: reqs}
 	sig, err := message.SignSingle(env, m.SignedBody())

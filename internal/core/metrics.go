@@ -22,6 +22,17 @@ type coreMetrics struct {
 	catchingUp    *obs.Gauge   // 1 while restart catch-up is in progress
 	catchupTarget *obs.Gauge   // highest responder watermark seen this catch-up
 	catchups      *obs.Counter // completed restart catch-up rounds
+
+	// Client-ingress instruments (ingress.go): admission outcomes per
+	// reason, the brownout state, and per-client queue depth at admission.
+	ingressAdmitted     *obs.Counter
+	ingressShedRate     *obs.Counter
+	ingressShedOverload *obs.Counter
+	ingressShedInflight *obs.Counter
+	ingressLockedOut    *obs.Counter
+	ingressEvicted      *obs.Counter
+	ingressBrownout     *obs.Gauge
+	ingressQueueDepth   *obs.Histogram
 }
 
 // newCoreMetrics registers the ordering instruments (labeled by
@@ -30,6 +41,9 @@ type coreMetrics struct {
 func newCoreMetrics(r *obs.Registry, labels []obs.Label) coreMetrics {
 	if r == nil {
 		return coreMetrics{}
+	}
+	reason := func(v string) []obs.Label {
+		return append(append(make([]obs.Label, 0, len(labels)+1), labels...), obs.L("reason", v))
 	}
 	return coreMetrics{
 		watermark: r.Gauge("sof_commit_watermark",
@@ -56,6 +70,23 @@ func newCoreMetrics(r *obs.Registry, labels []obs.Label) coreMetrics {
 			"Highest peer watermark seen during the current catch-up round.", labels...),
 		catchups: r.Counter("sof_catchups_total",
 			"Restart catch-up rounds completed.", labels...),
+		ingressAdmitted: r.Counter("sof_ingress_admitted_total",
+			"Client requests admitted past the ingress controller.", labels...),
+		ingressShedRate: r.Counter("sof_ingress_shed_total",
+			"Client requests shed at admission, by reason.", reason("rate")...),
+		ingressShedOverload: r.Counter("sof_ingress_shed_total",
+			"Client requests shed at admission, by reason.", reason("overload")...),
+		ingressShedInflight: r.Counter("sof_ingress_shed_total",
+			"Client requests shed at admission, by reason.", reason("inflight")...),
+		ingressLockedOut: r.Counter("sof_ingress_locked_out_total",
+			"Client requests refused while their client was locked out.", labels...),
+		ingressEvicted: r.Counter("sof_ingress_evicted_total",
+			"Pooled requests evicted after EvictAfter without an ordering decision.", labels...),
+		ingressBrownout: r.Gauge("sof_ingress_brownout",
+			"1 while the admission controller is shedding over-share clients.", labels...),
+		ingressQueueDepth: r.Histogram("sof_ingress_client_queue_depth",
+			"Admitted client's pending-queue depth at admission.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}, labels...),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/sof-repro/sof/internal/message"
+	"github.com/sof-repro/sof/internal/types"
 )
 
 // RequestPool holds client requests awaiting ordering and execution.
@@ -12,6 +13,15 @@ import (
 // event loop, but the replica layer resolves payloads (Get) from the
 // replay-drain goroutine, so the pool carries its own lock; waiter
 // callbacks fire outside it (they re-enter the pool).
+//
+// The pool has two dequeue disciplines. The default is the single FIFO
+// arrival queue the paper implies: strict arrival order, one queue for
+// all clients. SetFair switches it to per-client queues drained by
+// deficit round robin — each backlogged client earns a byte quantum per
+// scheduling round, so one flooding client can no longer push every
+// other client's requests arbitrarily far back. Both disciplines keep
+// identical counters (pending, pending bytes, batch-target trigger) and
+// identical MarkOrdered/UnmarkOrdered semantics.
 type RequestPool struct {
 	mu      sync.RWMutex
 	reqs    map[message.ReqID]*message.Request
@@ -40,6 +50,28 @@ type RequestPool struct {
 	targetBytes  int
 	entryExtra   int // per-entry overhead beyond the payload
 	onTarget     func()
+
+	// Fair-dequeue state (SetFair). queues replaces unordered/head as
+	// the arrival structure; ring is the round-robin rotation of
+	// backlogged clients; perClient counts each client's live pending
+	// entries (the ingress layer's per-client occupancy and the DRR
+	// scheduler's active set — entries deleted at zero, so its length is
+	// the number of backlogged clients).
+	fair      bool
+	quantum   int
+	queues    map[types.NodeID]*clientQueue
+	ring      []types.NodeID
+	perClient map[types.NodeID]int
+}
+
+// clientQueue is one client's FIFO arrival queue in fair mode, with the
+// same head-index + periodic-compaction consumption as the global queue,
+// plus its deficit-round-robin account.
+type clientQueue struct {
+	ids     []message.ReqID
+	head    int
+	deficit int // unspent service bytes from earlier scheduling rounds
+	inRing  bool
 }
 
 // poolCompactMin is the minimum consumed-prefix length before compaction
@@ -68,12 +100,77 @@ func (p *RequestPool) compact() {
 	p.head = 0
 }
 
-// enqueue appends a not-yet-ordered id to the arrival queue.
+// enqueue appends a not-yet-ordered id to the arrival queue (the
+// client's own queue in fair mode, the global FIFO otherwise).
 func (p *RequestPool) enqueue(id message.ReqID) {
-	p.unordered = append(p.unordered, id)
+	if p.fair {
+		q := p.queues[id.Client]
+		if q == nil {
+			q = &clientQueue{}
+			p.queues[id.Client] = q
+		}
+		q.ids = append(q.ids, id)
+		if !q.inRing {
+			q.inRing = true
+			p.ring = append(p.ring, id.Client)
+		}
+		p.clientDelta(id.Client, 1)
+	} else {
+		p.unordered = append(p.unordered, id)
+	}
 	p.inQueue[id] = true
 	p.pending++
 	p.pendingBytes += p.cost(id)
+}
+
+// SetFair switches the pool to per-client queues with deficit-round-
+// robin dequeue. quantum is the service bytes each backlogged client
+// earns per scheduling round (values < 1 fall back to 1). Like
+// SetBatchTarget it must be installed before traffic flows — the owning
+// process does so in Init, with the pool still empty.
+func (p *RequestPool) SetFair(quantum int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if quantum < 1 {
+		quantum = 1
+	}
+	p.fair = true
+	p.quantum = quantum
+	if p.queues == nil {
+		p.queues = make(map[types.NodeID]*clientQueue)
+		p.perClient = make(map[types.NodeID]int)
+	}
+}
+
+// ClientPending returns client's live pending entries (0 unless fair
+// mode is on — the single-FIFO pool does not keep per-client counts).
+func (p *RequestPool) ClientPending(client types.NodeID) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.perClient[client]
+}
+
+// ActiveClients returns how many clients currently have pending entries
+// (0 unless fair mode is on).
+func (p *RequestPool) ActiveClients() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.perClient)
+}
+
+// clientDelta maintains the per-client pending counter symmetrically
+// with pending; entries are deleted at zero so len(perClient) is the
+// backlogged-client count.
+func (p *RequestPool) clientDelta(client types.NodeID, d int) {
+	if !p.fair {
+		return
+	}
+	n := p.perClient[client] + d
+	if n <= 0 {
+		delete(p.perClient, client)
+		return
+	}
+	p.perClient[client] = n
 }
 
 // cost is the estimated batch-wire cost of one pending entry. It must be
@@ -161,6 +258,39 @@ func (p *RequestPool) WhenAvailable(id message.ReqID, fn func(*message.Request))
 	}
 }
 
+// Awaited reports whether a WhenAvailable waiter is registered for the
+// request — the protocol itself is blocked on this body (a deferred
+// shadow endorsement), so admission must not refuse it.
+func (p *RequestPool) Awaited(id message.ReqID) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.waiters[id]) > 0
+}
+
+// Drop discards an unordered request outright, reversing its pending
+// accounting; its stale queue entry is skipped when the dequeue reaches
+// it. Ordered requests are never dropped — their bodies are still owed
+// to the replica layer. The ingress layer uses Drop for requests the
+// proposer refused at admission (shed parity) and for entries whose
+// eviction TTL expired without an ordering decision.
+func (p *RequestPool) Drop(id message.ReqID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ordered[id] {
+		return
+	}
+	if _, known := p.reqs[id]; !known {
+		return
+	}
+	if p.inQueue[id] {
+		delete(p.inQueue, id)
+		p.pending--
+		p.pendingBytes -= p.cost(id)
+		p.clientDelta(id.Client, -1)
+	}
+	delete(p.reqs, id)
+}
+
 // MarkOrdered records that a request has been assigned a sequence number.
 func (p *RequestPool) MarkOrdered(id message.ReqID) {
 	p.mu.Lock()
@@ -173,6 +303,7 @@ func (p *RequestPool) MarkOrdered(id message.ReqID) {
 		// The queue entry is now stale; NextBatch skips it when reached.
 		p.pending--
 		p.pendingBytes -= p.cost(id)
+		p.clientDelta(id.Client, -1)
 	}
 }
 
@@ -200,6 +331,7 @@ func (p *RequestPool) UnmarkOrdered(id message.ReqID) {
 		// Its stale queue entry is live again.
 		p.pending++
 		p.pendingBytes += p.cost(id)
+		p.clientDelta(id.Client, 1)
 		return
 	}
 	p.enqueue(id)
@@ -209,13 +341,18 @@ func (p *RequestPool) UnmarkOrdered(id message.ReqID) {
 // beyond the request digest (identifiers and length prefixes).
 const EntryOverhead = 24
 
-// NextBatch pops unordered requests in arrival order until adding another
-// would exceed maxBytes (counting payload plus EntryOverhead plus digest
-// size per entry), marking them ordered. At least one request is returned
-// if any is available, so an oversized single request still gets ordered.
+// NextBatch pops unordered requests until adding another would exceed
+// maxBytes (counting payload plus EntryOverhead plus digest size per
+// entry), marking them ordered. At least one request is returned if any
+// is available, so an oversized single request still gets ordered. The
+// default discipline pops in strict arrival order; in fair mode (SetFair)
+// backlogged clients are served deficit-round-robin instead.
 func (p *RequestPool) NextBatch(maxBytes, digestSize int) []*message.Request {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.fair {
+		return p.nextBatchFair(maxBytes, digestSize)
+	}
 	var (
 		out   []*message.Request
 		total int
@@ -247,6 +384,107 @@ func (p *RequestPool) NextBatch(maxBytes, digestSize int) []*message.Request {
 	return out
 }
 
+// nextBatchFair is NextBatch's deficit-round-robin discipline (p.mu
+// held). The ring holds every backlogged client; the front client earns
+// one quantum of deficit per visit, serves queue-head requests while its
+// deficit covers their cost, then rotates to the back. Clients whose
+// queues empty retire from the ring with their deficit forfeited.
+// Within one client requests still pop in arrival order, so per-client
+// FIFO semantics (and ClientSeq monotonicity) are preserved.
+func (p *RequestPool) nextBatchFair(maxBytes, digestSize int) []*message.Request {
+	var (
+		out   []*message.Request
+		total int
+	)
+	for len(p.ring) > 0 {
+		cid := p.ring[0]
+		q := p.queues[cid]
+		q.dropStaleHead(p)
+		if q.head >= len(q.ids) {
+			p.retireFront(q)
+			continue
+		}
+		q.deficit += p.quantum
+		for q.head < len(q.ids) {
+			q.dropStaleHead(p)
+			if q.head >= len(q.ids) {
+				break
+			}
+			id := q.ids[q.head]
+			req := p.reqs[id]
+			cost := len(req.Payload) + EntryOverhead + digestSize
+			if len(out) > 0 {
+				if total+cost > maxBytes {
+					q.compact()
+					return out // batch full; ring order persists for the next one
+				}
+				if cost > q.deficit {
+					break // this round's share is spent
+				}
+			}
+			q.head++
+			delete(p.inQueue, id)
+			p.ordered[id] = true
+			p.pending--
+			p.pendingBytes -= p.cost(id)
+			p.clientDelta(id.Client, -1)
+			out = append(out, req)
+			total += cost
+			if q.deficit -= cost; q.deficit < 0 {
+				q.deficit = 0 // an oversized first request is served on credit
+			}
+			if total >= maxBytes {
+				q.compact()
+				return out
+			}
+		}
+		if q.head >= len(q.ids) {
+			p.retireFront(q)
+			continue
+		}
+		// Still backlogged: rotate to the back of the ring, keeping any
+		// unspent deficit for the next round.
+		copy(p.ring, p.ring[1:])
+		p.ring[len(p.ring)-1] = cid
+		q.compact()
+	}
+	return out
+}
+
+// dropStaleHead advances past queue entries ordered out of band (their
+// pending accounting was already reversed by MarkOrdered).
+func (q *clientQueue) dropStaleHead(p *RequestPool) {
+	for q.head < len(q.ids) {
+		id := q.ids[q.head]
+		if !p.ordered[id] && p.inQueue[id] {
+			return
+		}
+		q.head++
+		delete(p.inQueue, id)
+	}
+}
+
+// retireFront removes the ring's front client, whose queue is fully
+// consumed; its deficit is forfeited (an idle client must not bank
+// service credit).
+func (p *RequestPool) retireFront(q *clientQueue) {
+	q.inRing = false
+	q.deficit = 0
+	q.ids = q.ids[:0] // fully consumed; keep the backing array for reuse
+	q.head = 0
+	p.ring = p.ring[:copy(p.ring, p.ring[1:])]
+}
+
+// compact is the per-client analogue of RequestPool.compact.
+func (q *clientQueue) compact() {
+	if q.head < poolCompactMin || q.head*2 < len(q.ids) {
+		return
+	}
+	n := copy(q.ids, q.ids[q.head:])
+	q.ids = q.ids[:n]
+	q.head = 0
+}
+
 // PendingCount returns how many known requests await ordering. It is O(1):
 // the counter is maintained across Add/MarkOrdered/UnmarkOrdered/NextBatch
 // instead of scanning the queue.
@@ -264,9 +502,17 @@ func (p *RequestPool) Len() int {
 }
 
 // queueFootprint reports the arrival queue's backing length (regression
-// tests pin the compaction behaviour with it).
+// tests pin the compaction behaviour with it). In fair mode it sums the
+// per-client queues.
 func (p *RequestPool) queueFootprint() (length, head int) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return len(p.unordered), p.head
+	if !p.fair {
+		return len(p.unordered), p.head
+	}
+	for _, q := range p.queues {
+		length += len(q.ids)
+		head += q.head
+	}
+	return length, head
 }

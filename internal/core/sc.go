@@ -7,6 +7,7 @@ import (
 
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/fsp"
+	"github.com/sof-repro/sof/internal/ingress"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/obs"
 	"github.com/sof-repro/sof/internal/runtime"
@@ -64,6 +65,14 @@ type Config struct {
 	// free-running (0 = BatchInterval). The timer is not re-armed while
 	// the pool is empty, so idle primaries do not wake every interval.
 	BatchIdleArm time.Duration
+	// Ingress, when Enabled, installs the client admission pipeline in
+	// front of the request pool: per-client rate limiting with failure
+	// lockout, a per-client pending cap, and overload brownout that sheds
+	// over-share clients while backlog pressure is high. Enabling it also
+	// switches the pool to fair (deficit-round-robin) dequeue. Disabled
+	// (the zero value) the request path is byte-for-byte the classic one.
+	Ingress ingress.Config
+
 	// DigestOnlyAcks keeps ordering traffic digest-only on the critical
 	// path: acks carry just the subject digest instead of embedding the
 	// full marshalled subject (commit proofs bind the digest, so proofs
@@ -177,6 +186,16 @@ type Process struct {
 	pool       *RequestPool
 	digestSize int
 
+	// Ingress admission state (ingress.go): nil controller when disabled;
+	// rejectLast throttles signed Rejected replies per client;
+	// ingressAges/agesHead log admissions in order for TTL eviction,
+	// swept by evictTimer.
+	ingress     *ingress.Controller
+	rejectLast  map[types.NodeID]time.Time
+	ingressAges []admitStamp
+	agesHead    int
+	evictTimer  runtime.Timer
+
 	// Receiver-side ordering state.
 	nextExpected  types.Seq
 	future        map[types.Seq]*message.OrderBatch
@@ -208,9 +227,11 @@ type Process struct {
 	sizeTriggeredCount  uint64
 	timerTriggeredCount uint64
 
-	// Coordinator-shadow state.
+	// Coordinator-shadow state. deferFetchTimer retries payload fetches
+	// for deferred proposals (check.go / fetch.go).
 	shadowNextPropose types.Seq
-	deferredProposals map[types.Seq]int // FirstSeq -> unresolved request count
+	deferredProposals map[types.Seq]*deferredProposal // by FirstSeq
+	deferFetchTimer   runtime.Timer
 
 	// Install state (install.go).
 	installing      bool
@@ -283,6 +304,9 @@ func New(id types.NodeID, cfg Config) (*Process, error) {
 	if cfg.BatchIdleArm < 0 {
 		return nil, errors.New("core: BatchIdleArm must not be negative")
 	}
+	if err := cfg.Ingress.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if cfg.Topo.Protocol == types.SCR && cfg.DumbOptimization {
 		// The dumb optimization depends on property SC2, which does not
 		// hold under the recovery semantics (Section 4.4).
@@ -308,7 +332,7 @@ func New(id types.NodeID, cfg Config) (*Process, error) {
 		proposals:         make(map[types.Seq]*message.OrderBatch),
 		inflight:          make(map[types.Seq]types.Seq),
 		shadowNextPropose: 1,
-		deferredProposals: make(map[types.Seq]int),
+		deferredProposals: make(map[types.Seq]*deferredProposal),
 		backlogs:          make(map[types.NodeID]*message.BackLog),
 		startSigs:         make(map[types.NodeID]crypto.Signature),
 		pendingAcks:       make(map[types.Seq][]*message.Ack),
@@ -346,6 +370,14 @@ func New(id types.NodeID, cfg Config) (*Process, error) {
 		// ahead answer with the missed history, peers that are not answer
 		// with an empty CatchUp that completes the round immediately.
 		p.catchingUp = true
+	}
+	if cfg.Ingress.Enabled {
+		p.ingress = ingress.NewController(cfg.Ingress)
+		p.rejectLast = make(map[types.NodeID]time.Time)
+		// Fair dequeue rides with admission: once clients are being
+		// charged for pool occupancy, one client's backlog must not
+		// dictate every other client's ordering latency either.
+		p.pool.SetFair(p.ingress.FairQuantum())
 	}
 	p.m = newCoreMetrics(cfg.Metrics, cfg.MetricsLabels)
 	p.m.syncRegime(p)
@@ -504,6 +536,8 @@ func (p *Process) Receive(env runtime.Env, from types.NodeID, m message.Message)
 		p.onCatchUp(env, from, m)
 	case *message.FetchReq:
 		p.onFetchReq(env, from, m)
+	case *message.Rejected:
+		p.onPeerRejected(env, from, m)
 	default:
 		env.Logf("core: ignoring %v from %v", m.Type(), from)
 	}
@@ -641,6 +675,7 @@ func (p *Process) closeBatch(env runtime.Env, sizeTriggered bool) bool {
 	}
 	p.m.batchFill.Set(fill)
 	p.m.inflight.SetInt(int64(len(p.inflight)))
+	p.refreshIngress()
 	if p.cfg.OnBatched != nil {
 		p.cfg.OnBatched(BatchEvent{
 			Node: p.id, View: p.view, FirstSeq: batch.FirstSeq,
@@ -675,6 +710,7 @@ func (p *Process) releaseInflight(env runtime.Env) {
 		}
 	}
 	p.m.inflight.SetInt(int64(len(p.inflight)))
+	p.refreshIngress()
 	p.onPoolTarget(env)
 }
 
@@ -709,9 +745,13 @@ func ackKey(v types.View, s types.Seq) string { return fmt.Sprintf("ack-%d-%d", 
 // --- requests ---
 
 func (p *Process) onRequest(env runtime.Env, req *message.Request) {
+	if !p.admitRequest(env, req) {
+		return
+	}
 	if !p.pool.Add(req) {
 		return
 	}
+	p.observeClientQueueDepth(req.Client)
 	// Arm on demand: the first request reaching an idle primary starts
 	// the batch-close backstop (the timer is not left free-running on an
 	// empty pool). The pool's size trigger may already have closed a full
@@ -791,6 +831,9 @@ func (p *Process) startBatchTracking(env runtime.Env, b *message.OrderBatch) boo
 			p.pair.Met(orderKey(e.Req))
 		}
 	}
+	// Non-proposers drain their pool mirror here, so this is their
+	// brownout exit point (the proposer's is closeBatch/releaseInflight).
+	p.refreshIngress()
 	p.primaryObserveEndorsed(env, b, digest)
 	p.sendAck(env, t)
 	p.replayPendingAcks(env, t)

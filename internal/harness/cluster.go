@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"crypto/tls"
 	"fmt"
 	"log"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 	"github.com/sof-repro/sof/internal/ct"
 	"github.com/sof-repro/sof/internal/des"
 	"github.com/sof-repro/sof/internal/fsp"
+	"github.com/sof-repro/sof/internal/ingress"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/netsim"
 	"github.com/sof-repro/sof/internal/obs"
@@ -58,6 +60,13 @@ type Options struct {
 	MaxInflightBatches int
 	BatchIdleArm       time.Duration
 	DigestOnlyAcks     bool
+
+	// Ingress enables client admission control on every SC/SCR order
+	// process (core.Config.Ingress): per-client rate limiting, optional
+	// failure lockout, overload brownout, and the fair (deficit
+	// round-robin) request pool. The zero value keeps today's
+	// unconditional-admission path bit-for-bit. SC/SCR only.
+	Ingress ingress.Config
 
 	Mirror           bool
 	DumbOptimization bool
@@ -113,6 +122,13 @@ type Options struct {
 	// links, so WAN-profile and partition experiments run on the real
 	// substrate. Requires the live TCP transport.
 	TCPShaping bool
+
+	// TLS wraps every TCP connection (peer links and client links alike)
+	// in TLS 1.3 with a deterministic identity derived from the cluster
+	// seed (tcpnet.DevTLS): server authentication against a shared-secret
+	// root, transport encryption on the wire. Requires the live TCP
+	// transport.
+	TLS bool
 
 	// Adversaries installs an adversarial twin on the named order
 	// processes: the node keeps the honest SC/SCR reactor but its
@@ -240,6 +256,11 @@ type Cluster struct {
 	// re-attached on every RestartNode incarnation.
 	advTaps map[types.NodeID]adversaryTap
 
+	// tlsServer/tlsClient are the cluster's deterministic DevTLS pair
+	// (Options.TLS), derived once and shared by every node's transport.
+	tlsServer *tls.Config
+	tlsClient *tls.Config
+
 	// registries holds one obs registry per node (lazily created, nil
 	// when Options.DisableMetrics). A registry outlives its node's
 	// incarnations: RestartNode's new process re-attaches to the same
@@ -264,6 +285,12 @@ func New(opts Options) (*Cluster, error) {
 	}
 	if opts.TCPShaping && (!opts.Live || opts.Transport != types.TransportTCP) {
 		return nil, fmt.Errorf("harness: TCPShaping requires the live TCP transport")
+	}
+	if opts.TLS && (!opts.Live || opts.Transport != types.TransportTCP) {
+		return nil, fmt.Errorf("harness: TLS requires the live TCP transport")
+	}
+	if opts.Ingress.Enabled && opts.Protocol != types.SC && opts.Protocol != types.SCR {
+		return nil, fmt.Errorf("harness: Ingress requires the SC/SCR protocols")
 	}
 	if opts.Durable {
 		if !opts.Live {
@@ -379,7 +406,14 @@ func New(opts Options) (*Cluster, error) {
 				}
 			}
 		}
-		if c.links != nil || opts.TCPShaping || !opts.DisableMetrics {
+		if opts.TLS {
+			srv, cli, err := tcpnet.DevTLS(fmt.Sprintf("harness/%d", opts.Seed))
+			if err != nil {
+				return nil, err
+			}
+			c.tlsServer, c.tlsClient = srv, cli
+		}
+		if c.links != nil || opts.TCPShaping || opts.TLS || !opts.DisableMetrics {
 			c.tcp.SetNodeOptions(c.tcpOptionsFor)
 		}
 		c.sub = c.tcp
@@ -603,6 +637,8 @@ func (c *Cluster) tcpOptionsFor(id types.NodeID) tcpnet.Options {
 			return c.Fabric.Delay(from, to, size)
 		}
 	}
+	o.TLSServer = c.tlsServer
+	o.TLSClient = c.tlsClient
 	o.Metrics = c.RegistryOf(id)
 	return o
 }
@@ -661,6 +697,70 @@ func (c *Cluster) FailoversOf(id types.NodeID, group int) uint64 {
 	return r.Counter("sof_failovers_total",
 		"Coordinator installations completed after a fail-signal.",
 		c.coreMetricsLabels(id, group)...).Value()
+}
+
+// IngressAdmittedOf reads node id's sof_ingress_admitted_total counter
+// for one group. Returns 0 with metrics disabled.
+func (c *Cluster) IngressAdmittedOf(id types.NodeID, group int) uint64 {
+	r := c.RegistryOf(id)
+	if r == nil {
+		return 0
+	}
+	return r.Counter("sof_ingress_admitted_total",
+		"Client requests admitted past the ingress controller.",
+		c.coreMetricsLabels(id, group)...).Value()
+}
+
+// IngressShedOf reads node id's sof_ingress_shed_total counters for one
+// group, summed across the shed reasons (rate, overload, inflight).
+// Returns 0 with metrics disabled.
+func (c *Cluster) IngressShedOf(id types.NodeID, group int) uint64 {
+	r := c.RegistryOf(id)
+	if r == nil {
+		return 0
+	}
+	var total uint64
+	for _, reason := range []string{"rate", "overload", "inflight"} {
+		labels := append(c.coreMetricsLabels(id, group), obs.L("reason", reason))
+		total += r.Counter("sof_ingress_shed_total",
+			"Client requests shed at admission, by reason.", labels...).Value()
+	}
+	return total
+}
+
+// IngressLockedOutOf reads node id's sof_ingress_locked_out_total
+// counter for one group. Returns 0 with metrics disabled.
+func (c *Cluster) IngressLockedOutOf(id types.NodeID, group int) uint64 {
+	r := c.RegistryOf(id)
+	if r == nil {
+		return 0
+	}
+	return r.Counter("sof_ingress_locked_out_total",
+		"Client requests refused while their client was locked out.",
+		c.coreMetricsLabels(id, group)...).Value()
+}
+
+// IngressBrownoutGauge re-attaches to node id's sof_ingress_brownout
+// gauge for one group (nil with metrics disabled): 1 while the
+// admission controller is shedding over-share clients.
+func (c *Cluster) IngressBrownoutGauge(id types.NodeID, group int) *obs.Gauge {
+	r := c.RegistryOf(id)
+	if r == nil {
+		return nil
+	}
+	return r.Gauge("sof_ingress_brownout",
+		"1 while the admission controller is shedding over-share clients.",
+		c.coreMetricsLabels(id, group)...)
+}
+
+// RejectedCount reports how many ingress Rejected replies client k's
+// endpoints (all groups) have received.
+func (c *Cluster) RejectedCount(k int) uint64 {
+	var total uint64
+	for _, cp := range c.clientGroups[types.ClientID(k)] {
+		total += cp.rejected.Load()
+	}
+	return total
 }
 
 // ReadinessOf builds node id's readiness probe: ready when every hosted
@@ -765,6 +865,7 @@ func (c *Cluster) buildProcess(id types.NodeID, group int) (runtime.Process, err
 			MaxInflightBatches:  c.Opts.MaxInflightBatches,
 			BatchIdleArm:        c.Opts.BatchIdleArm,
 			DigestOnlyAcks:      c.Opts.DigestOnlyAcks,
+			Ingress:             c.Opts.Ingress,
 			OnBatched:           rec.OnBatched,
 			OnCommit:            rec.OnCommit,
 			OnFailSignal:        rec.OnFailSignal,
@@ -1302,6 +1403,10 @@ type clientProc struct {
 
 	seq  *atomic.Uint64
 	sent int
+
+	// rejected counts ingress Rejected replies this endpoint received
+	// (read concurrently by Cluster.RejectedCount).
+	rejected atomic.Uint64
 }
 
 var _ runtime.Process = (*clientProc)(nil)
@@ -1343,6 +1448,12 @@ func (c *clientProc) submit(env runtime.Env, seq uint64, payload []byte) {
 	env.Multicast(c.targets, req)
 }
 
-// Receive implements runtime.Process (replies are consumed by the replica
-// layer's client library; the harness client ignores inbound traffic).
-func (c *clientProc) Receive(runtime.Env, types.NodeID, message.Message) {}
+// Receive implements runtime.Process. Replies are consumed by the
+// replica layer's client library; the harness client only counts the
+// ingress backpressure signal (a production client would back off —
+// sofclient does).
+func (c *clientProc) Receive(_ runtime.Env, _ types.NodeID, m message.Message) {
+	if _, ok := m.(*message.Rejected); ok {
+		c.rejected.Add(1)
+	}
+}

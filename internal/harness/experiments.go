@@ -8,6 +8,7 @@ import (
 
 	"github.com/sof-repro/sof/internal/core"
 	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/ingress"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/netsim"
 	"github.com/sof-repro/sof/internal/stats"
@@ -329,17 +330,29 @@ func RunTCPHotPathPoint(window time.Duration, seed int64, mode string) (HotPathP
 // size-triggered close + window refill actually broke that ceiling (and
 // at what batch fill it did so).
 func RunTCPPipelinedPoint(window time.Duration, seed int64, loadMult float64) (HotPathPoint, error) {
-	return runTCPPipelinedPoint(window, seed, loadMult, false)
+	return runTCPPipelinedPoint(window, seed, loadMult, false, false)
 }
 
 // RunTCPPipelinedPointNoMetrics is the same point with the per-node
 // registries disabled: the baseline the metrics-overhead smoke guard
 // compares the default (instrumented) point against.
 func RunTCPPipelinedPointNoMetrics(window time.Duration, seed int64, loadMult float64) (HotPathPoint, error) {
-	return runTCPPipelinedPoint(window, seed, loadMult, true)
+	return runTCPPipelinedPoint(window, seed, loadMult, true, false)
 }
 
-func runTCPPipelinedPoint(window time.Duration, seed int64, loadMult float64, noMetrics bool) (HotPathPoint, error) {
+// RunTCPIngressPoint is the pipelined point with the full client
+// admission pipeline on — limiter lookup, per-client accounting,
+// brownout sampling and DRR fair dequeue on every request — configured
+// so no request is actually shed (unlimited rate, no lockout, no
+// per-client cap; a lone client is never over-share, so brownout cannot
+// refuse it either). Its committed/s against the plain pipelined point
+// is the admission layer's hot-path cost, which the ingress-overhead
+// smoke guard bounds.
+func RunTCPIngressPoint(window time.Duration, seed int64, loadMult float64) (HotPathPoint, error) {
+	return runTCPPipelinedPoint(window, seed, loadMult, false, true)
+}
+
+func runTCPPipelinedPoint(window time.Duration, seed int64, loadMult float64, noMetrics, withIngress bool) (HotPathPoint, error) {
 	const interval = 10 * time.Millisecond
 	if loadMult <= 0 {
 		loadMult = 1
@@ -369,7 +382,12 @@ func runTCPPipelinedPoint(window time.Duration, seed int64, loadMult float64, no
 		DigestOnlyAcks:     true,
 		DisableMetrics:     noMetrics,
 	}
-	p, err := measureTCPPoint(opts, window, "tcp-pipelined")
+	mode := "tcp-pipelined"
+	if withIngress {
+		mode = "tcp-ingress"
+		opts.Ingress = ingress.Config{Enabled: true, Rate: -1}
+	}
+	p, err := measureTCPPoint(opts, window, mode)
 	if err != nil {
 		return p, err
 	}

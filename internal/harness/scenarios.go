@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/sof-repro/sof/internal/ingress"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/netsim"
 	"github.com/sof-repro/sof/internal/types"
@@ -50,27 +51,38 @@ type CampaignOptions struct {
 
 // ScenarioPoint is one scenario's recorded series entry.
 type ScenarioPoint struct {
-	Name            string   `json:"name"`
-	Series          string   `json:"series"`
-	Seed            int64    `json:"seed"`
-	Profile         string   `json:"net_profile,omitempty"`
-	Adversary       string   `json:"adversary,omitempty"`
-	DurationSec     float64  `json:"duration_sec"`
-	Submitted       int      `json:"submitted"`
-	Committed       int      `json:"committed"`
-	Lost            int      `json:"lost"`
-	CommittedPerSec float64  `json:"committed_per_sec"`
-	MeanLatencyMS   float64  `json:"mean_latency_ms"`
-	P99LatencyMS    float64  `json:"p99_latency_ms"`
-	FailSignals     int      `json:"fail_signals"`
-	FailOvers       int      `json:"fail_overs"`
-	FailOverMS      float64  `json:"fail_over_ms,omitempty"`
-	PairRecoveries  int      `json:"pair_recoveries,omitempty"`
-	Restarts        int      `json:"restarts,omitempty"`
-	AdvMatched      int64    `json:"adversary_matched,omitempty"`
-	AdvInjected     int64    `json:"adversary_injected,omitempty"`
-	AdvDropped      int64    `json:"adversary_dropped,omitempty"`
-	Violations      []string `json:"violations,omitempty"`
+	Name            string  `json:"name"`
+	Series          string  `json:"series"`
+	Seed            int64   `json:"seed"`
+	Profile         string  `json:"net_profile,omitempty"`
+	Adversary       string  `json:"adversary,omitempty"`
+	DurationSec     float64 `json:"duration_sec"`
+	Submitted       int     `json:"submitted"`
+	Committed       int     `json:"committed"`
+	Lost            int     `json:"lost"`
+	CommittedPerSec float64 `json:"committed_per_sec"`
+	MeanLatencyMS   float64 `json:"mean_latency_ms"`
+	P99LatencyMS    float64 `json:"p99_latency_ms"`
+	FailSignals     int     `json:"fail_signals"`
+	FailOvers       int     `json:"fail_overs"`
+	FailOverMS      float64 `json:"fail_over_ms,omitempty"`
+	PairRecoveries  int     `json:"pair_recoveries,omitempty"`
+	Restarts        int     `json:"restarts,omitempty"`
+	AdvMatched      int64   `json:"adversary_matched,omitempty"`
+	AdvInjected     int64   `json:"adversary_injected,omitempty"`
+	AdvDropped      int64   `json:"adversary_dropped,omitempty"`
+
+	// Ingress fields (overload-brownout scenario): admission outcomes
+	// summed over the order processes, the greedy client's Rejected
+	// replies, its commit count, and whether the brownout gauge was seen
+	// raised during the run.
+	IngressShed     uint64 `json:"ingress_shed,omitempty"`
+	IngressAdmitted uint64 `json:"ingress_admitted,omitempty"`
+	RejectedReplies uint64 `json:"rejected_replies,omitempty"`
+	GreedyCommitted int    `json:"greedy_committed,omitempty"`
+	BrownoutSeen    bool   `json:"brownout_seen,omitempty"`
+
+	Violations []string `json:"violations,omitempty"`
 }
 
 // CampaignReport is the BENCH_scenarios.json payload.
@@ -121,6 +133,7 @@ func RunScenarioCampaign(opts CampaignOptions) (CampaignReport, error) {
 			g.adversaryEquivocation(4*time.Second),
 			g.restartStorm(1, 5*time.Second),
 			g.shardedPartition(6*time.Second),
+			g.overloadBrownout(4*time.Second),
 		)
 	} else {
 		for _, profile := range netsim.ProfileNames() {
@@ -135,6 +148,7 @@ func RunScenarioCampaign(opts CampaignOptions) (CampaignReport, error) {
 			g.adversaryLiar(8*time.Second),
 			g.pairedRestart(10*time.Second),
 			g.shardedPartition(9*time.Second),
+			g.overloadBrownout(6*time.Second),
 		)
 	}
 
@@ -936,5 +950,118 @@ func (g *campaign) pairedRestart(dur time.Duration) ScenarioPoint {
 			"restarted %s still catching up mid-epoch", role))
 	}
 	finishScenario(c, &pt, tracked, dur, 15*time.Second, nil, true)
+	return g.report(pt)
+}
+
+// overloadBrownout floods the cluster with one greedy client (1 KB
+// requests every millisecond, far past the drain rate) while three
+// polite clients submit lightly, with admission control on. Expected:
+// the greedy surplus is shed (rate quota first, brownout's over-share
+// policy once the pool backlog crosses the high watermark), every
+// polite request commits, the greedy client hears Rejected replies, and
+// the brownout gauge rises under the flood and clears once the backlog
+// drains.
+func (g *campaign) overloadBrownout(dur time.Duration) ScenarioPoint {
+	pt := ScenarioPoint{Name: "overload/brownout", Series: "overload", Profile: "wan", Seed: g.scenarioSeed()}
+	opts := baseOptions("wan", pt.Seed)
+	opts.NumClients = 4 // client 0 greedy, 1..3 polite
+	opts.Ingress = ingress.Config{
+		Enabled:      true,
+		Rate:         600, // greedy offers ~1000/s: the rate quota sheds first
+		RatePeriod:   time.Second,
+		BrownoutHigh: 4, // ~4 batches of pool backlog trips the brownout
+		BrownoutLow:  1,
+		FairQuantum:  512,
+		// Short TTL so the replicas' copies of shed requests are evicted
+		// inside the drain window — every node, not just the proposer,
+		// must leave brownout by the end.
+		EvictAfter: 5 * time.Second,
+	}
+	c, err := New(opts)
+	if err != nil {
+		return g.report(failedPoint(pt, err))
+	}
+	c.Start()
+	defer c.Stop()
+	c.Events.StartWindow(time.Now())
+
+	procs := c.Topo.AllProcesses()
+	brownoutSeen := func() bool {
+		for _, id := range procs {
+			if gauge := c.IngressBrownoutGauge(id, 0); gauge != nil && gauge.Value() != 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	greedyPayload := make([]byte, 1024)
+	politePayload := make([]byte, scenarioRequestBytes)
+	var polite, greedy []message.ReqID
+	start := time.Now()
+	for i := 0; time.Since(start) < dur; i++ {
+		if id, err := c.Submit(0, greedyPayload); err == nil {
+			greedy = append(greedy, id)
+		} else {
+			pt.Violations = append(pt.Violations, fmt.Sprintf("greedy submit: %v", err))
+		}
+		if i%20 == 0 { // each polite client ~1/60th of the greedy rate
+			for k := 1; k <= 3; k++ {
+				if id, err := c.Submit(k, politePayload); err == nil {
+					polite = append(polite, id)
+				} else {
+					pt.Violations = append(pt.Violations, fmt.Sprintf("polite submit: %v", err))
+				}
+			}
+		}
+		if !pt.BrownoutSeen && i%10 == 0 {
+			pt.BrownoutSeen = brownoutSeen()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !pt.BrownoutSeen {
+		pt.BrownoutSeen = brownoutSeen()
+	}
+
+	// Liveness and safety over the polite clients: all of their traffic
+	// must commit despite the flood. The greedy client's commits are
+	// bounded by its quota, not asserted request-by-request.
+	finishScenario(c, &pt, polite, dur, 15*time.Second, nil, false)
+	for _, id := range greedy {
+		if c.Events.Committed(id) {
+			pt.GreedyCommitted++
+		}
+	}
+	for _, id := range procs {
+		pt.IngressShed += c.IngressShedOf(id, 0)
+		pt.IngressAdmitted += c.IngressAdmittedOf(id, 0)
+	}
+	pt.RejectedReplies = c.RejectedCount(0)
+
+	if !pt.BrownoutSeen {
+		pt.Violations = append(pt.Violations, "brownout gauge never rose under the flood")
+	}
+	if pt.IngressShed == 0 {
+		pt.Violations = append(pt.Violations, "nothing shed at admission under a 6x overload")
+	}
+	if pt.RejectedReplies == 0 {
+		pt.Violations = append(pt.Violations, "greedy client never received a Rejected reply")
+	}
+	if pt.GreedyCommitted == 0 {
+		pt.Violations = append(pt.Violations, "greedy client starved outright (quota share should still commit)")
+	}
+	// finishScenario returns once the tracked polite requests commit; the
+	// greedy backlog is still draining then. Give the cluster one more
+	// window — the proposer orders its remaining admitted backlog, the
+	// other nodes drop shed copies via parity notes and TTL eviction —
+	// and require every node to leave brownout.
+	for deadline := time.Now().Add(20 * time.Second); brownoutSeen() && time.Now().Before(deadline); {
+		time.Sleep(200 * time.Millisecond)
+	}
+	for _, id := range procs {
+		if gauge := c.IngressBrownoutGauge(id, 0); gauge != nil && gauge.Value() != 0 {
+			pt.Violations = append(pt.Violations, fmt.Sprintf("%v still in brownout after the backlog drained", id))
+		}
+	}
 	return g.report(pt)
 }

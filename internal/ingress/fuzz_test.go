@@ -1,0 +1,71 @@
+package ingress
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzPeriodLimit drives the limiter store with an arbitrary op
+// sequence (incr/peek/del over a small keyspace, time advancing by
+// fuzzer-chosen steps) and checks it against a naive model: counters
+// are exact within a period, periods expire exactly, Peek never
+// mutates, and PeriodLimit admits precisely quota takes per period.
+func FuzzPeriodLimit(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 250, 6, 7})
+	f.Add([]byte{10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10})
+	f.Add([]byte{0, 255, 0, 255, 0, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const (
+			quota  = 3
+			period = 100 * time.Millisecond
+		)
+		store := NewMemStore()
+		limit := &PeriodLimit{Quota: quota, Period: period, Store: store}
+		type model struct {
+			count   int
+			expires time.Time
+		}
+		keys := []string{"a", "b", "c"}
+		want := make(map[string]model)
+		now := t0
+		for _, op := range ops {
+			key := keys[int(op>>2)%len(keys)]
+			// Two low bits pick the op, the rest advances time — so one
+			// byte exercises op/key/time interleavings.
+			now = now.Add(time.Duration(op) * 3 * time.Millisecond)
+			m := want[key]
+			expired := m.expires.IsZero() || !now.Before(m.expires)
+			switch op & 3 {
+			case 0, 1: // Take
+				if expired {
+					m = model{expires: now.Add(period)}
+				}
+				m.count++
+				want[key] = m
+				allowed, resetIn := limit.Take(key, now)
+				if allowed != (m.count <= quota) {
+					t.Fatalf("Take(%q) at %v: allowed=%v with model count %d (quota %d)",
+						key, now, allowed, m.count, quota)
+				}
+				if got, wantReset := resetIn, m.expires.Sub(now); got != wantReset {
+					t.Fatalf("Take(%q): resetIn=%v, model %v", key, got, wantReset)
+				}
+			case 2: // Peek
+				count, _, ok := store.Peek(key, now)
+				if expired {
+					if ok {
+						t.Fatalf("Peek(%q) saw an expired period (count %d)", key, count)
+					}
+				} else if !ok || count != m.count {
+					t.Fatalf("Peek(%q) = (%d, %v), model count %d", key, count, ok, m.count)
+				}
+			case 3: // Del
+				store.Del(key)
+				delete(want, key)
+			}
+		}
+		if store.Len() > len(keys) {
+			t.Fatalf("store retains %d keys for a %d-key workload", store.Len(), len(keys))
+		}
+	})
+}

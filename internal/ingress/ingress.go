@@ -1,0 +1,462 @@
+package ingress
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// Code classifies an admission decision.
+type Code uint8
+
+const (
+	// OK admits the request.
+	OK Code = iota
+	// RateLimited rejects it: the client spent its period quota.
+	RateLimited
+	// LockedOut rejects it: the client accumulated enough rejections to
+	// be locked out for the lockout period.
+	LockedOut
+	// Overload rejects it: the node is in brownout and this client holds
+	// more than its fair share of the pending pool.
+	Overload
+	// InflightCap rejects it: the client is at its per-client pending
+	// bound.
+	InflightCap
+)
+
+// String names a code the way the wire, logs and bench summaries do.
+func (c Code) String() string {
+	switch c {
+	case OK:
+		return "ok"
+	case RateLimited:
+		return "rate-limited"
+	case LockedOut:
+		return "locked-out"
+	case Overload:
+		return "overload"
+	case InflightCap:
+		return "inflight-cap"
+	default:
+		return fmt.Sprintf("code(%d)", uint8(c))
+	}
+}
+
+// Decision is the outcome of one admission check.
+type Decision struct {
+	Admit bool
+	Code  Code
+	// RetryAfter hints when the client should try again (zero when
+	// admitted; a period remainder otherwise).
+	RetryAfter time.Duration
+}
+
+// Store is the limiter's state backend: per-key counters with a period
+// TTL. It is the pluggable seam of the clip limiter idiom — MemStore
+// here; a shared store would make limits cluster-wide. Implementations
+// must be safe for concurrent use (the fuzzer and tests hit them from
+// multiple goroutines even though a Controller itself is
+// single-goroutine).
+type Store interface {
+	// Incr adds one to key's counter. If no period is running for the
+	// key (first touch, or the previous period expired), a fresh one
+	// starts at now with the given length. It returns the counter value
+	// within the current period and how long until the period expires.
+	Incr(key string, period time.Duration, now time.Time) (count int, resetIn time.Duration)
+	// Peek returns the counter without touching it; ok is false when no
+	// period is running.
+	Peek(key string, now time.Time) (count int, resetIn time.Duration, ok bool)
+	// Del drops key's state.
+	Del(key string)
+}
+
+// memEntry is one key's live period.
+type memEntry struct {
+	count   int
+	expires time.Time
+}
+
+// MemStore is the in-memory Store: a map of live periods, lazily
+// expired on access.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string]memEntry
+}
+
+// NewMemStore returns an empty in-memory limiter store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string]memEntry)} }
+
+// Incr implements Store.
+func (s *MemStore) Incr(key string, period time.Duration, now time.Time) (int, time.Duration) {
+	if period <= 0 {
+		period = time.Nanosecond
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok || !now.Before(e.expires) {
+		e = memEntry{expires: now.Add(period)}
+	}
+	e.count++
+	s.m[key] = e
+	return e.count, e.expires.Sub(now)
+}
+
+// Peek implements Store.
+func (s *MemStore) Peek(key string, now time.Time) (int, time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok || !now.Before(e.expires) {
+		return 0, 0, false
+	}
+	return e.count, e.expires.Sub(now), true
+}
+
+// Del implements Store.
+func (s *MemStore) Del(key string) {
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+}
+
+// Len reports how many keys hold a (possibly expired) period — tests
+// bound the store's footprint with it.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// PeriodLimit admits at most Quota takes per key per Period — the
+// period_limit idiom: state lives in the Store, the limiter itself is
+// pure policy.
+type PeriodLimit struct {
+	Quota  int
+	Period time.Duration
+	Store  Store
+}
+
+// Take consumes one unit for key. allowed is false once the period
+// quota is spent; resetIn is the remainder of the running period.
+func (l *PeriodLimit) Take(key string, now time.Time) (allowed bool, resetIn time.Duration) {
+	count, resetIn := l.Store.Incr(key, l.Period, now)
+	return count <= l.Quota, resetIn
+}
+
+// PeriodFailureLimit locks a key out once its failures within Period
+// reach Threshold — the period_failure_limit idiom. Failures are
+// recorded by the caller (here: every rejected admission); a success
+// clears the key.
+type PeriodFailureLimit struct {
+	Threshold int
+	Period    time.Duration
+	Store     Store
+}
+
+// RecordFailure counts one failure for key and reports whether the key
+// is now locked out.
+func (l *PeriodFailureLimit) RecordFailure(key string, now time.Time) bool {
+	count, _ := l.Store.Incr(key, l.Period, now)
+	return count >= l.Threshold
+}
+
+// Locked reports whether key is currently locked out, and for how much
+// longer.
+func (l *PeriodFailureLimit) Locked(key string, now time.Time) (bool, time.Duration) {
+	count, resetIn, ok := l.Store.Peek(key, now)
+	if !ok {
+		return false, 0
+	}
+	return count >= l.Threshold, resetIn
+}
+
+// Reset clears key's failure state (a successful admission forgives
+// earlier rejections).
+func (l *PeriodFailureLimit) Reset(key string) { l.Store.Del(key) }
+
+// Config tunes a Controller. The zero value is disabled; Enabled with
+// everything else zero applies the defaults below.
+type Config struct {
+	// Enabled turns admission control on. Off, the whole layer
+	// disappears: requests flow straight into the pool exactly as
+	// before.
+	Enabled bool
+	// Rate is the per-client admission quota per RatePeriod
+	// (default 256; negative = unlimited).
+	Rate int
+	// RatePeriod is the rate limiter's period (default 1s).
+	RatePeriod time.Duration
+	// LockoutThreshold locks a client out once its rejections within
+	// LockoutPeriod reach this count (default 0 = no lockout).
+	LockoutThreshold int
+	// LockoutPeriod is the failure-count window and the lockout
+	// duration (default 10s).
+	LockoutPeriod time.Duration
+	// MaxClientPending bounds how many admitted-but-unordered requests
+	// one client may hold in the pool (default 0 = unbounded).
+	MaxClientPending int
+	// BrownoutHigh enters brownout when the pending pool backlog
+	// exceeds this many batch targets (default 8; negative disables
+	// brownout).
+	BrownoutHigh float64
+	// BrownoutLow leaves brownout when the backlog falls below this
+	// many batch targets (default 2).
+	BrownoutLow float64
+	// FairQuantum is the deficit-round-robin quantum, in wire bytes,
+	// the request pool grants each backlogged client per scheduling
+	// round when ingress is enabled (default 256).
+	FairQuantum int
+	// EvictAfter drops a pooled request that has gone this long without
+	// an ordering decision (default 30s; negative disables eviction).
+	// Admission runs per node, so a replica may pool a request the
+	// proposer sheds — without eviction that entry, and the backlog
+	// pressure it exerts, would outlive the flood that caused it. The
+	// acting proposer never evicts (its backlog is on its way into
+	// batches), and an entry ordered after eviction is recovered through
+	// the fetch-on-miss path.
+	EvictAfter time.Duration
+	// Store overrides the limiter state backend (default: a fresh
+	// MemStore per controller — per-node limits).
+	Store Store
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rate == 0 {
+		c.Rate = 256
+	}
+	if c.RatePeriod == 0 {
+		c.RatePeriod = time.Second
+	}
+	if c.LockoutPeriod == 0 {
+		c.LockoutPeriod = 10 * time.Second
+	}
+	if c.BrownoutHigh == 0 {
+		c.BrownoutHigh = 8
+	}
+	if c.BrownoutLow == 0 {
+		c.BrownoutLow = 2
+	}
+	if c.FairQuantum == 0 {
+		c.FairQuantum = 256
+	}
+	if c.EvictAfter == 0 {
+		c.EvictAfter = 30 * time.Second
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations (negative knobs other
+// than the documented sentinels, inverted watermarks).
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	d := c.withDefaults()
+	if c.RatePeriod < 0 || c.LockoutPeriod < 0 {
+		return fmt.Errorf("ingress: periods must not be negative")
+	}
+	if c.LockoutThreshold < 0 || c.MaxClientPending < 0 || c.FairQuantum < 0 {
+		return fmt.Errorf("ingress: thresholds must not be negative")
+	}
+	if d.BrownoutHigh > 0 && d.BrownoutLow >= d.BrownoutHigh {
+		return fmt.Errorf("ingress: BrownoutLow (%g) must be below BrownoutHigh (%g)",
+			d.BrownoutLow, d.BrownoutHigh)
+	}
+	return nil
+}
+
+// Pressure is the ordering-backlog snapshot admission decides against:
+// how full the pool is relative to the batch target, and how full the
+// proposal pipeline is. The caller (the order process, on its event
+// loop) samples it at admission time.
+type Pressure struct {
+	// PoolBytes is the pending wire bytes in the request pool.
+	PoolBytes int
+	// BatchBytes is the batch byte target (> 0).
+	BatchBytes int
+	// PoolPending is the number of pending requests.
+	PoolPending int
+	// ClientPending is the admitting client's own pending count.
+	ClientPending int
+	// ActiveClients is the number of clients with pending requests.
+	ActiveClients int
+	// Inflight and MaxInflight describe the proposal pipeline (both 0
+	// on non-primary processes).
+	Inflight, MaxInflight int
+}
+
+// backlog measures the pressure in batch-target multiples, the unit the
+// brownout watermarks are expressed in. Pipeline occupancy adds to it:
+// a full proposal window counts like one extra batch of backlog.
+func (pr Pressure) backlog() float64 {
+	if pr.BatchBytes <= 0 {
+		return 0
+	}
+	b := float64(pr.PoolBytes) / float64(pr.BatchBytes)
+	if pr.MaxInflight > 1 {
+		b += float64(pr.Inflight) / float64(pr.MaxInflight)
+	}
+	return b
+}
+
+// Controller is one node's admission pipeline. It is NOT safe for
+// concurrent use: it lives on the order process's event loop, like the
+// pool it guards.
+type Controller struct {
+	cfg     Config
+	rate    *PeriodLimit
+	lockout *PeriodFailureLimit
+
+	brownout bool
+	keys     map[types.NodeID]string // cached store keys per client
+
+	// Counters for the obs instruments (read by the owning process; no
+	// atomics needed on the single event loop, but they are plain
+	// uint64s exposed via Stats for func-backed registration).
+	stats Stats
+}
+
+// Stats are the controller's lifetime counters.
+type Stats struct {
+	Admitted  uint64
+	Shed      uint64 // all rejections except lockouts
+	LockedOut uint64
+	// ShedRate/ShedOverload/ShedInflight split Shed by cause.
+	ShedRate, ShedOverload, ShedInflight uint64
+	// BrownoutEntered counts low→high watermark transitions.
+	BrownoutEntered uint64
+}
+
+// NewController builds a controller for cfg (which must be Enabled and
+// Validated).
+func NewController(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	c := &Controller{
+		cfg:  cfg,
+		keys: make(map[types.NodeID]string),
+	}
+	if cfg.Rate > 0 {
+		c.rate = &PeriodLimit{Quota: cfg.Rate, Period: cfg.RatePeriod, Store: cfg.Store}
+	}
+	if cfg.LockoutThreshold > 0 {
+		// Lockout state shares the store but not the keyspace.
+		c.lockout = &PeriodFailureLimit{Threshold: cfg.LockoutThreshold, Period: cfg.LockoutPeriod, Store: cfg.Store}
+	}
+	return c
+}
+
+// FairQuantum returns the DRR quantum the pool should use.
+func (c *Controller) FairQuantum() int { return c.cfg.FairQuantum }
+
+// EvictAfter returns the pool-entry eviction TTL (<= 0 when disabled).
+func (c *Controller) EvictAfter() time.Duration { return c.cfg.EvictAfter }
+
+// Stats returns the lifetime counters.
+func (c *Controller) Stats() *Stats { return &c.stats }
+
+// Brownout reports whether the controller is currently in brownout.
+func (c *Controller) Brownout() bool { return c.brownout }
+
+func (c *Controller) key(client types.NodeID) string {
+	k, ok := c.keys[client]
+	if !ok {
+		k = fmt.Sprintf("c%d", int32(client))
+		c.keys[client] = k
+	}
+	return k
+}
+
+// Observe re-evaluates the brownout state against fresh pressure. The
+// admission path calls it implicitly; the owning process also calls it
+// as batches close and commit, so brownout clears as the backlog
+// drains even when no new requests arrive.
+func (c *Controller) Observe(pr Pressure) {
+	if c.cfg.BrownoutHigh <= 0 {
+		return
+	}
+	b := pr.backlog()
+	if c.brownout {
+		if b < c.cfg.BrownoutLow {
+			c.brownout = false
+		}
+	} else if b >= c.cfg.BrownoutHigh {
+		c.brownout = true
+		c.stats.BrownoutEntered++
+	}
+}
+
+// Admit decides one request from client against the current pressure.
+// Every rejection is also a failure toward the client's lockout; an
+// admission clears its failure state.
+func (c *Controller) Admit(client types.NodeID, now time.Time, pr Pressure) Decision {
+	c.Observe(pr)
+	d := c.decide(c.key(client), now, pr)
+	switch d.Code {
+	case OK:
+		c.stats.Admitted++
+	case LockedOut:
+		c.stats.LockedOut++
+	case RateLimited:
+		c.stats.Shed++
+		c.stats.ShedRate++
+	case InflightCap:
+		c.stats.Shed++
+		c.stats.ShedInflight++
+	case Overload:
+		c.stats.Shed++
+		c.stats.ShedOverload++
+	}
+	return d
+}
+
+func (c *Controller) decide(key string, now time.Time, pr Pressure) Decision {
+	if c.lockout != nil {
+		if locked, resetIn := c.lockout.Locked("l/"+key, now); locked {
+			return Decision{Code: LockedOut, RetryAfter: resetIn}
+		}
+	}
+	if c.rate != nil {
+		if allowed, resetIn := c.rate.Take(key, now); !allowed {
+			return c.fail(key, now, Decision{Code: RateLimited, RetryAfter: resetIn})
+		}
+	}
+	if c.cfg.MaxClientPending > 0 && pr.ClientPending >= c.cfg.MaxClientPending {
+		return c.fail(key, now, Decision{Code: InflightCap, RetryAfter: c.cfg.RatePeriod})
+	}
+	if c.brownout && c.overShare(pr) {
+		return c.fail(key, now, Decision{Code: Overload, RetryAfter: c.cfg.RatePeriod})
+	}
+	if c.lockout != nil {
+		c.lockout.Reset("l/" + key)
+	}
+	return Decision{Admit: true, Code: OK}
+}
+
+// overShare reports whether the admitting client holds strictly more
+// than its fair share of the pending pool — the clients brownout sheds.
+// Light clients stay below the average share and keep being admitted.
+func (c *Controller) overShare(pr Pressure) bool {
+	if pr.ActiveClients <= 0 {
+		return pr.ClientPending > 0
+	}
+	return pr.ClientPending*pr.ActiveClients > pr.PoolPending
+}
+
+// fail records a rejection toward the client's lockout and, when this
+// one crossed the threshold, upgrades the decision to LockedOut so the
+// client learns the full penalty at once.
+func (c *Controller) fail(key string, now time.Time, d Decision) Decision {
+	if c.lockout != nil && c.lockout.RecordFailure("l/"+key, now) {
+		if locked, resetIn := c.lockout.Locked("l/"+key, now); locked {
+			return Decision{Code: LockedOut, RetryAfter: resetIn}
+		}
+	}
+	return d
+}

@@ -35,6 +35,7 @@ const (
 	TCatchUpReq
 	TCatchUp
 	TFetchReq
+	TRejected
 )
 
 var typeNames = map[Type]string{
@@ -45,6 +46,7 @@ var typeNames = map[Type]string{
 	TCommit: "Commit", TBFTViewChange: "BFTViewChange", TBFTNewView: "BFTNewView",
 	TUnwilling: "Unwilling", TReply: "Reply", TPairBeat: "PairBeat",
 	TCatchUpReq: "CatchUpReq", TCatchUp: "CatchUp", TFetchReq: "FetchReq",
+	TRejected: "Rejected",
 }
 
 // String returns the message type name.
@@ -158,6 +160,8 @@ func Decode(b []byte) (Message, error) {
 		m, err = decodeCatchUp(r)
 	case TFetchReq:
 		m, err = decodeFetchReq(r)
+	case TRejected:
+		m, err = decodeRejected(r)
 	default:
 		return nil, fmt.Errorf("%w: tag %d", ErrUnknownType, uint8(t))
 	}

@@ -1,0 +1,83 @@
+package message
+
+import (
+	"time"
+
+	"github.com/sof-repro/sof/internal/codec"
+	"github.com/sof-repro/sof/internal/crypto"
+	"github.com/sof-repro/sof/internal/types"
+)
+
+// Rejected is a node's typed backpressure signal to a client: the named
+// request was refused at admission (rate limit, lockout, per-client
+// pending cap or overload brownout) and will not be ordered by this
+// node. Code carries the ingress decision code and RetryAfter the
+// node's backoff hint. It is signed by the rejecting node, so a client
+// distinguishes real backpressure from an attacker spoofing rejections.
+type Rejected struct {
+	From      types.NodeID
+	Client    types.NodeID
+	ClientSeq uint64
+	Code      uint8
+	// RetryAfter is the node's backoff hint; it rides the wire as
+	// non-negative nanoseconds.
+	RetryAfter time.Duration
+	Sig        crypto.Signature
+	enc
+}
+
+var _ Message = (*Rejected)(nil)
+
+// Type implements Message.
+func (m *Rejected) Type() Type { return TRejected }
+
+func (m *Rejected) encodeBody(w *codec.Writer) {
+	w.U8(uint8(TRejected))
+	w.I32(int32(m.From))
+	w.I32(int32(m.Client))
+	w.U64(m.ClientSeq)
+	w.U8(m.Code)
+	retry := m.RetryAfter
+	if retry < 0 {
+		retry = 0
+	}
+	w.U64(uint64(retry))
+}
+
+// SignedBody returns the bytes covered by Sig.
+func (m *Rejected) SignedBody() []byte {
+	if m.body == nil {
+		w := codec.NewWriter(32)
+		m.encodeBody(w)
+		m.body = w.Bytes()
+	}
+	return m.body
+}
+
+// Marshal implements Message.
+func (m *Rejected) Marshal() []byte {
+	if m.wire == nil {
+		w := codec.NewWriter(64)
+		m.encodeBody(w)
+		w.Bytes32(m.Sig)
+		m.wire = w.Bytes()
+	}
+	return m.wire
+}
+
+func decodeRejected(r *codec.Reader) (*Rejected, error) {
+	m := &Rejected{
+		From:      types.NodeID(r.I32()),
+		Client:    types.NodeID(r.I32()),
+		ClientSeq: r.U64(),
+		Code:      r.U8(),
+	}
+	m.RetryAfter = time.Duration(r.U64())
+	m.Sig = r.Bytes32()
+	return m, r.Err()
+}
+
+// VerifySig checks the rejecting node's signature.
+func (m *Rejected) VerifySig(v Verifier) error {
+	return VerifySingle(v, m.From, m.SignedBody(), m.Sig)
+}

@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"crypto/tls"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -31,6 +32,7 @@ type Client struct {
 	ident     *crypto.Identity
 	peers     map[types.NodeID]string
 	sess      *session.Config
+	tlsConf   *tls.Config
 	hsTimeout time.Duration
 
 	mu    sync.Mutex // guards conns and seq
@@ -57,6 +59,15 @@ func WithSession(cfg *session.Config) ClientOption {
 // 5 s). Only meaningful with WithSession.
 func WithHandshakeTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.hsTimeout = d }
+}
+
+// WithTLS wraps every node connection in TLS with the given client
+// config (server authentication at minimum; DevTLS derives a matched
+// pair from a shared secret). The nodes must listen with the matching
+// server config. Composes with WithSession: TLS runs beneath the
+// session frames.
+func WithTLS(cfg *tls.Config) ClientOption {
+	return func(c *Client) { c.tlsConf = cfg }
 }
 
 // NewClient returns a client with the given identity. peers maps every
@@ -170,6 +181,16 @@ func (c *Client) sendRaw(to types.NodeID, raw []byte) error {
 		conn, err = net.DialTimeout("tcp", addr, 3*time.Second)
 		if err != nil {
 			return fmt.Errorf("dial peer %v (%s): %w", to, addr, err)
+		}
+		if c.tlsConf != nil {
+			tc := tls.Client(conn, c.tlsConf)
+			_ = tc.SetDeadline(time.Now().Add(c.hsTimeout))
+			if err := tc.Handshake(); err != nil {
+				_ = tc.Close()
+				return fmt.Errorf("tls handshake with peer %v (%s): %w", to, addr, err)
+			}
+			_ = tc.SetDeadline(time.Time{})
+			conn = tc
 		}
 		if c.sess == nil {
 			var hello [4]byte

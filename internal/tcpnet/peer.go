@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"crypto/tls"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -188,6 +189,19 @@ func (p *peer) dial() (net.Conn, []session.Frame, error) {
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true) // the sender already coalesces; don't let the kernel re-delay
+	}
+	if p.opts.TLSClient != nil {
+		// Handshake eagerly under the dial deadline so a broken TLS
+		// endpoint surfaces here — as a dial error with backoff — rather
+		// than as a mid-stream write failure.
+		tc := tls.Client(c, p.opts.TLSClient)
+		_ = tc.SetDeadline(time.Now().Add(p.opts.DialTimeout))
+		if err := tc.Handshake(); err != nil {
+			_ = tc.Close()
+			return nil, nil, fmt.Errorf("tls handshake with peer %v (%s): %w", p.id, p.addr, err)
+		}
+		_ = tc.SetDeadline(time.Time{})
+		c = tc
 	}
 	if p.tx == nil {
 		var hello [4]byte

@@ -1,0 +1,70 @@
+package tcpnet
+
+import (
+	"crypto/ed25519"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"github.com/sof-repro/sof/internal/crypto"
+)
+
+// DevTLS derives a deterministic TLS identity from a shared secret: an
+// Ed25519 key and a self-signed certificate, both reproduced bit-for-bit
+// by every endpoint holding the secret (Ed25519 key generation and
+// signing are deterministic, and the certificate carries a fixed
+// validity window). The returned server config presents the certificate;
+// the client config trusts exactly that certificate as its root — chain
+// verification checks the presented leaf against the root's public key,
+// so endpoints that derived the identity independently verify each
+// other without distributing any file.
+//
+// This is transport encryption with server authentication for
+// deployments provisioned from one shared secret (the same trust model
+// as the dealer's link keys). Deployments with a real PKI should build
+// their own tls.Config pair instead; every tcpnet surface accepts
+// arbitrary configs.
+func DevTLS(secret string) (server, client *tls.Config, err error) {
+	seed := make([]byte, ed25519.SeedSize)
+	if _, err := io.ReadFull(crypto.NewDRBG("tcpnet/tls/"+secret), seed); err != nil {
+		return nil, nil, fmt.Errorf("tcpnet: deriving TLS seed: %w", err)
+	}
+	key := ed25519.NewKeyFromSeed(seed)
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "sof-dev"},
+		// Fixed window: the certificate must be identical on every
+		// endpoint and across restarts, so it cannot embed issuance time.
+		NotBefore:             time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:              time.Date(2040, 1, 1, 0, 0, 0, 0, time.UTC),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+		DNSNames:              []string{"localhost"},
+	}
+	der, err := x509.CreateCertificate(crypto.NewDRBG("tcpnet/tls/cert/"+secret), tmpl, tmpl, key.Public(), key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tcpnet: creating dev certificate: %w", err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tcpnet: parsing dev certificate: %w", err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	server = &tls.Config{
+		MinVersion:   tls.VersionTLS13,
+		Certificates: []tls.Certificate{{Certificate: [][]byte{der}, PrivateKey: key, Leaf: leaf}},
+	}
+	client = &tls.Config{
+		MinVersion: tls.VersionTLS13,
+		RootCAs:    pool,
+		ServerName: "localhost",
+	}
+	return server, client, nil
+}

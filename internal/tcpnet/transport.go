@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"crypto/tls"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -50,6 +51,16 @@ type Options struct {
 	// function-backed — the registry reads the counters the transport
 	// already keeps, at scrape time — so the frame hot path is untouched.
 	Metrics *obs.Registry
+	// TLSServer, when non-nil, wraps every accepted inbound connection in
+	// a TLS server handshake before the hello is read. TLSClient wraps
+	// every outbound dial (peer senders here, and the synchronous Client
+	// via WithTLS). Every endpoint of a deployment must agree — a TLS
+	// listener rejects plaintext dials and vice versa. TLS composes with
+	// Session: the HMAC session layer keeps authenticating endpoints and
+	// frames, TLS adds confidentiality underneath. DevTLS derives a
+	// matched config pair from a shared secret.
+	TLSServer *tls.Config
+	TLSClient *tls.Config
 	// Shape, when non-nil, imposes simulated link conditions on outbound
 	// traffic (the netsim fabric wired onto real sockets for WAN-profile
 	// experiments): for a write of size bytes to peer `to` it returns the
@@ -444,6 +455,11 @@ func (t *Transport) acceptLoop() {
 			t.mu.Unlock()
 			_ = conn.Close()
 			return
+		}
+		if t.opts.TLSServer != nil {
+			// The handshake runs lazily on the first read; the hello
+			// deadline in readLoop bounds it like any other slow client.
+			conn = tls.Server(conn, t.opts.TLSServer)
 		}
 		t.inbound[conn] = struct{}{}
 		t.mu.Unlock()

@@ -31,6 +31,7 @@ import (
 	"github.com/sof-repro/sof/internal/core"
 	"github.com/sof-repro/sof/internal/crypto"
 	"github.com/sof-repro/sof/internal/harness"
+	"github.com/sof-repro/sof/internal/ingress"
 	"github.com/sof-repro/sof/internal/message"
 	"github.com/sof-repro/sof/internal/netsim"
 	"github.com/sof-repro/sof/internal/obs"
@@ -103,6 +104,14 @@ const (
 	// its evidence.
 	CatchUpLiar = harness.AdversaryCatchUpLiar
 )
+
+// IngressConfig tunes the client-admission layer: per-client rate
+// quotas with optional lockout, bounded per-client pool occupancy, and
+// the brownout controller that sheds over-share clients when the
+// ordering backlog crosses its high watermark. The zero value disables
+// the layer entirely; Enabled with everything else zero applies the
+// documented defaults.
+type IngressConfig = ingress.Config
 
 // ReqID identifies a submitted request.
 type ReqID = message.ReqID
@@ -257,6 +266,21 @@ type Config struct {
 	// *CrossGroupError (SubmitMulti). Requires Transport TCP, a live
 	// cluster and Protocol SC or SCR; capped at MaxGroups.
 	Groups int
+	// Ingress enables client admission control on the order processes
+	// (SC/SCR only): per-client rate limiting with optional lockout,
+	// fair (deficit-round-robin) dequeue from the request pool, and
+	// brownout shedding of over-share clients under ordering backlog.
+	// Refused clients receive a signed Rejected reply naming the cause
+	// and a retry hint. The zero value keeps today's unconditional
+	// admission path bit-for-bit.
+	Ingress IngressConfig
+	// ClientTLS wraps every TCP connection — client submissions and peer
+	// links alike — in TLS 1.3 with a deterministic development identity
+	// derived from Seed (server authentication; both sides of a link
+	// derive the same self-signed root from the shared secret, see
+	// tcpnet.DevTLS). Requires Transport: TCP. Production deployments
+	// would supply real certificates through the tcpnet options instead.
+	ClientTLS bool
 	// DisableMetrics turns off the per-node metrics registries (on by
 	// default; the instrumentation cost is within benchmark noise).
 	DisableMetrics bool
@@ -368,6 +392,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if len(cfg.Adversaries) > 0 && cfg.Protocol != SC && cfg.Protocol != SCR {
 		return nil, fmt.Errorf("sof: Adversaries require Protocol SC or SCR")
 	}
+	if cfg.Ingress.Enabled {
+		if cfg.Protocol != SC && cfg.Protocol != SCR {
+			return nil, fmt.Errorf("sof: Ingress requires Protocol SC or SCR")
+		}
+		if err := cfg.Ingress.Validate(); err != nil {
+			return nil, fmt.Errorf("sof: %w", err)
+		}
+	}
+	if cfg.ClientTLS && cfg.Transport != TCP {
+		return nil, fmt.Errorf("sof: ClientTLS requires Transport: TCP")
+	}
 	if cfg.Groups < 0 {
 		return nil, fmt.Errorf("sof: Groups must not be negative, got %d", cfg.Groups)
 	}
@@ -414,6 +449,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		TCPShaping:         cfg.NetShaping,
 		Adversaries:        cfg.Adversaries,
 		Groups:             cfg.Groups,
+		Ingress:            cfg.Ingress,
+		TLS:                cfg.ClientTLS,
 		KeepCommits:        true,
 		CommitRetention:    cfg.CommitRetention,
 		DisableMetrics:     cfg.DisableMetrics,

@@ -1033,3 +1033,86 @@ func TestPublicAPIPrimaryRestartRefusedWithoutJournal(t *testing.T) {
 		t.Fatalf("request never committed after the refused primary was deposed: %v", err)
 	}
 }
+
+// TestPublicAPIIngressValidation pins the config gates for the
+// admission layer and TLS.
+func TestPublicAPIIngressValidation(t *testing.T) {
+	if _, err := sof.NewCluster(sof.Config{
+		Protocol: sof.BFT, Simulated: true,
+		Ingress: sof.IngressConfig{Enabled: true},
+	}); err == nil {
+		t.Error("Ingress on BFT accepted")
+	}
+	if _, err := sof.NewCluster(sof.Config{
+		Protocol: sof.SC, Simulated: true,
+		Ingress: sof.IngressConfig{Enabled: true, BrownoutHigh: 2, BrownoutLow: 3},
+	}); err == nil {
+		t.Error("inverted brownout watermarks accepted")
+	}
+	if _, err := sof.NewCluster(sof.Config{Protocol: sof.SC, ClientTLS: true}); err == nil {
+		t.Error("ClientTLS without Transport TCP accepted")
+	}
+}
+
+// TestPublicAPIIngressRateLimit drives the public path past a tiny rate
+// quota on the simulator: the surplus never commits, the quota share
+// does.
+func TestPublicAPIIngressRateLimit(t *testing.T) {
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SC,
+		Simulated:     true,
+		BatchInterval: 10 * time.Millisecond,
+		Ingress:       sof.IngressConfig{Enabled: true, Rate: 3, RatePeriod: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	ids := make([]sof.ReqID, 0, 10)
+	for i := 0; i < 10; i++ {
+		id, err := cluster.Submit([]byte(fmt.Sprintf("burst-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		cluster.RunFor(5 * time.Millisecond)
+	}
+	cluster.RunFor(2 * time.Second)
+	committed := 0
+	for _, id := range ids {
+		if cluster.AwaitCommit(id, 10*time.Millisecond) == nil {
+			committed++
+		}
+	}
+	if committed == 0 || committed > 3 {
+		t.Errorf("committed %d of 10 with a quota of 3 per second", committed)
+	}
+}
+
+// TestPublicAPIClientTLS orders a request end-to-end over the TLS'd TCP
+// substrate through the public API.
+func TestPublicAPIClientTLS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	cluster, err := sof.NewCluster(sof.Config{
+		Protocol:      sof.SC,
+		F:             1,
+		BatchInterval: 5 * time.Millisecond,
+		Transport:     sof.TCP,
+		ClientTLS:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	id, err := cluster.Submit([]byte("hello over tls"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.AwaitCommit(id, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
